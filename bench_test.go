@@ -1,0 +1,192 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (deliverable d). Each BenchmarkFigNN runs the corresponding
+// experiment at micro scale and reports the figure's headline number as
+// a custom metric, so `go test -bench=. -benchmem` reproduces the whole
+// evaluation; cmd/leaftl-bench prints the full tables.
+package leaftl_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"leaftl/internal/experiments"
+)
+
+func suite() *experiments.Suite {
+	return experiments.NewSuite(experiments.MicroScale(), 1)
+}
+
+func metric(b *testing.B, tb experiments.Table, row, col int, name string) {
+	b.Helper()
+	if row < 0 {
+		row = len(tb.Rows) + row
+	}
+	cell := strings.TrimSuffix(strings.TrimSuffix(tb.Rows[row][col], "x"), "%")
+	if v, err := strconv.ParseFloat(cell, 64); err == nil {
+		b.ReportMetric(v, name)
+	}
+}
+
+func BenchmarkFig5SegmentLengths(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := suite().Fig5SegmentLengths()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, tb, 0, 7, "avg-seg-len-g0")
+	}
+}
+
+func BenchmarkFig10CRBSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := suite().Fig10CRBSizes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, tb, 0, 1, "crb-avg-bytes")
+	}
+}
+
+func BenchmarkFig12LevelCounts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := suite().Fig12LevelCounts()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, tb, 0, 1, "avg-levels")
+	}
+}
+
+func BenchmarkFig15MemoryReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := suite().Fig15MemoryReduction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, tb, -1, 4, "geomean-vs-dftl")
+		metric(b, tb, -1, 5, "geomean-vs-sftl")
+	}
+}
+
+func BenchmarkFig16Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, bb, err := suite().Fig16Performance()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, a, -1, 4, "fig16a-speedup-vs-sftl")
+		metric(b, bb, -1, 4, "fig16b-speedup-vs-sftl")
+	}
+}
+
+func BenchmarkFig17RealSSD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := suite().Fig17RealSSD()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, tb, -1, 4, "speedup-vs-sftl")
+	}
+}
+
+func BenchmarkFig18LatencyCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := suite().Fig18LatencyCDF(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig19GammaMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := suite().Fig19GammaMemory(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig20SegmentMix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := suite().Fig20SegmentMix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, tb, -1, 3, "approx-pct-g16")
+	}
+}
+
+func BenchmarkFig21GammaPerf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := suite().Fig21GammaPerf(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig22Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := suite().Fig22Sensitivity(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig23LookupOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, _, err := suite().Fig23LookupOverhead()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, a, 0, 1, "avg-levels-per-lookup")
+	}
+}
+
+func BenchmarkFig24Misprediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := suite().Fig24Misprediction(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig25WAF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := suite().Fig25WAF(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3Microbench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tb, err := suite().Table3Microbench()
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric(b, tb, 0, 2, "lookup-ns-g0")
+	}
+}
+
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := suite()
+		if _, err := s.AblationBufferSort(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.AblationCompaction(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.AblationLogStructured(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := suite().RecoveryExperiment(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Command leaftl-bench regenerates the paper's evaluation tables and
+// figures on the simulated SSD (deliverable d). By default it runs at
+// quick scale; -full uses the larger scaled device of DESIGN.md §5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"leaftl/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at full (slower) scale")
+	only := flag.String("only", "", "comma-separated figure IDs to run (e.g. fig15,fig16)")
+	seed := flag.Int64("seed", 1, "workload generation seed")
+	markdown := flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
+	flag.Parse()
+
+	scale := experiments.QuickScale()
+	if *full {
+		scale = experiments.FullScale()
+	}
+	s := experiments.NewSuite(scale, *seed)
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[id] = true
+		}
+	}
+	selected := func(ids ...string) bool {
+		if len(want) == 0 {
+			return true
+		}
+		for _, id := range ids {
+			if want[id] {
+				return true
+			}
+		}
+		return false
+	}
+
+	emit := func(t experiments.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: %s: %v\n", t.ID, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			fmt.Println(t.Markdown())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+
+	start := time.Now()
+	if selected("fig5") {
+		emit(s.Fig5SegmentLengths())
+	}
+	if selected("fig10") {
+		emit(s.Fig10CRBSizes())
+	}
+	if selected("fig12") {
+		emit(s.Fig12LevelCounts())
+	}
+	if selected("fig15") {
+		emit(s.Fig15MemoryReduction())
+	}
+	if selected("fig16", "fig16a", "fig16b") {
+		a, b, err := s.Fig16Performance()
+		emit(a, err)
+		emit(b, nil)
+	}
+	if selected("fig17") {
+		emit(s.Fig17RealSSD())
+	}
+	if selected("fig18") {
+		emit(s.Fig18LatencyCDF())
+	}
+	if selected("fig19") {
+		emit(s.Fig19GammaMemory())
+	}
+	if selected("fig20") {
+		emit(s.Fig20SegmentMix())
+	}
+	if selected("fig21") {
+		emit(s.Fig21GammaPerf())
+	}
+	if selected("fig22", "fig22a", "fig22b") {
+		a, b, err := s.Fig22Sensitivity()
+		emit(a, err)
+		emit(b, nil)
+	}
+	if selected("fig23", "fig23a", "fig23b") {
+		a, b, err := s.Fig23LookupOverhead()
+		emit(a, err)
+		emit(b, nil)
+	}
+	if selected("fig24") {
+		emit(s.Fig24Misprediction())
+	}
+	if selected("fig25") {
+		emit(s.Fig25WAF())
+	}
+	if selected("table3") {
+		emit(s.Table3Microbench())
+	}
+	if selected("ablation-sort") {
+		emit(s.AblationBufferSort())
+	}
+	if selected("ablation-compaction") {
+		emit(s.AblationCompaction())
+	}
+	if selected("ablation-log") {
+		emit(s.AblationLogStructured())
+	}
+	if selected("recovery") {
+		emit(s.RecoveryExperiment())
+	}
+	fmt.Fprintf(os.Stderr, "leaftl-bench: completed in %v (scale=%s)\n", time.Since(start).Round(time.Millisecond), scale.Name)
+}

@@ -1,0 +1,53 @@
+// Command tracegen emits a synthetic block I/O trace for one of the
+// paper's workload profiles (or lists the catalog). The output replays
+// with cmd/leaftl-sim or trace.Parse.
+//
+// Usage:
+//
+//	tracegen -list
+//	tracegen -workload MSR-hm -pages 1048576 -n 100000 -seed 1 > hm.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"leaftl/internal/trace"
+	"leaftl/internal/workload"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available workload profiles")
+	name := flag.String("workload", "MSR-hm", "workload profile name")
+	pages := flag.Int("pages", 1<<20, "logical device size in pages")
+	n := flag.Int("n", 100_000, "number of requests")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("# trace workloads (simulator, §4.1):")
+		for _, p := range workload.Catalog() {
+			fmt.Printf("  %-10s reads=%.0f%% seq=%.0f%% stride=%.0f%% footprint=%.0f%%\n",
+				p.Name, 100*p.ReadFrac, 100*p.SeqFrac, 100*p.StrideFrac, 100*p.FootprintFrac)
+		}
+		fmt.Println("# app workloads (prototype, Table 2):")
+		for _, p := range workload.AppCatalog() {
+			fmt.Printf("  %-10s reads=%.0f%% seq=%.0f%% stride=%.0f%% footprint=%.0f%%\n",
+				p.Name, 100*p.ReadFrac, 100*p.SeqFrac, 100*p.StrideFrac, 100*p.FootprintFrac)
+		}
+		return
+	}
+
+	p, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracegen: unknown workload %q (try -list)\n", *name)
+		os.Exit(1)
+	}
+	reqs := p.Generate(*pages, *n, *seed)
+	fmt.Printf("# workload=%s pages=%d n=%d seed=%d\n", p.Name, *pages, *n, *seed)
+	if err := trace.Write(os.Stdout, reqs); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

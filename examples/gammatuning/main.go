@@ -1,0 +1,61 @@
+// Gammatuning: explore LeaFTL's error-bound knob on the standalone
+// learned mapping table (no device needed): larger gamma admits more
+// approximate segments, shrinking the table at the cost of predictions
+// that are off by up to ±gamma pages — the paper's §4.4 trade-off.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"leaftl"
+)
+
+func main() {
+	// An irregular-but-correlated mapping stream: ascending LPAs with
+	// small gaps onto consecutive PPAs (paper Figure 1 C).
+	rng := rand.New(rand.NewSource(7))
+	var pairs []leaftl.Mapping
+	lpa, ppa := leaftl.LPA(0), leaftl.PPA(10_000)
+	for len(pairs) < 100_000 {
+		lpa += leaftl.LPA(1 + rng.Intn(3))
+		pairs = append(pairs, leaftl.Mapping{LPA: lpa, PPA: ppa})
+		ppa++
+	}
+
+	fmt.Printf("%-6s  %-10s  %-10s  %-9s  %s\n",
+		"gamma", "table", "vs page", "segments", "max |error| (checked)")
+	for _, gamma := range []int{0, 1, 2, 4, 8, 16} {
+		tb := leaftl.NewMappingTable(gamma)
+		// Feed in flush-sized batches, as the SSD buffer would.
+		for i := 0; i < len(pairs); i += 256 {
+			end := i + 256
+			if end > len(pairs) {
+				end = len(pairs)
+			}
+			tb.Update(pairs[i:end])
+		}
+		st := tb.Stats()
+		maxErr := int64(0)
+		for _, m := range pairs {
+			got, _, ok := tb.Lookup(m.LPA)
+			if !ok {
+				panic("lost mapping")
+			}
+			d := int64(got) - int64(m.PPA)
+			if d < 0 {
+				d = -d
+			}
+			if d > maxErr {
+				maxErr = d
+			}
+		}
+		if maxErr > int64(gamma) {
+			panic("error bound violated")
+		}
+		pageLevel := len(pairs) * 8
+		fmt.Printf("%-6d  %7.1f KiB  %8.1fx  %-9d  %d\n",
+			gamma, float64(tb.SizeBytes())/1024,
+			float64(pageLevel)/float64(tb.SizeBytes()), st.Segments, maxErr)
+	}
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a simulated SSD running LeaFTL, write and read some
+// data, and inspect how small the learned mapping table stays compared
+// to a page-level table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"leaftl"
+)
+
+func main() {
+	// A small device: 16 channels × 16 blocks × 256 pages of 4KB.
+	cfg := leaftl.SimulatorConfig()
+	cfg.Flash.BlocksPerChan = 16
+	cfg.DRAMBytes = 32 << 20
+	cfg.BufferPages = cfg.Flash.PagesPerBlock
+
+	dev, err := leaftl.OpenSimulated(cfg, leaftl.NewLeaFTL(0 /* gamma */, cfg.Flash.PageSize))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device: %d logical pages (%.1f MiB)\n",
+		dev.LogicalPages(), float64(dev.LogicalPages())*4/1024)
+
+	// Sequential writes: LeaFTL learns one 8-byte segment per 256 pages.
+	const pages = 32768
+	for lpa := 0; lpa < pages; lpa += 64 {
+		if _, err := dev.Write(leaftl.LPA(lpa), 64); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := dev.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Read everything back; the device verifies data integrity itself.
+	var total, n int64
+	for lpa := 0; lpa < pages; lpa += 64 {
+		lat, err := dev.Read(leaftl.LPA(lpa), 64)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total += lat.Microseconds()
+		n++
+	}
+
+	learned := dev.Scheme().FullSizeBytes()
+	pageLevel := pages * 8
+	fmt.Printf("wrote+read %d pages; avg read-request latency %dµs\n", pages, total/n)
+	fmt.Printf("mapping table: learned %d B vs page-level %d B (%.1fx smaller)\n",
+		learned, pageLevel, float64(pageLevel)/float64(learned))
+	st := dev.Stats()
+	fmt.Printf("mispredictions: %d (gamma=0 ⇒ all translations exact)\n", st.Mispredictions)
+}

@@ -1,0 +1,75 @@
+// Tracereplay: run one of the paper's workloads (MSR-hm by default)
+// against all three translation schemes on identical devices and compare
+// memory and latency — a miniature of the paper's Figures 15 and 16.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"leaftl"
+)
+
+func main() {
+	name := flag.String("workload", "MSR-hm", "workload profile (see tracegen -list)")
+	n := flag.Int("n", 60_000, "requests to replay")
+	flag.Parse()
+
+	p, ok := leaftl.WorkloadByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+
+	type result struct {
+		name    string
+		meanUS  float64
+		mapping int
+		hitPct  float64
+	}
+	var results []result
+
+	for _, mk := range []func(cfg leaftl.DeviceConfig) leaftl.Scheme{
+		func(cfg leaftl.DeviceConfig) leaftl.Scheme { return leaftl.NewDFTL(cfg.Flash.PageSize, 0) },
+		func(cfg leaftl.DeviceConfig) leaftl.Scheme { return leaftl.NewSFTL(cfg.Flash.PageSize, 0) },
+		func(cfg leaftl.DeviceConfig) leaftl.Scheme { return leaftl.NewLeaFTL(0, cfg.Flash.PageSize) },
+	} {
+		cfg := leaftl.SimulatorConfig()
+		cfg.Flash.BlocksPerChan = 48
+		cfg.BufferPages = 512
+		cfg.DRAMBytes = cfg.BufferBytes() + 96<<10 // starved mapping+cache pool
+
+		scheme := mk(cfg)
+		dev, err := leaftl.OpenSimulated(cfg, scheme)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Warm the footprint so reads hit mapped pages.
+		fp := p.Footprint(dev.LogicalPages())
+		for lpa := 0; lpa+64 <= fp; lpa += 64 {
+			if _, err := dev.Write(leaftl.LPA(lpa), 64); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := leaftl.Replay(dev, p.Generate(dev.LogicalPages(), *n, 1)); err != nil {
+			log.Fatal(err)
+		}
+		if err := dev.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, result{
+			name:    scheme.Name(),
+			meanUS:  float64(dev.ReadLatency().MeanDuration().Nanoseconds()) / 1e3,
+			mapping: scheme.FullSizeBytes(),
+			hitPct:  100 * dev.Stats().CacheHitRatio(),
+		})
+	}
+
+	fmt.Printf("workload %s, %d requests\n\n", p.Name, *n)
+	fmt.Printf("%-8s  %-14s  %-12s  %s\n", "scheme", "mean read", "mapping", "cache hits")
+	base := results[0].meanUS
+	for _, r := range results {
+		fmt.Printf("%-8s  %7.1fµs %.2fx  %8.1f KiB  %5.1f%%\n",
+			r.name, r.meanUS, r.meanUS/base, float64(r.mapping)/1024, r.hitPct)
+	}
+}

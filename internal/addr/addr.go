@@ -1,0 +1,73 @@
+// Package addr defines the logical and physical page address types shared
+// by every layer of the LeaFTL stack.
+//
+// The paper (§2) uses 4-byte logical page addresses (LPA) and 4-byte
+// physical page addresses (PPA); a page-level mapping entry is therefore
+// 8 bytes, the yardstick every memory-reduction number in the evaluation
+// is measured against.
+package addr
+
+import "math"
+
+// LPA is a logical page address: the page index in the block device's
+// logical address space as seen by the host.
+type LPA uint32
+
+// PPA is a physical page address: a flat index over every flash page in
+// the SSD (channel-major, block, then page; see package flash).
+type PPA uint32
+
+// InvalidPPA marks "no mapping". It is never a valid flash location.
+const InvalidPPA PPA = math.MaxUint32
+
+// InvalidLPA marks an unused out-of-band reverse-mapping slot (the paper
+// stores a null entry for OOB neighbors that fall outside the block).
+const InvalidLPA LPA = math.MaxUint32
+
+// GroupSize is the number of contiguous LPAs per segment group (paper
+// §3.2): starting LPAs are stored as a 1-byte offset within a group of
+// 2^8 = 256 pages, which is what shrinks a segment to 8 bytes.
+const GroupSize = 256
+
+// GroupID identifies one 256-LPA group in the logical space.
+type GroupID uint32
+
+// Group returns the group that contains lpa.
+func Group(lpa LPA) GroupID { return GroupID(lpa / GroupSize) }
+
+// GroupBase returns the first LPA of group g.
+func GroupBase(g GroupID) LPA { return LPA(g) * GroupSize }
+
+// Offset returns lpa's offset within its group, in [0, GroupSize).
+func Offset(lpa LPA) uint8 { return uint8(lpa % GroupSize) }
+
+// Mapping is a single LPA→PPA translation, the unit the learning procedure
+// consumes (paper Figure 1).
+type Mapping struct {
+	LPA LPA
+	PPA PPA
+}
+
+// PageState tracks the lifecycle of one flash page.
+type PageState uint8
+
+// Flash page lifecycle: free until written, valid while it holds the live
+// copy of an LPA, invalid after being superseded, until its block is erased.
+const (
+	PageFree PageState = iota
+	PageValid
+	PageInvalid
+)
+
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return "unknown"
+	}
+}

@@ -1,0 +1,50 @@
+package addr
+
+import "testing"
+
+func TestGroupArithmetic(t *testing.T) {
+	cases := []struct {
+		lpa    LPA
+		group  GroupID
+		offset uint8
+	}{
+		{0, 0, 0},
+		{255, 0, 255},
+		{256, 1, 0},
+		{1000, 3, 232},
+		{1 << 20, 4096, 0},
+	}
+	for _, c := range cases {
+		if g := Group(c.lpa); g != c.group {
+			t.Errorf("Group(%d) = %d, want %d", c.lpa, g, c.group)
+		}
+		if o := Offset(c.lpa); o != c.offset {
+			t.Errorf("Offset(%d) = %d, want %d", c.lpa, o, c.offset)
+		}
+	}
+	for lpa := LPA(0); lpa < 4*GroupSize; lpa++ {
+		if got := GroupBase(Group(lpa)) + LPA(Offset(lpa)); got != lpa {
+			t.Fatalf("base+offset of %d = %d", lpa, got)
+		}
+	}
+}
+
+func TestPageStateString(t *testing.T) {
+	cases := map[PageState]string{
+		PageFree:      "free",
+		PageValid:     "valid",
+		PageInvalid:   "invalid",
+		PageState(99): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestSentinels(t *testing.T) {
+	if InvalidPPA != 1<<32-1 || InvalidLPA != 1<<32-1 {
+		t.Error("sentinels must be the max 4-byte values (paper: 4B addresses)")
+	}
+}

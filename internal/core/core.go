@@ -1,0 +1,19 @@
+// Package core implements LeaFTL's primary contribution: the learned
+// address-mapping table (paper §3).
+//
+// The mapping table replaces the one-entry-per-page table of a
+// conventional page-level FTL with learned index segments. Each segment is
+// an 8-byte linear model (S, L, K, I) predicting PPA = ⌈K·x + I⌉ for the
+// LPAs in [S, S+L] (§3.1–§3.2). Segments are grouped by 256-LPA groups so
+// the starting LPA fits in one byte, managed per group in a log-structured
+// multi-level list (§3.4, Algorithm 1), merged with bitmap diffs
+// (Algorithm 2), and periodically compacted (§3.7). A per-group Conflict
+// Resolution Buffer (CRB) records exactly which LPAs each *approximate*
+// segment indexes, resolving range overlaps between approximate segments
+// (Figure 9).
+//
+// The package is a pure in-memory index: it never touches flash. The SSD
+// device (package ssd) is responsible for verifying predicted PPAs against
+// out-of-band reverse mappings and for charging the one extra flash read a
+// misprediction costs (§3.5).
+package core

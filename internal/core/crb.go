@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sort"
+
+	"leaftl/internal/addr"
+)
+
+// crb is one group's Conflict Resolution Buffer (paper §3.4, Figure 9):
+// for every *approximate* segment in the group it stores the exact LPA
+// offsets the segment indexes, because approximate segments are learned
+// from irregular patterns and their member LPAs cannot be inferred from
+// (S, L, K, I).
+//
+// Invariants, mirroring the paper's three properties:
+//  1. the LPAs of one segment are stored contiguously (one entry);
+//  2. entries are sorted by their starting LPA, which is unique;
+//  3. an LPA appears at most once across the whole buffer.
+//
+// Conceptually this is the paper's flat nearly-sorted byte list with null
+// separators; the entry slice here is the same data with the separators
+// made structural. SizeBytes reports the flat encoding's footprint (one
+// byte per LPA plus one separator per segment) so memory accounting
+// matches the paper's (Figure 10).
+type crb struct {
+	entries []crbEntry
+}
+
+// crbEntry lists one approximate segment's LPA offsets, sorted ascending.
+// The first offset is the segment's current starting LPA.
+type crbEntry struct {
+	lpas []uint8
+}
+
+func (e *crbEntry) start() uint8 { return e.lpas[0] }
+func (e *crbEntry) last() uint8  { return e.lpas[len(e.lpas)-1] }
+
+func (e *crbEntry) contains(off uint8) bool {
+	lo, hi := 0, len(e.lpas)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if e.lpas[mid] < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(e.lpas) && e.lpas[lo] == off
+}
+
+// boundaryEdit reports that the approximate segment previously starting at
+// Old now spans [NewStart, NewLast]; Removed means it lost every LPA and
+// must be dropped from the mapping table.
+type boundaryEdit struct {
+	Old      uint8
+	NewStart uint8
+	NewLast  uint8
+	Removed  bool
+}
+
+// insert registers a new approximate segment's LPA offsets. Per the
+// paper's redundancy rule, any of these offsets already present under
+// another segment are removed from that segment first; entries that lose
+// their first LPA get a new start (the paper's "update the S of the old
+// segment with the adjacent LPA"), and entries that lose everything are
+// deleted. The returned edits let the table re-shape the affected
+// segments.
+func (c *crb) insert(lpas []uint8) []boundaryEdit {
+	var edits []boundaryEdit
+	member := make(map[uint8]bool, len(lpas))
+	for _, o := range lpas {
+		member[o] = true
+	}
+
+	kept := c.entries[:0]
+	for i := range c.entries {
+		e := &c.entries[i]
+		oldStart, oldLast := e.start(), e.last()
+		overlapped := false
+		for _, o := range e.lpas {
+			if member[o] {
+				overlapped = true
+				break
+			}
+		}
+		if !overlapped {
+			kept = append(kept, *e)
+			continue
+		}
+		filtered := e.lpas[:0]
+		for _, o := range e.lpas {
+			if !member[o] {
+				filtered = append(filtered, o)
+			}
+		}
+		if len(filtered) == 0 {
+			edits = append(edits, boundaryEdit{Old: oldStart, Removed: true})
+			continue
+		}
+		e.lpas = filtered
+		if e.start() != oldStart || e.last() != oldLast {
+			edits = append(edits, boundaryEdit{Old: oldStart, NewStart: e.start(), NewLast: e.last()})
+		}
+		kept = append(kept, *e)
+	}
+	c.entries = kept
+
+	c.entries = append(c.entries, crbEntry{lpas: append([]uint8(nil), lpas...)})
+	// Dedup can raise an entry's start past a later entry's start (entry
+	// ranges may interleave even though LPA sets are disjoint), so restore
+	// the sorted-by-start invariant explicitly.
+	c.normalize()
+	return edits
+}
+
+// normalize re-sorts entries by their (unique) starting LPA.
+func (c *crb) normalize() {
+	sort.Slice(c.entries, func(i, j int) bool {
+		return c.entries[i].start() < c.entries[j].start()
+	})
+}
+
+// searchStart returns the index of the first entry whose start is ≥ off.
+func (c *crb) searchStart(off uint8) int {
+	lo, hi := 0, len(c.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.entries[mid].start() < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// lookup returns the starting LPA offset of the approximate segment that
+// indexes off, if any (paper Figure 9 (b): binary-search to the LPA, then
+// scan left to the segment head).
+func (c *crb) lookup(off uint8) (start uint8, ok bool) {
+	// Entries are sorted by start; any entry with start > off cannot
+	// contain off. Entry ranges may interleave, so walk candidates from
+	// the closest start leftwards.
+	for i := c.searchUpper(off) - 1; i >= 0; i-- {
+		if c.entries[i].contains(off) {
+			return c.entries[i].start(), true
+		}
+	}
+	return 0, false
+}
+
+// searchUpper returns the index of the first entry whose start is > off.
+func (c *crb) searchUpper(off uint8) int {
+	lo, hi := 0, len(c.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.entries[mid].start() <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// entryFor returns the entry whose start equals off, or nil.
+func (c *crb) entryFor(start uint8) *crbEntry {
+	i := c.searchStart(start)
+	if i < len(c.entries) && c.entries[i].start() == start {
+		return &c.entries[i]
+	}
+	return nil
+}
+
+// removeLPAs deletes the given offsets from the segment entry starting at
+// start (used when a merge trims a victim, Algorithm 2 line 24-25). It
+// returns the resulting boundary edit.
+func (c *crb) removeLPAs(start uint8, drop func(uint8) bool) (boundaryEdit, bool) {
+	i := c.searchStart(start)
+	if i >= len(c.entries) || c.entries[i].start() != start {
+		return boundaryEdit{}, false
+	}
+	e := &c.entries[i]
+	oldStart, oldLast := e.start(), e.last()
+	filtered := e.lpas[:0]
+	for _, o := range e.lpas {
+		if !drop(o) {
+			filtered = append(filtered, o)
+		}
+	}
+	if len(filtered) == 0 {
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+		return boundaryEdit{Old: oldStart, Removed: true}, true
+	}
+	e.lpas = filtered
+	ns, nl := e.start(), e.last()
+	if ns != oldStart {
+		c.normalize()
+	}
+	if ns != oldStart || nl != oldLast {
+		return boundaryEdit{Old: oldStart, NewStart: ns, NewLast: nl}, true
+	}
+	return boundaryEdit{Old: oldStart, NewStart: oldStart, NewLast: nl}, true
+}
+
+// removeSegment drops the whole entry starting at start (segment removed
+// from the table during merge or compaction).
+func (c *crb) removeSegment(start uint8) {
+	i := c.searchStart(start)
+	if i < len(c.entries) && c.entries[i].start() == start {
+		c.entries = append(c.entries[:i], c.entries[i+1:]...)
+	}
+}
+
+// sizeBytes is the flat encoding footprint: one byte per stored LPA plus a
+// one-byte null separator per segment (paper §3.4).
+func (c *crb) sizeBytes() int {
+	n := 0
+	for i := range c.entries {
+		n += len(c.entries[i].lpas) + 1
+	}
+	return n
+}
+
+// lpasOf returns the absolute LPAs of the segment starting at start.
+func (c *crb) lpasOf(start uint8, base addr.LPA) []addr.LPA {
+	e := c.entryFor(start)
+	if e == nil {
+		return nil
+	}
+	out := make([]addr.LPA, len(e.lpas))
+	for i, o := range e.lpas {
+		out[i] = base + addr.LPA(o)
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"leaftl/internal/addr"
+)
+
+// Serialization of the learned mapping table (paper §3.8): LeaFTL stores
+// the learned index segments in flash translation blocks, indexed by the
+// global mapping directory (GMD), so the table survives power cycles
+// without a full OOB scan when battery-backed DRAM persists it on
+// failure. The format is deliberately simple and versioned:
+//
+//	header:  magic "LFTL" | version u8 | gamma u8
+//	groups:  count u32, then per group (ascending group id):
+//	         gid u32 | levels u16
+//	         per level: segments u16, then 8-byte encoded segments
+//	         crb entries u16, then per entry: len u8, offsets…
+//
+// All integers are little-endian. The encoding is exactly the DRAM
+// footprint the paper counts (8 bytes per segment plus CRB bytes) plus
+// small per-group headers.
+
+const (
+	persistMagic   = "LFTL"
+	persistVersion = 1
+)
+
+// MarshalBinary serializes the table.
+func (t *Table) MarshalBinary() ([]byte, error) {
+	ids := make([]addr.GroupID, 0, len(t.groups))
+	for id := range t.groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	buf := make([]byte, 0, 64+t.SizeBytes())
+	buf = append(buf, persistMagic...)
+	buf = append(buf, persistVersion, uint8(t.gamma))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+
+	for _, id := range ids {
+		g := t.groups[id]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.levels)))
+		for _, lvl := range g.levels {
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(lvl)))
+			for i := range lvl {
+				enc := lvl[i].Encode()
+				buf = append(buf, enc[:]...)
+			}
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.crb.entries)))
+		for _, e := range g.crb.entries {
+			if len(e.lpas) > addr.GroupSize {
+				return nil, fmt.Errorf("core: CRB entry with %d LPAs", len(e.lpas))
+			}
+			buf = append(buf, uint8(len(e.lpas)))
+			buf = append(buf, e.lpas...)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary replaces the table's contents with the serialized
+// state. The receiver's gamma is overwritten by the stored value.
+func (t *Table) UnmarshalBinary(data []byte) error {
+	r := reader{buf: data}
+	magic, err := r.bytes(4)
+	if err != nil || string(magic) != persistMagic {
+		return fmt.Errorf("core: bad snapshot magic")
+	}
+	ver, err := r.u8()
+	if err != nil || ver != persistVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d", ver)
+	}
+	gamma, err := r.u8()
+	if err != nil {
+		return err
+	}
+	nGroups, err := r.u32()
+	if err != nil {
+		return err
+	}
+
+	groups := make(map[addr.GroupID]*group, nGroups)
+	for i := uint32(0); i < nGroups; i++ {
+		gid, err := r.u32()
+		if err != nil {
+			return err
+		}
+		nLevels, err := r.u16()
+		if err != nil {
+			return err
+		}
+		g := &group{}
+		for l := uint16(0); l < nLevels; l++ {
+			nSegs, err := r.u16()
+			if err != nil {
+				return err
+			}
+			lvl := make([]Segment, 0, nSegs)
+			for s := uint16(0); s < nSegs; s++ {
+				raw, err := r.bytes(SegmentBytes)
+				if err != nil {
+					return err
+				}
+				var enc [SegmentBytes]byte
+				copy(enc[:], raw)
+				lvl = append(lvl, DecodeSegment(enc, addr.GroupID(gid)))
+			}
+			g.levels = append(g.levels, lvl)
+		}
+		nEntries, err := r.u16()
+		if err != nil {
+			return err
+		}
+		for e := uint16(0); e < nEntries; e++ {
+			n, err := r.u8()
+			if err != nil {
+				return err
+			}
+			lpas, err := r.bytes(int(n))
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				return fmt.Errorf("core: empty CRB entry in snapshot")
+			}
+			g.crb.entries = append(g.crb.entries, crbEntry{lpas: append([]uint8(nil), lpas...)})
+		}
+		g.crb.normalize()
+		groups[addr.GroupID(gid)] = g
+	}
+	if r.off != len(data) {
+		return fmt.Errorf("core: %d trailing bytes in snapshot", len(data)-r.off)
+	}
+
+	t.gamma = int(gamma)
+	t.groups = groups
+	return nil
+}
+
+// reader is a bounds-checked little-endian cursor.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if r.off+n > len(r.buf) {
+		return nil, fmt.Errorf("core: truncated snapshot at offset %d", r.off)
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}

@@ -1,0 +1,359 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/float16"
+	"leaftl/internal/plr"
+)
+
+// SegmentBytes is the encoded size of one learned index segment: 1 byte
+// starting-LPA offset, 1 byte length, 2 bytes slope, 4 bytes intercept
+// (paper Figure 6).
+const SegmentBytes = 8
+
+// Segment is one learned index segment. It covers the LPA interval
+// [SLPA, SLPA+L] inside a single 256-LPA group and predicts
+// PPA = ⌈K·x + I⌉ where x is the LPA's offset within the group.
+//
+// The paper writes the model against the absolute LPA; anchoring at the
+// group base is the same line reparameterized, and keeps the intercept
+// within its 4-byte budget for arbitrarily large drives.
+type Segment struct {
+	SLPA addr.LPA     // absolute first LPA (its group is implied)
+	L    uint8        // span: the segment covers [SLPA, SLPA+L]
+	K    float16.Bits // slope; LSB is the type flag (0 accurate, 1 approximate)
+	I    float32      // intercept, in group-offset space
+}
+
+// Accurate reports whether the segment guarantees exact translations.
+// Approximate segments may err by at most ±gamma (paper §3.2).
+func (s Segment) Accurate() bool { return !s.K.Flag() }
+
+// Group returns the 256-LPA group the segment belongs to.
+func (s Segment) Group() addr.GroupID { return addr.Group(s.SLPA) }
+
+// Start returns the segment's first LPA offset within its group.
+func (s Segment) Start() uint8 { return addr.Offset(s.SLPA) }
+
+// End returns the segment's last covered LPA.
+func (s Segment) End() addr.LPA { return s.SLPA + addr.LPA(s.L) }
+
+// Contains reports whether lpa falls in the segment's covered range.
+// Range membership is necessary but not sufficient: accurate segments
+// additionally require the LPA to sit on the segment's stride, and
+// approximate segments consult the CRB (see has_lpa, Algorithm 2).
+func (s Segment) Contains(lpa addr.LPA) bool {
+	return lpa >= s.SLPA && lpa <= s.End()
+}
+
+// Overlaps reports whether the two segments' LPA ranges intersect.
+func (s Segment) Overlaps(o Segment) bool {
+	return s.SLPA <= o.End() && o.SLPA <= s.End()
+}
+
+// Stride returns the LPA step between consecutive mappings encoded by an
+// accurate segment: round(1/K) (Algorithm 2 tests
+// (lpa−S) mod ⌈1/K⌉ = 0). Single-point segments report stride 1.
+func (s Segment) Stride() uint32 {
+	k := float16.To64(s.K)
+	if k <= 0 {
+		return 1
+	}
+	st := uint32(math.Round(1 / k))
+	if st == 0 {
+		st = 1
+	}
+	return st
+}
+
+// OnStride reports whether lpa sits on an accurate segment's arithmetic
+// progression. Callers must have checked Contains first.
+func (s Segment) OnStride(lpa addr.LPA) bool {
+	if s.L == 0 {
+		return lpa == s.SLPA
+	}
+	return uint32(lpa-s.SLPA)%s.Stride() == 0
+}
+
+// Predict returns the segment's PPA prediction for lpa. For accurate
+// segments the result is exact; for approximate segments it is within
+// ±gamma of the true PPA (guaranteed at learning time).
+func (s Segment) Predict(lpa addr.LPA) addr.PPA {
+	x := float64(addr.Offset(lpa))
+	k := float16.To64(s.K)
+	p := math.Ceil(k*x + float64(s.I))
+	if p < 0 {
+		p = 0
+	}
+	return addr.PPA(p)
+}
+
+// Encode packs the segment into its 8-byte on-flash representation
+// (paper Figure 6). The group ID is carried externally (translation pages
+// are organized per group).
+func (s Segment) Encode() [SegmentBytes]byte {
+	var b [SegmentBytes]byte
+	b[0] = s.Start()
+	b[1] = s.L
+	binary.LittleEndian.PutUint16(b[2:4], uint16(s.K))
+	binary.LittleEndian.PutUint32(b[4:8], math.Float32bits(s.I))
+	return b
+}
+
+// DecodeSegment unpacks an 8-byte segment belonging to group g.
+func DecodeSegment(b [SegmentBytes]byte, g addr.GroupID) Segment {
+	return Segment{
+		SLPA: addr.GroupBase(g) + addr.LPA(b[0]),
+		L:    b[1],
+		K:    float16.Bits(binary.LittleEndian.Uint16(b[2:4])),
+		I:    math.Float32frombits(binary.LittleEndian.Uint32(b[4:8])),
+	}
+}
+
+// String renders the segment like the paper's figures: [S, S+L] with its
+// type, slope and intercept.
+func (s Segment) String() string {
+	typ := "acc"
+	if !s.Accurate() {
+		typ = "apx"
+	}
+	return fmt.Sprintf("[%d,%d]%s K=%.4f I=%.1f", s.SLPA, s.End(), typ, float16.To64(s.K), s.I)
+}
+
+// Learned couples a fitted segment with the exact LPA set it indexes.
+// The LPA list feeds the CRB for approximate segments and the bitmap
+// merge for both kinds; it is discarded after insertion.
+type Learned struct {
+	Seg  Segment
+	LPAs []addr.LPA // sorted ascending
+}
+
+// Learn fits error-bounded segments over a batch of LPA→PPA mappings
+// (paper §3.7 "Creation of Learned Segments"). pairs must be sorted by
+// LPA with unique LPAs — the SSD data buffer guarantees both (§3.3).
+// gamma is the error bound in pages; gamma = 0 yields only accurate and
+// single-point segments.
+//
+// Fitting is per 256-LPA group (a segment never crosses a group
+// boundary), with slope clamped to [0, 1] as the encoding requires. After
+// fitting, each segment is re-verified with its *quantized* (float16,
+// flag-bearing) slope; a segment that no longer meets its bound is split.
+func Learn(pairs []addr.Mapping, gamma int) []Learned {
+	if len(pairs) == 0 {
+		return nil
+	}
+	out := make([]Learned, 0, 4)
+	i := 0
+	for i < len(pairs) {
+		g := addr.Group(pairs[i].LPA)
+		j := i
+		for j < len(pairs) && addr.Group(pairs[j].LPA) == g {
+			j++
+		}
+		out = appendGroupSegments(out, g, pairs[i:j], gamma)
+		i = j
+	}
+	return out
+}
+
+func appendGroupSegments(out []Learned, g addr.GroupID, pairs []addr.Mapping, gamma int) []Learned {
+	base := addr.GroupBase(g)
+	pts := make([]plr.Point, len(pairs))
+	for i, m := range pairs {
+		pts[i] = plr.Point{X: int64(m.LPA - base), Y: int64(m.PPA)}
+	}
+	if gamma == 0 {
+		return fitRange(out, g, pts, 0)
+	}
+	// Two-pass learning for gamma > 0: peel off stride-clean runs first
+	// so they become *accurate* segments, then fit only the irregular
+	// remainder with the relaxed bound. A single greedy pass would
+	// absorb long clean runs into approximate segments, trading their
+	// guaranteed-exact translations for marginal byte savings; the
+	// paper's segment mix (Figure 20: 73.5% accurate even at γ=16) and
+	// low misprediction ratios (Figure 24) require keeping clean runs
+	// accurate.
+	const minCleanRun = 4
+	lo := 0
+	for lo < len(pts) {
+		hi := lo + 1
+		st := int64(0)
+		if hi < len(pts) && pts[hi].Y-pts[lo].Y == 1 {
+			st = pts[hi].X - pts[lo].X
+			for hi < len(pts) && pts[hi].X-pts[hi-1].X == st && pts[hi].Y-pts[hi-1].Y == 1 {
+				hi++
+			}
+		}
+		if hi-lo >= minCleanRun {
+			out = fitRange(out, g, pts[lo:hi], 0)
+		} else {
+			// Extend the irregular stretch until the next long clean run.
+			end := hi
+			for end < len(pts) {
+				rh := end + 1
+				if rh < len(pts) && pts[rh].Y-pts[end].Y == 1 {
+					d := pts[rh].X - pts[end].X
+					for rh < len(pts) && pts[rh].X-pts[rh-1].X == d && pts[rh].Y-pts[rh-1].Y == 1 {
+						rh++
+					}
+				}
+				if rh-end >= minCleanRun {
+					break
+				}
+				end = rh
+			}
+			out = fitRange(out, g, pts[lo:end], gamma)
+			hi = end
+		}
+		lo = hi
+	}
+	return out
+}
+
+// fitRange fits one stretch of points with the given bound and verifies
+// the quantized segments.
+func fitRange(out []Learned, g addr.GroupID, pts []plr.Point, gamma int) []Learned {
+	segs := plr.Fit(pts, float64(gamma), 0, 1, int64(addr.GroupSize-1))
+	k := 0
+	for _, fs := range segs {
+		n := fs.N
+		out = buildVerified(out, g, pts[k:k+n], fs, gamma)
+		k += n
+	}
+	return out
+}
+
+// buildVerified quantizes a fitted segment and verifies its predictions,
+// splitting recursively if float16/float32 quantization broke the bound.
+func buildVerified(out []Learned, g addr.GroupID, pts []plr.Point, fs plr.Segment, gamma int) []Learned {
+	base := addr.GroupBase(g)
+	if len(pts) == 1 {
+		// Single-point segment: L=0, K=0, I=PPA (paper §3.1).
+		seg := Segment{SLPA: base + addr.LPA(pts[0].X), L: 0, K: 0, I: float32(pts[0].Y)}
+		return append(out, Learned{Seg: seg, LPAs: []addr.LPA{seg.SLPA}})
+	}
+
+	// An accurate segment encodes an arithmetic LPA progression mapped to
+	// *consecutive* PPAs: lookups test membership with
+	// (lpa−S) mod round(1/K) (Algorithm 2), which is only meaningful when
+	// the LPA stride is constant and each step advances the PPA by
+	// exactly one (the flush order guarantees the latter for buffered
+	// writes). Anything else must be approximate so the CRB provides the
+	// membership set.
+	strideOK := true
+	st := pts[1].X - pts[0].X
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X-pts[i-1].X != st || pts[i].Y-pts[i-1].Y != 1 {
+			strideOK = false
+			break
+		}
+	}
+
+	if strideOK {
+		if cand, ok := quantize(pts, fs, false); ok &&
+			int64(cand.Stride()) == st && exact(cand, pts, base) {
+			return append(out, finish(cand, pts, base))
+		}
+	}
+	if gamma > 0 {
+		if cand, ok := quantize(pts, fs, true); ok && withinGamma(cand, pts, base, gamma) {
+			return append(out, finish(cand, pts, base))
+		}
+	}
+	if strideOK || gamma > 0 {
+		// Quantization broke the fit: halve and retry. Halving terminates
+		// at single points, which always encode exactly.
+		mid := len(pts) / 2
+		out = buildVerified(out, g, pts[:mid], refit(pts[:mid], gamma), gamma)
+		return buildVerified(out, g, pts[mid:], refit(pts[mid:], gamma), gamma)
+	}
+	// gamma = 0 and the run is not stride-clean (e.g. collinear points
+	// with irregular strides, or PPA jumps): emit maximal stride-clean
+	// sub-runs, degrading to single points in the worst case (§3.1).
+	// Because !strideOK, every run is a strict subset, so this recursion
+	// terminates.
+	for lo := 0; lo < len(pts); {
+		hi := lo + 1
+		if hi < len(pts) && pts[hi].Y-pts[lo].Y == 1 {
+			d := pts[hi].X - pts[lo].X
+			for hi < len(pts) && pts[hi].X-pts[hi-1].X == d && pts[hi].Y-pts[hi-1].Y == 1 {
+				hi++
+			}
+		}
+		run := pts[lo:hi]
+		out = buildVerified(out, g, run, refit(run, 0), 0)
+		lo = hi
+	}
+	return out
+}
+
+func refit(pts []plr.Point, gamma int) plr.Segment {
+	segs := plr.Fit(pts, float64(gamma), 0, 1, int64(addr.GroupSize-1))
+	if len(segs) == 1 {
+		return segs[0]
+	}
+	// The subset may itself need multiple segments; return a fit for the
+	// whole span anyway — buildVerified's verification will split again.
+	k := float64(pts[len(pts)-1].Y-pts[0].Y) / float64(pts[len(pts)-1].X-pts[0].X)
+	return plr.Segment{FirstX: pts[0].X, LastX: pts[len(pts)-1].X, K: k, B: float64(pts[0].Y) - k*float64(pts[0].X), N: len(pts)}
+}
+
+// quantize builds the encoded segment for the fitted line, with the type
+// flag folded into the slope's LSB (paper §3.2).
+func quantize(pts []plr.Point, fs plr.Segment, approx bool) (Segment, bool) {
+	k16 := float16.From64(fs.K).WithFlag(approx)
+	if k16.IsNaN() || k16.IsInf() {
+		return Segment{}, false
+	}
+	span := pts[len(pts)-1].X - pts[0].X
+	if span > math.MaxUint8 {
+		return Segment{}, false
+	}
+	return Segment{
+		L: uint8(span),
+		K: k16,
+		I: float32(fs.B),
+	}, true
+}
+
+func finish(seg Segment, pts []plr.Point, base addr.LPA) Learned {
+	seg.SLPA = base + addr.LPA(pts[0].X)
+	lpas := make([]addr.LPA, len(pts))
+	for i, p := range pts {
+		lpas[i] = base + addr.LPA(p.X)
+	}
+	return Learned{Seg: seg, LPAs: lpas}
+}
+
+func exact(seg Segment, pts []plr.Point, base addr.LPA) bool {
+	for _, p := range pts {
+		if seg.predictOffset(p.X) != addr.PPA(p.Y) {
+			return false
+		}
+	}
+	return true
+}
+
+func withinGamma(seg Segment, pts []plr.Point, base addr.LPA, gamma int) bool {
+	for _, p := range pts {
+		d := int64(seg.predictOffset(p.X)) - p.Y
+		if d < -int64(gamma) || d > int64(gamma) {
+			return false
+		}
+	}
+	return true
+}
+
+// predictOffset is Predict with the group offset already computed.
+func (s Segment) predictOffset(x int64) addr.PPA {
+	k := float16.To64(s.K)
+	p := math.Ceil(k*float64(x) + float64(s.I))
+	if p < 0 {
+		p = 0
+	}
+	return addr.PPA(p)
+}

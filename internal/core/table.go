@@ -1,0 +1,486 @@
+package core
+
+import (
+	"sort"
+
+	"leaftl/internal/addr"
+)
+
+// Table is the learned log-structured address-mapping table (paper §3.4,
+// Figure 14 structure 5+6). The LPA space is partitioned into 256-LPA
+// groups; each group holds a stack of levels, newest on top. Segments
+// within one level are sorted by starting LPA and never overlap; segments
+// in different levels may overlap, with the upper level always holding the
+// more recent mapping.
+//
+// Table is not safe for concurrent use; the SSD controller serializes FTL
+// operations (one embedded core owns the mapping, as in the paper's
+// firmware).
+type Table struct {
+	gamma  int
+	groups map[addr.GroupID]*group
+}
+
+// group is the per-256-LPA-group state: the level stack plus the group's
+// conflict-resolution buffer for approximate segments.
+type group struct {
+	levels [][]Segment
+	crb    crb
+}
+
+// LookupResult carries per-lookup diagnostics used by the paper's
+// evaluation (Figure 23: levels visited; §4.5 lookup cost).
+type LookupResult struct {
+	// Levels is how many levels were examined, including the one that
+	// answered.
+	Levels int
+	// Approx is true when the answering segment is approximate, i.e. the
+	// returned PPA may be off by up to ±gamma and must be verified
+	// against the OOB reverse mapping (§3.5).
+	Approx bool
+	// Redirected is true when the CRB redirected the lookup from the
+	// range-matching segment to the true owning segment (Figure 9).
+	Redirected bool
+}
+
+// NewTable returns an empty mapping table with the given error bound
+// gamma (in pages). gamma = 0 admits only accurate segments.
+func NewTable(gamma int) *Table {
+	if gamma < 0 {
+		gamma = 0
+	}
+	return &Table{gamma: gamma, groups: make(map[addr.GroupID]*group)}
+}
+
+// Gamma returns the table's error bound.
+func (t *Table) Gamma() int { return t.gamma }
+
+// Update learns segments for a batch of new LPA→PPA mappings and inserts
+// them at the top level (paper §3.7 "Creation" + "Insert/Update"). pairs
+// must be sorted by LPA with unique LPAs; the device's data buffer
+// guarantees this (§3.3). It returns the number of segments created.
+func (t *Table) Update(pairs []addr.Mapping) int {
+	learned := Learn(pairs, t.gamma)
+	for _, ls := range learned {
+		t.Insert(ls)
+	}
+	return len(learned)
+}
+
+// Insert places one learned segment at the top level of its group,
+// merging and displacing overlapped victims (Algorithm 1, seg_update).
+func (t *Table) Insert(ls Learned) {
+	g := t.group(ls.Seg.Group())
+	t.segUpdate(g, ls, 0)
+}
+
+func (t *Table) group(id addr.GroupID) *group {
+	g := t.groups[id]
+	if g == nil {
+		g = &group{}
+		t.groups[id] = g
+	}
+	return g
+}
+
+// segUpdate implements Algorithm 1 lines 1–16: insert a segment into
+// level li of group g, resolve CRB bookkeeping, merge overlapped victims
+// and push still-overlapping victims down.
+func (t *Table) segUpdate(g *group, ls Learned, li int) {
+	for len(g.levels) <= li {
+		g.levels = append(g.levels, nil)
+	}
+	seg := ls.Seg
+
+	// CRB bookkeeping first (Algorithm 1 lines 4–7): registering the new
+	// approximate segment's LPAs evicts those LPAs from other approximate
+	// entries, which may shrink or remove their segments anywhere in the
+	// group. Doing this before the level insert means boundary edits can
+	// never hit the incoming segment itself.
+	if !seg.Accurate() {
+		offs := make([]uint8, len(ls.LPAs))
+		for i, l := range ls.LPAs {
+			offs[i] = addr.Offset(l)
+		}
+		edits := g.crb.insert(offs)
+		t.applyEdits(g, edits)
+	}
+
+	// Insert into the level, keeping it sorted by starting LPA.
+	pos := searchLevel(g.levels[li], seg.SLPA)
+	g.levels[li] = insertAt(g.levels[li], pos, seg)
+
+	// Collect victims: same-level segments whose range overlaps the new
+	// one (Algorithm 1 line 8). Within a sorted, pairwise-disjoint level
+	// these are at most one left neighbor plus a run to the right.
+	level := g.levels[li]
+	lo := pos
+	if lo > 0 && level[lo-1].End() >= seg.SLPA {
+		lo--
+	}
+	hi := pos + 1
+	for hi < len(level) && level[hi].SLPA <= seg.End() {
+		hi++
+	}
+	victims := make([]Segment, 0, hi-lo-1)
+	victims = append(victims, level[lo:pos]...)
+	victims = append(victims, level[pos+1:hi]...)
+	// Remove the victims, keeping only the new segment in place.
+	g.levels[li] = append(level[:lo], append([]Segment{seg}, level[hi:]...)...)
+
+	for _, victim := range victims {
+		merged, removed := t.segMerge(g, ls, victim)
+		if removed {
+			continue
+		}
+		if merged.Overlaps(seg) {
+			// Still overlapping: pop the victim to the next level; if it
+			// would overlap there, give it a fresh level to avoid
+			// recursive displacement (Algorithm 1 lines 13–16).
+			t.pushDown(g, merged, li)
+			continue
+		}
+		// Disjoint after trimming: it can stay in this level.
+		p := searchLevel(g.levels[li], merged.SLPA)
+		g.levels[li] = insertAt(g.levels[li], p, merged)
+	}
+}
+
+// pushDown moves a displaced victim one level down, creating a dedicated
+// level when it would overlap segments already there.
+func (t *Table) pushDown(g *group, victim Segment, li int) {
+	ni := li + 1
+	if ni >= len(g.levels) {
+		g.levels = append(g.levels, []Segment{victim})
+		return
+	}
+	next := g.levels[ni]
+	p := searchLevel(next, victim.SLPA)
+	overlaps := (p > 0 && next[p-1].End() >= victim.SLPA) ||
+		(p < len(next) && next[p].SLPA <= victim.End())
+	if overlaps {
+		// Insert a brand-new level between li and ni holding only the
+		// victim. Everything below keeps its relative (temporal) order.
+		g.levels = append(g.levels, nil)
+		copy(g.levels[ni+1:], g.levels[ni:])
+		g.levels[ni] = []Segment{victim}
+		return
+	}
+	g.levels[ni] = insertAt(next, p, victim)
+}
+
+// segMerge implements Algorithm 2: subtract the new segment's encoded
+// LPAs from the victim's, shrink the victim's [S, S+L] to its remaining
+// first/last LPA, and prune the CRB for approximate victims. K and I are
+// never touched, so the victim's surviving predictions stay valid. It
+// returns the updated victim, or removed=true when nothing survives.
+func (t *Table) segMerge(g *group, newLS Learned, victim Segment) (Segment, bool) {
+	var newSet [addr.GroupSize]bool
+	for _, l := range newLS.LPAs {
+		newSet[addr.Offset(l)] = true
+	}
+
+	victimLPAs := t.encodedLPAs(g, victim)
+	var first, last addr.LPA
+	any := false
+	for _, l := range victimLPAs {
+		if newSet[addr.Offset(l)] {
+			continue
+		}
+		if !any {
+			first, last, any = l, l, true
+		} else {
+			last = l
+		}
+	}
+
+	if !victim.Accurate() {
+		edit, ok := g.crb.removeLPAs(victim.Start(), func(o uint8) bool { return newSet[o] })
+		if ok && edit.Removed {
+			return Segment{}, true
+		}
+	}
+	if !any {
+		return Segment{}, true
+	}
+	victim.SLPA = first
+	victim.L = uint8(last - first)
+	return victim, false
+}
+
+// applyEdits reshapes or removes approximate segments whose CRB entries
+// changed during a dedup (the paper's "update the S of the old segment
+// with the adjacent LPA", Figure 9 (b)).
+func (t *Table) applyEdits(g *group, edits []boundaryEdit) {
+	for _, e := range edits {
+		li, idx, ok := findApprox(g, e.Old)
+		if !ok {
+			continue
+		}
+		if e.Removed {
+			g.levels[li] = append(g.levels[li][:idx], g.levels[li][idx+1:]...)
+			continue
+		}
+		seg := &g.levels[li][idx]
+		base := addr.GroupBase(addr.Group(seg.SLPA))
+		seg.SLPA = base + addr.LPA(e.NewStart)
+		seg.L = e.NewLast - e.NewStart
+	}
+}
+
+// findApprox locates the approximate segment with the given start offset.
+// CRB invariants make that start unique among approximate segments.
+func findApprox(g *group, start uint8) (level, idx int, ok bool) {
+	for li, lvl := range g.levels {
+		for i := range lvl {
+			if !lvl[i].Accurate() && lvl[i].Start() == start {
+				return li, i, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// encodedLPAs reconstructs the exact LPA set a segment indexes
+// (Algorithm 2 get_bitmap): accurate segments walk their stride,
+// approximate segments read the CRB.
+func (t *Table) encodedLPAs(g *group, s Segment) []addr.LPA {
+	if !s.Accurate() {
+		return g.crb.lpasOf(s.Start(), addr.GroupBase(s.Group()))
+	}
+	if s.L == 0 {
+		return []addr.LPA{s.SLPA}
+	}
+	st := addr.LPA(s.Stride())
+	out := make([]addr.LPA, 0, int(s.L)/int(st)+1)
+	for l := s.SLPA; l <= s.End(); l += st {
+		out = append(out, l)
+	}
+	return out
+}
+
+// Lookup translates lpa using the learned table (Algorithm 1 lines
+// 17–22). ok is false when no segment indexes the LPA (never written, or
+// its mapping lives only in flash-resident translation pages).
+func (t *Table) Lookup(lpa addr.LPA) (addr.PPA, LookupResult, bool) {
+	var res LookupResult
+	g := t.groups[addr.Group(lpa)]
+	if g == nil {
+		return addr.InvalidPPA, res, false
+	}
+	off := addr.Offset(lpa)
+	for li, lvl := range g.levels {
+		res.Levels = li + 1
+		idx := searchLevel(lvl, lpa+1) - 1
+		if idx < 0 || !lvl[idx].Contains(lpa) {
+			continue
+		}
+		seg := lvl[idx]
+		if seg.Accurate() {
+			if seg.OnStride(lpa) {
+				return seg.Predict(lpa), res, true
+			}
+			continue
+		}
+		owner, ok := g.crb.lookup(off)
+		if !ok {
+			// No approximate segment indexes this LPA; the range match
+			// was incidental (Algorithm 2 has_lpa: CRB check failed).
+			continue
+		}
+		if owner != seg.Start() {
+			// The CRB says another approximate segment owns this LPA
+			// (Figure 9 / example T6). That owner lives at a lower
+			// level; keep descending so that any newer accurate claim
+			// in between still wins.
+			res.Redirected = true
+			continue
+		}
+		res.Approx = true
+		return seg.Predict(lpa), res, true
+	}
+	return addr.InvalidPPA, res, false
+}
+
+// Compact merges segments downward until each group is a single level
+// (paper §3.7 "Segment Compaction", Algorithm 1 seg_compact). Upper-level
+// segments are re-inserted into the level below, trimming or removing the
+// stale segments they shadow.
+func (t *Table) Compact() {
+	for _, g := range t.groups {
+		t.compactGroup(g)
+	}
+}
+
+func (t *Table) compactGroup(g *group) {
+	// Each pass pops the top level and re-plays its segments one level
+	// down, shedding stale claims. An accurate segment cannot represent
+	// the loss of an *interior* stride LPA (only boundary trims persist),
+	// so groups with such interleavings legitimately keep more than one
+	// level — the loop stops at the first pass that makes no progress.
+	for len(g.levels) > 1 {
+		beforeLevels := len(g.levels)
+		beforeSegs := g.segmentCount()
+
+		top := g.levels[0]
+		g.levels = g.levels[1:]
+		for _, seg := range top {
+			ls := Learned{Seg: seg, LPAs: t.encodedLPAs(g, seg)}
+			t.compactInsert(g, ls)
+		}
+		// Drop any levels emptied by merging.
+		kept := g.levels[:0]
+		for _, lvl := range g.levels {
+			if len(lvl) > 0 {
+				kept = append(kept, lvl)
+			}
+		}
+		g.levels = kept
+
+		if len(g.levels) >= beforeLevels && g.segmentCount() >= beforeSegs {
+			break
+		}
+	}
+	if len(g.levels) == 0 {
+		g.levels = nil
+	}
+}
+
+func (g *group) segmentCount() int {
+	n := 0
+	for _, lvl := range g.levels {
+		n += len(lvl)
+	}
+	return n
+}
+
+// compactInsert is segUpdate for a segment that is *already* registered
+// in the CRB: no re-registration or dedup is needed (the CRB is globally
+// consistent), only the level insert and victim handling.
+func (t *Table) compactInsert(g *group, ls Learned) {
+	if len(g.levels) == 0 {
+		g.levels = append(g.levels, nil)
+	}
+	seg := ls.Seg
+	pos := searchLevel(g.levels[0], seg.SLPA)
+	g.levels[0] = insertAt(g.levels[0], pos, seg)
+
+	level := g.levels[0]
+	lo := pos
+	if lo > 0 && level[lo-1].End() >= seg.SLPA {
+		lo--
+	}
+	hi := pos + 1
+	for hi < len(level) && level[hi].SLPA <= seg.End() {
+		hi++
+	}
+	victims := make([]Segment, 0, hi-lo-1)
+	victims = append(victims, level[lo:pos]...)
+	victims = append(victims, level[pos+1:hi]...)
+	g.levels[0] = append(level[:lo], append([]Segment{seg}, level[hi:]...)...)
+
+	for _, victim := range victims {
+		merged, removed := t.segMerge(g, ls, victim)
+		if removed {
+			continue
+		}
+		if merged.Overlaps(seg) {
+			t.pushDown(g, merged, 0)
+			continue
+		}
+		p := searchLevel(g.levels[0], merged.SLPA)
+		g.levels[0] = insertAt(g.levels[0], p, merged)
+	}
+}
+
+// searchLevel returns the index of the first segment with SLPA ≥ lpa.
+func searchLevel(level []Segment, lpa addr.LPA) int {
+	return sort.Search(len(level), func(i int) bool {
+		return level[i].SLPA >= lpa
+	})
+}
+
+func insertAt(level []Segment, pos int, seg Segment) []Segment {
+	level = append(level, Segment{})
+	copy(level[pos+1:], level[pos:])
+	level[pos] = seg
+	return level
+}
+
+// Stats summarizes the table for the paper's memory and structure
+// figures (Figures 10, 12, 15, 19, 20).
+type Stats struct {
+	Groups       int
+	Segments     int
+	Accurate     int
+	Approximate  int
+	SegmentBytes int // Segments × 8
+	CRBBytes     int // flat CRB footprint (Figure 10)
+	MaxLevels    int
+	TotalLevels  int // across groups, for the mean
+}
+
+// SizeBytes reports the mapping table's DRAM footprint: encoded segments
+// plus CRB bytes. This is the quantity Figures 15 and 19 compare.
+func (t *Table) SizeBytes() int {
+	s := t.Stats()
+	return s.SegmentBytes + s.CRBBytes
+}
+
+// Stats recomputes summary statistics by walking every group.
+func (t *Table) Stats() Stats {
+	var s Stats
+	s.Groups = len(t.groups)
+	for _, g := range t.groups {
+		s.TotalLevels += len(g.levels)
+		if len(g.levels) > s.MaxLevels {
+			s.MaxLevels = len(g.levels)
+		}
+		s.CRBBytes += g.crb.sizeBytes()
+		for _, lvl := range g.levels {
+			for i := range lvl {
+				s.Segments++
+				if lvl[i].Accurate() {
+					s.Accurate++
+				} else {
+					s.Approximate++
+				}
+			}
+		}
+	}
+	s.SegmentBytes = s.Segments * SegmentBytes
+	return s
+}
+
+// LevelCounts returns the number of levels of every group, for the
+// Figure 12 distribution.
+func (t *Table) LevelCounts() []int {
+	out := make([]int, 0, len(t.groups))
+	for _, g := range t.groups {
+		out = append(out, len(g.levels))
+	}
+	return out
+}
+
+// CRBSizes returns every group's CRB byte size, for Figure 10.
+func (t *Table) CRBSizes() []int {
+	out := make([]int, 0, len(t.groups))
+	for _, g := range t.groups {
+		out = append(out, g.crb.sizeBytes())
+	}
+	return out
+}
+
+// SegmentLengths returns the number of LPA-PPA mappings each segment
+// covers, for the Figure 5 distribution.
+func (t *Table) SegmentLengths() []int {
+	var out []int
+	for _, g := range t.groups {
+		for _, lvl := range g.levels {
+			for i := range lvl {
+				out = append(out, len(t.encodedLPAs(g, lvl[i])))
+			}
+		}
+	}
+	return out
+}

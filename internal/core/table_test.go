@@ -1,0 +1,313 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"leaftl/internal/addr"
+)
+
+// model mirrors what the table should answer: latest PPA per LPA.
+type model map[addr.LPA]addr.PPA
+
+func (m model) apply(pairs []addr.Mapping) {
+	for _, p := range pairs {
+		m[p.LPA] = p.PPA
+	}
+}
+
+// verify checks every modeled LPA against the table within gamma.
+func verify(t *testing.T, tb *Table, m model, gamma int) {
+	t.Helper()
+	for lpa, want := range m {
+		ppa, _, ok := tb.Lookup(lpa)
+		if !ok {
+			t.Fatalf("Lookup(%d): not found, want %d", lpa, want)
+		}
+		d := int64(ppa) - int64(want)
+		if d < -int64(gamma) || d > int64(gamma) {
+			t.Fatalf("Lookup(%d) = %d, want %d (±%d)", lpa, ppa, want, gamma)
+		}
+	}
+}
+
+func TestTableSequentialThenLookup(t *testing.T) {
+	tb := NewTable(0)
+	pairs := mappings(0, 1, 1000, 512)
+	tb.Update(pairs)
+	for _, p := range pairs {
+		got, res, ok := tb.Lookup(p.LPA)
+		if !ok || got != p.PPA {
+			t.Fatalf("Lookup(%d) = %d,%v want %d", p.LPA, got, ok, p.PPA)
+		}
+		if res.Levels != 1 {
+			t.Errorf("Lookup(%d) visited %d levels, want 1", p.LPA, res.Levels)
+		}
+	}
+	if _, _, ok := tb.Lookup(512); ok {
+		t.Error("Lookup(512) should miss")
+	}
+	if _, _, ok := tb.Lookup(99999); ok {
+		t.Error("Lookup in unwritten group should miss")
+	}
+}
+
+func TestTableOverwriteTakesLatest(t *testing.T) {
+	tb := NewTable(0)
+	m := model{}
+	b1 := mappings(0, 1, 1000, 64)
+	tb.Update(b1)
+	m.apply(b1)
+	// Overwrite the middle with new PPAs (paper Figure 13 T2).
+	b2 := mappings(16, 1, 5000, 16)
+	tb.Update(b2)
+	m.apply(b2)
+	verify(t, tb, m, 0)
+
+	st := tb.Stats()
+	if st.MaxLevels < 2 {
+		t.Errorf("expected ≥2 levels after overlapping update, got %d", st.MaxLevels)
+	}
+}
+
+func TestTableFigure13Scenario(t *testing.T) {
+	// Replays the timeline of paper Figure 13 with concrete PPAs.
+	tb := NewTable(4)
+	m := model{}
+	step := func(pairs []addr.Mapping) {
+		tb.Update(pairs)
+		m.apply(pairs)
+		verify(t, tb, m, 4)
+	}
+	step(mappings(0, 1, 100, 64))   // T0: [0,63]
+	step(mappings(200, 1, 400, 56)) // T1: [200,255]
+	step(mappings(16, 1, 600, 16))  // T2: [16,31]
+	irregular := func(lpas []addr.LPA, ppa addr.PPA) []addr.Mapping {
+		out := make([]addr.Mapping, len(lpas))
+		for i, l := range lpas {
+			out[i] = addr.Mapping{LPA: l, PPA: ppa + addr.PPA(i)}
+		}
+		return out
+	}
+	step(irregular([]addr.LPA{75, 78, 82}, 700)) // T3
+	step(irregular([]addr.LPA{72, 73, 80}, 800)) // T4
+	// T5/T6 lookups happen inside verify.
+	step(mappings(32, 1, 900, 59)) // T7: [32,90]
+	tb.Compact()                   // T8
+	verify(t, tb, m, 4)
+}
+
+func TestTableCRBRedirect(t *testing.T) {
+	// Two overlapping approximate segments: newest owns its LPAs, older
+	// keeps the rest, and lookups must route through the CRB (Figure 9).
+	tb := NewTable(8)
+	m := model{}
+	ir := func(lpas []addr.LPA, ppa addr.PPA) []addr.Mapping {
+		out := make([]addr.Mapping, len(lpas))
+		for i, l := range lpas {
+			out[i] = addr.Mapping{LPA: l, PPA: ppa + addr.PPA(i)}
+		}
+		return out
+	}
+	b1 := ir([]addr.LPA{100, 101, 103, 104, 106}, 1000)
+	tb.Update(b1)
+	m.apply(b1)
+	b2 := ir([]addr.LPA{102, 105, 107, 108}, 2000)
+	tb.Update(b2)
+	m.apply(b2)
+	verify(t, tb, m, 8)
+
+	// LPA 103 belongs to the first (now lower) segment even though the
+	// second covers it by range.
+	_, res, ok := tb.Lookup(103)
+	if !ok {
+		t.Fatal("Lookup(103) missed")
+	}
+	if !res.Approx {
+		t.Error("Lookup(103) should be served by an approximate segment")
+	}
+}
+
+func TestTableCompactReducesLevels(t *testing.T) {
+	tb := NewTable(0)
+	m := model{}
+	// Repeatedly rewrite disjoint slices of one group to stack levels.
+	for i := 0; i < 8; i++ {
+		b := mappings(addr.LPA(i*32), 1, addr.PPA(1000*i), 32)
+		tb.Update(b)
+		m.apply(b)
+	}
+	// Now rewrite overlapping ranges to force overlaps across levels.
+	for i := 0; i < 8; i++ {
+		b := mappings(addr.LPA(i*16), 1, addr.PPA(50000+1000*i), 48)
+		tb.Update(b)
+		m.apply(b)
+	}
+	before := tb.Stats()
+	tb.Compact()
+	after := tb.Stats()
+	verify(t, tb, m, 0)
+	if after.Segments > before.Segments {
+		t.Errorf("compaction grew segments: %d → %d", before.Segments, after.Segments)
+	}
+	if after.MaxLevels > before.MaxLevels {
+		t.Errorf("compaction grew levels: %d → %d", before.MaxLevels, after.MaxLevels)
+	}
+}
+
+func TestTableSizeAccounting(t *testing.T) {
+	tb := NewTable(0)
+	tb.Update(mappings(0, 1, 0, 256))
+	st := tb.Stats()
+	if st.Segments != 1 || st.SegmentBytes != SegmentBytes {
+		t.Errorf("stats = %+v, want 1 segment / 8 bytes", st)
+	}
+	if tb.SizeBytes() != SegmentBytes {
+		t.Errorf("SizeBytes = %d, want %d", tb.SizeBytes(), SegmentBytes)
+	}
+	// A full random group degrades to ≤ 256 single-point segments: never
+	// worse than page-level mapping's 8 B/entry (paper §3.1).
+	tb2 := NewTable(0)
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([]addr.Mapping, 256)
+	for i := range pairs {
+		pairs[i] = addr.Mapping{LPA: addr.LPA(i), PPA: addr.PPA(rng.Intn(1 << 30))}
+	}
+	tb2.Update(pairs)
+	if got, limit := tb2.SizeBytes(), 256*8; got > limit {
+		t.Errorf("random group footprint %d exceeds page-level %d", got, limit)
+	}
+}
+
+func TestTableLevelAndCRBStats(t *testing.T) {
+	tb := NewTable(4)
+	ir := func(lpas []addr.LPA, ppa addr.PPA) []addr.Mapping {
+		out := make([]addr.Mapping, len(lpas))
+		for i, l := range lpas {
+			out[i] = addr.Mapping{LPA: l, PPA: ppa + addr.PPA(i)}
+		}
+		return out
+	}
+	tb.Update(ir([]addr.LPA{1, 2, 5, 9}, 100))
+	if n := len(tb.CRBSizes()); n != 1 {
+		t.Fatalf("CRBSizes groups = %d, want 1", n)
+	}
+	if sz := tb.CRBSizes()[0]; sz != 5 { // 4 LPAs + 1 separator
+		t.Errorf("CRB size = %d, want 5", sz)
+	}
+	if lc := tb.LevelCounts(); len(lc) != 1 || lc[0] != 1 {
+		t.Errorf("LevelCounts = %v", lc)
+	}
+	if sl := tb.SegmentLengths(); len(sl) != 1 || sl[0] != 4 {
+		t.Errorf("SegmentLengths = %v", sl)
+	}
+}
+
+// TestTableRandomizedModel is the package's main correctness property:
+// arbitrary interleavings of batch updates (sequential, strided,
+// irregular, random), lookups and compactions must always agree with a
+// reference map within gamma.
+func TestTableRandomizedModel(t *testing.T) {
+	for _, gamma := range []int{0, 1, 4, 16} {
+		gamma := gamma
+		t.Run(gammaName(gamma), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(42 + gamma)))
+			tb := NewTable(gamma)
+			m := model{}
+			ppa := addr.PPA(0)
+			const space = 4096 // 16 groups
+			for round := 0; round < 400; round++ {
+				var pairs []addr.Mapping
+				start := addr.LPA(rng.Intn(space))
+				switch rng.Intn(4) {
+				case 0: // sequential run
+					n := 1 + rng.Intn(300)
+					for i := 0; i < n; i++ {
+						pairs = append(pairs, addr.Mapping{LPA: start + addr.LPA(i), PPA: ppa})
+						ppa++
+					}
+				case 1: // strided run
+					st := 2 + rng.Intn(5)
+					n := 1 + rng.Intn(80)
+					for i := 0; i < n; i++ {
+						pairs = append(pairs, addr.Mapping{LPA: start + addr.LPA(i*st), PPA: ppa})
+						ppa++
+					}
+				case 2: // irregular ascending
+					n := 1 + rng.Intn(60)
+					l := start
+					for i := 0; i < n; i++ {
+						l += addr.LPA(1 + rng.Intn(4))
+						pairs = append(pairs, addr.Mapping{LPA: l, PPA: ppa})
+						ppa++
+					}
+				case 3: // scattered random LPAs
+					n := 1 + rng.Intn(40)
+					seen := map[addr.LPA]bool{}
+					for i := 0; i < n; i++ {
+						l := addr.LPA(rng.Intn(space))
+						if !seen[l] {
+							seen[l] = true
+						}
+					}
+					for l := range seen {
+						pairs = append(pairs, addr.Mapping{LPA: l, PPA: ppa})
+						ppa++
+					}
+					sortMappings(pairs)
+				}
+				tb.Update(pairs)
+				m.apply(pairs)
+				if rng.Intn(25) == 0 {
+					tb.Compact()
+				}
+				if rng.Intn(10) == 0 {
+					verify(t, tb, m, gamma)
+				}
+			}
+			verify(t, tb, m, gamma)
+			tb.Compact()
+			verify(t, tb, m, gamma)
+		})
+	}
+}
+
+func gammaName(g int) string {
+	return map[int]string{0: "gamma0", 1: "gamma1", 4: "gamma4", 16: "gamma16"}[g]
+}
+
+func sortMappings(pairs []addr.Mapping) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].LPA < pairs[j-1].LPA; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+func TestTableLevelsAreSortedAndDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tb := NewTable(4)
+	ppa := addr.PPA(0)
+	for round := 0; round < 200; round++ {
+		start := addr.LPA(rng.Intn(2048))
+		n := 1 + rng.Intn(100)
+		var pairs []addr.Mapping
+		l := start
+		for i := 0; i < n; i++ {
+			l += addr.LPA(1 + rng.Intn(3))
+			pairs = append(pairs, addr.Mapping{LPA: l, PPA: ppa})
+			ppa++
+		}
+		tb.Update(pairs)
+	}
+	for gid, g := range tb.groups {
+		for li, lvl := range g.levels {
+			for i := 1; i < len(lvl); i++ {
+				if lvl[i-1].End() >= lvl[i].SLPA {
+					t.Fatalf("group %d level %d: segments %v and %v overlap or misordered",
+						gid, li, lvl[i-1], lvl[i])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,564 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/core"
+	"leaftl/internal/metrics"
+	"leaftl/internal/workload"
+)
+
+// Fig5SegmentLengths reproduces Figure 5: the aggregated distribution of
+// learned-segment lengths across the trace workloads, for γ ∈ {0, 4, 8},
+// with total segment counts. The paper reports 98.2–99.2% of segments
+// covering ≤ 128 mappings and counts dropping as γ grows.
+func (s *Suite) Fig5SegmentLengths() (Table, error) {
+	t := Table{
+		ID:     "fig5",
+		Title:  "Aggregated distribution of learned segment lengths",
+		Header: []string{"gamma", "#segments", "<=1", "<=8", "<=32", "<=128", "<=256", "avg len"},
+		Notes:  "CDF over all trace workloads; paper: 98.2–99.2% of segments cover ≤128 mappings",
+	}
+	for _, gamma := range []int{0, 4, 8} {
+		var all []int
+		for _, p := range traceWorkloads() {
+			out, err := s.Run("sim", p, "LeaFTL", gamma)
+			if err != nil {
+				return t, err
+			}
+			all = append(all, out.SegLengths...)
+		}
+		d := metrics.NewIntDist(all)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", gamma),
+			fmt.Sprintf("%d", d.Count()),
+			fmt.Sprintf("%.1f%%", 100*d.CDFAt(1)),
+			fmt.Sprintf("%.1f%%", 100*d.CDFAt(8)),
+			fmt.Sprintf("%.1f%%", 100*d.CDFAt(32)),
+			fmt.Sprintf("%.1f%%", 100*d.CDFAt(128)),
+			fmt.Sprintf("%.1f%%", 100*d.CDFAt(256)),
+			f2(d.Mean()),
+		})
+	}
+	return t, nil
+}
+
+// Fig10CRBSizes reproduces Figure 10: per-workload CRB size (average and
+// 99th percentile, bytes) at γ = 4. The paper reports 13.9 bytes on
+// average.
+func (s *Suite) Fig10CRBSizes() (Table, error) {
+	t := Table{
+		ID:     "fig10",
+		Title:  "CRB size distribution (gamma=4)",
+		Header: []string{"workload", "avg bytes", "p99 bytes", "max"},
+		Notes:  "paper: 13.9 B average across workloads",
+	}
+	for _, p := range traceWorkloads() {
+		out, err := s.Run("sim", p, "LeaFTL", 4)
+		if err != nil {
+			return t, err
+		}
+		d := metrics.NewIntDist(out.CRBSizes)
+		t.Rows = append(t.Rows, []string{
+			p.Name, f2(d.Mean()), fmt.Sprintf("%d", d.Percentile(99)), fmt.Sprintf("%d", d.Max()),
+		})
+	}
+	return t, nil
+}
+
+// Fig12LevelCounts reproduces Figure 12: the number of levels in each
+// group's log-structured mapping table (average and p99 per workload).
+func (s *Suite) Fig12LevelCounts() (Table, error) {
+	t := Table{
+		ID:     "fig12",
+		Title:  "Levels per group in the log-structured mapping table (gamma=0)",
+		Header: []string{"workload", "avg levels", "p99", "max"},
+	}
+	for _, p := range traceWorkloads() {
+		out, err := s.Run("sim", p, "LeaFTL", 0)
+		if err != nil {
+			return t, err
+		}
+		d := metrics.NewIntDist(out.LevelCounts)
+		t.Rows = append(t.Rows, []string{
+			p.Name, f2(d.Mean()), fmt.Sprintf("%d", d.Percentile(99)), fmt.Sprintf("%d", d.Max()),
+		})
+	}
+	return t, nil
+}
+
+// Fig15MemoryReduction reproduces Figure 15: the mapping-table size
+// reduction of LeaFTL (γ=0) relative to DFTL and SFTL. The paper reports
+// 7.5–37.7× over DFTL and 2.9× average over SFTL.
+func (s *Suite) Fig15MemoryReduction() (Table, error) {
+	t := Table{
+		ID:     "fig15",
+		Title:  "Mapping table size reduction vs DFTL and SFTL (gamma=0)",
+		Header: []string{"workload", "DFTL", "SFTL", "LeaFTL", "vs DFTL", "vs SFTL"},
+		Notes:  "paper: 7.5–37.7x over DFTL; 2.9x average over SFTL",
+	}
+	var vsD, vsS []float64
+	for _, p := range traceWorkloads() {
+		lea, err := s.Run("sim", p, "LeaFTL", 0)
+		if err != nil {
+			return t, err
+		}
+		sf, err := s.Run("sim", p, "SFTL", 0)
+		if err != nil {
+			return t, err
+		}
+		df, err := s.Run("sim", p, "DFTL", 0)
+		if err != nil {
+			return t, err
+		}
+		rd := float64(df.MapFullBytes) / float64(lea.MapFullBytes)
+		rs := float64(sf.MapFullBytes) / float64(lea.MapFullBytes)
+		vsD = append(vsD, rd)
+		vsS = append(vsS, rs)
+		t.Rows = append(t.Rows, []string{
+			p.Name,
+			metrics.FormatBytes(int64(df.MapFullBytes)),
+			metrics.FormatBytes(int64(sf.MapFullBytes)),
+			metrics.FormatBytes(int64(lea.MapFullBytes)),
+			f1x(rd), f1x(rs),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"geomean", "", "", "", f1x(geoMean(vsD)), f1x(geoMean(vsS))})
+	return t, nil
+}
+
+// Fig16Performance reproduces Figure 16: normalized mean read latency
+// (lower is better, DFTL = 1.0) under the two DRAM policies: (a) DRAM
+// mainly for the mapping table, (b) mapping capped at 80% of DRAM.
+func (s *Suite) Fig16Performance() (Table, Table, error) {
+	mk := func(id, cfg, title string) (Table, error) {
+		t := Table{
+			ID:     id,
+			Title:  title,
+			Header: []string{"workload", "DFTL", "SFTL", "LeaFTL", "LeaFTL vs SFTL"},
+			Notes:  "normalized mean read latency, lower is better",
+		}
+		var sp []float64
+		for _, p := range traceWorkloads() {
+			df, err := s.Run(cfg, p, "DFTL", 0)
+			if err != nil {
+				return t, err
+			}
+			sf, err := s.Run(cfg, p, "SFTL", 0)
+			if err != nil {
+				return t, err
+			}
+			lea, err := s.Run(cfg, p, "LeaFTL", 0)
+			if err != nil {
+				return t, err
+			}
+			base := float64(df.MeanRead)
+			if base == 0 {
+				base = 1
+			}
+			nS := float64(sf.MeanRead) / base
+			nL := float64(lea.MeanRead) / base
+			speedup := nS / nL
+			sp = append(sp, speedup)
+			t.Rows = append(t.Rows, []string{p.Name, "1.00", f2(nS), f2(nL), f1x(speedup)})
+		}
+		t.Rows = append(t.Rows, []string{"geomean", "", "", "", f1x(geoMean(sp))})
+		return t, nil
+	}
+	a, err := mk("fig16a", "sim", "Normalized performance, DRAM mainly for mapping (paper: LeaFTL 1.6x avg over SFTL)")
+	if err != nil {
+		return a, Table{}, err
+	}
+	b, err := mk("fig16b", "sim-capped", "Normalized performance, mapping capped at 80% DRAM (paper: 1.4x avg over SFTL)")
+	return a, b, err
+}
+
+// Fig17RealSSD reproduces Figure 17: normalized performance of the
+// application workloads on the prototype configuration (paper: LeaFTL
+// 1.4× average speedup, up to 1.5×).
+func (s *Suite) Fig17RealSSD() (Table, error) {
+	t := Table{
+		ID:     "fig17",
+		Title:  "Application workloads on the prototype config (16KB pages)",
+		Header: []string{"workload", "DFTL", "SFTL", "LeaFTL", "speedup vs SFTL"},
+		Notes:  "normalized mean read latency, lower is better; paper: 1.4x average",
+	}
+	var sp []float64
+	for _, p := range appWorkloads() {
+		df, err := s.Run("proto", p, "DFTL", 0)
+		if err != nil {
+			return t, err
+		}
+		sf, err := s.Run("proto", p, "SFTL", 0)
+		if err != nil {
+			return t, err
+		}
+		lea, err := s.Run("proto", p, "LeaFTL", 0)
+		if err != nil {
+			return t, err
+		}
+		base := float64(df.MeanRead)
+		if base == 0 {
+			base = 1
+		}
+		nS := float64(sf.MeanRead) / base
+		nL := float64(lea.MeanRead) / base
+		sp = append(sp, nS/nL)
+		t.Rows = append(t.Rows, []string{p.Name, "1.00", f2(nS), f2(nL), f1x(nS / nL)})
+	}
+	t.Rows = append(t.Rows, []string{"geomean", "", "", "", f1x(geoMean(sp))})
+	return t, nil
+}
+
+// Fig18LatencyCDF reproduces Figure 18: the read latency distribution of
+// the OLTP workload per scheme (percentile rows instead of a plotted
+// CDF). The paper's point: LeaFTL does not raise tail latency and lowers
+// many mid-distribution accesses.
+func (s *Suite) Fig18LatencyCDF() (Table, error) {
+	t := Table{
+		ID:     "fig18",
+		Title:  "OLTP read latency distribution on the prototype config",
+		Header: []string{"percentile", "DFTL", "SFTL", "LeaFTL"},
+	}
+	outs := map[string]*RunOut{}
+	p, _ := workload.ByName("OLTP")
+	for _, scheme := range []string{"DFTL", "SFTL", "LeaFTL"} {
+		out, err := s.Run("proto", p, scheme, 0)
+		if err != nil {
+			return t, err
+		}
+		outs[scheme] = out
+	}
+	for _, pct := range []float64{30, 60, 90, 99, 99.9, 100} {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("p%g", pct),
+			us(outs["DFTL"].ReadHist.PercentileDuration(pct)),
+			us(outs["SFTL"].ReadHist.PercentileDuration(pct)),
+			us(outs["LeaFTL"].ReadHist.PercentileDuration(pct)),
+		})
+	}
+	return t, nil
+}
+
+// Fig19GammaMemory reproduces Figure 19: LeaFTL's mapping-table size as
+// γ grows, normalized to γ=0 (the paper reports a further 1.3× average
+// reduction at γ=16).
+func (s *Suite) Fig19GammaMemory() (Table, error) {
+	t := Table{
+		ID:     "fig19",
+		Title:  "Mapping table size vs gamma (normalized to gamma=0, lower is better)",
+		Header: []string{"workload", "g=0", "g=1", "g=4", "g=16"},
+		Notes:  "paper: 1.3x average further reduction at gamma=16",
+	}
+	for _, p := range allWorkloads() {
+		row := []string{p.Name}
+		var base float64
+		for _, gamma := range []int{0, 1, 4, 16} {
+			out, err := s.Run(cfgFor(p), p, "LeaFTL", gamma)
+			if err != nil {
+				return t, err
+			}
+			if gamma == 0 {
+				base = float64(out.MapFullBytes)
+			}
+			row = append(row, f2(float64(out.MapFullBytes)/base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig20SegmentMix reproduces Figure 20: the accurate/approximate split of
+// learned segments per γ (paper: all accurate at γ=0; 26.5% approximate
+// at γ=16).
+func (s *Suite) Fig20SegmentMix() (Table, error) {
+	t := Table{
+		ID:     "fig20",
+		Title:  "Distribution of learned segments (accurate vs approximate)",
+		Header: []string{"gamma", "accurate", "approximate", "approx %"},
+		Notes:  "aggregated over trace workloads; paper: 0% at g=0, 26.5% at g=16",
+	}
+	for _, gamma := range []int{0, 1, 4, 16} {
+		var acc, apx int
+		for _, p := range traceWorkloads() {
+			out, err := s.Run("sim", p, "LeaFTL", gamma)
+			if err != nil {
+				return t, err
+			}
+			acc += out.SegStats.Accurate
+			apx += out.SegStats.Approximate
+		}
+		total := acc + apx
+		if total == 0 {
+			total = 1
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", gamma),
+			fmt.Sprintf("%d", acc),
+			fmt.Sprintf("%d", apx),
+			fmt.Sprintf("%.1f%%", 100*float64(apx)/float64(total)),
+		})
+	}
+	return t, nil
+}
+
+// Fig21GammaPerf reproduces Figure 21: normalized performance as γ grows
+// (normalized to γ=0; the paper reports a 1.3× improvement at γ=16 from
+// the extra memory savings).
+func (s *Suite) Fig21GammaPerf() (Table, error) {
+	t := Table{
+		ID:     "fig21",
+		Title:  "Performance vs gamma (normalized mean read latency to gamma=0, lower is better)",
+		Header: []string{"workload", "g=0", "g=1", "g=4", "g=16"},
+	}
+	for _, p := range allWorkloads() {
+		row := []string{p.Name}
+		var base float64
+		for _, gamma := range []int{0, 1, 4, 16} {
+			out, err := s.Run(cfgFor(p), p, "LeaFTL", gamma)
+			if err != nil {
+				return t, err
+			}
+			if gamma == 0 {
+				base = float64(out.MeanRead)
+				if base == 0 {
+					base = 1
+				}
+			}
+			row = append(row, f2(float64(out.MeanRead)/base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig22Sensitivity reproduces Figure 22: performance with varying DRAM
+// capacity (a) and flash page size (b), on a representative workload
+// subset, normalized to DFTL per configuration.
+func (s *Suite) Fig22Sensitivity() (Table, Table, error) {
+	subset := []string{"MSR-hm", "MSR-prxy", "MSR-usr"}
+	runSet := func(id, title string, cfgs []string, labels []string) (Table, error) {
+		t := Table{
+			ID:     id,
+			Title:  title,
+			Header: []string{"config", "DFTL", "SFTL", "LeaFTL"},
+			Notes:  "normalized mean read latency averaged over " + fmt.Sprint(subset),
+		}
+		for i, cfg := range cfgs {
+			var nS, nL []float64
+			for _, name := range subset {
+				p, _ := workload.ByName(name)
+				df, err := s.Run(cfg, p, "DFTL", 0)
+				if err != nil {
+					return t, err
+				}
+				sf, err := s.Run(cfg, p, "SFTL", 0)
+				if err != nil {
+					return t, err
+				}
+				lea, err := s.Run(cfg, p, "LeaFTL", 0)
+				if err != nil {
+					return t, err
+				}
+				base := float64(df.MeanRead)
+				if base == 0 {
+					base = 1
+				}
+				nS = append(nS, float64(sf.MeanRead)/base)
+				nL = append(nL, float64(lea.MeanRead)/base)
+			}
+			t.Rows = append(t.Rows, []string{labels[i], "1.00", f2(geoMean(nS)), f2(geoMean(nL))})
+		}
+		return t, nil
+	}
+	// DRAM sweep (the paper's 256MB/512MB/1GB, scaled): 1×, 2×, 4× of
+	// the base mapping+cache pool.
+	base := s.Scale.AvailBytes >> 10
+	a, err := runSet("fig22a", "Performance vs DRAM capacity (mapping+cache pool scaled 1x/2x/4x)",
+		[]string{fmt.Sprintf("avail:%d", base), fmt.Sprintf("avail:%d", 2*base), fmt.Sprintf("avail:%d", 4*base)},
+		[]string{fmt.Sprintf("256MB(pool %dKB)", base), fmt.Sprintf("512MB(pool %dKB)", 2*base), fmt.Sprintf("1GB(pool %dKB)", 4*base)})
+	if err != nil {
+		return a, Table{}, err
+	}
+	b, err := runSet("fig22b", "Performance vs flash page size (fixed page count)",
+		[]string{"page:4", "page:8", "page:16"},
+		[]string{"4KB", "8KB", "16KB"})
+	return a, b, err
+}
+
+// Fig23LookupOverhead reproduces Figure 23: (a) the distribution of
+// levels visited per lookup and (b) the lookup overhead relative to the
+// flash read latency.
+func (s *Suite) Fig23LookupOverhead() (Table, Table, error) {
+	a := Table{
+		ID:     "fig23a",
+		Title:  "Levels visited per LPA lookup (gamma=0)",
+		Header: []string{"workload", "avg", "p90", "p99", "max"},
+		Notes:  "paper: 90% of lookups answered at the topmost level, 99% within 10",
+	}
+	for _, p := range traceWorkloads() {
+		out, err := s.Run("sim", p, "LeaFTL", 0)
+		if err != nil {
+			return a, Table{}, err
+		}
+		var samples []int
+		for lvl, n := range out.LookupHist {
+			for i := uint64(0); i < n; i++ {
+				samples = append(samples, lvl)
+			}
+		}
+		d := metrics.NewIntDist(samples)
+		a.Rows = append(a.Rows, []string{
+			p.Name, f2(d.Mean()),
+			fmt.Sprintf("%d", d.Percentile(90)),
+			fmt.Sprintf("%d", d.Percentile(99)),
+			fmt.Sprintf("%d", d.Max()),
+		})
+	}
+
+	b := Table{
+		ID:     "fig23b",
+		Title:  "LPA lookup overhead relative to a flash read",
+		Header: []string{"workload", "lookup", "flash read", "overhead"},
+		Notes:  "paper: 0.21% average extra per flash read; measured on this host CPU",
+	}
+	lookupNS := measureLookupNS(0)
+	flashRead := 20 * time.Microsecond
+	for _, p := range appWorkloads() {
+		overhead := float64(lookupNS) / float64(flashRead.Nanoseconds()) * 100
+		b.Rows = append(b.Rows, []string{
+			p.Name,
+			fmt.Sprintf("%.1fns", lookupNS),
+			us(flashRead),
+			fmt.Sprintf("%.3f%%", overhead),
+		})
+	}
+	return a, b, nil
+}
+
+// Fig24Misprediction reproduces Figure 24: the fraction of reads whose
+// approximate translation mispredicted, per γ (paper: below 10% for most
+// workloads at γ=16; zero at γ=0).
+func (s *Suite) Fig24Misprediction() (Table, error) {
+	t := Table{
+		ID:     "fig24",
+		Title:  "Misprediction ratio of flash page accesses",
+		Header: []string{"workload", "g=0", "g=1", "g=4", "g=16"},
+		Notes:  "mispredictions per host page read; each costs exactly one extra flash read (§3.5)",
+	}
+	for _, p := range allWorkloads() {
+		row := []string{p.Name}
+		for _, gamma := range []int{0, 1, 4, 16} {
+			out, err := s.Run(cfgFor(p), p, "LeaFTL", gamma)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, fmt.Sprintf("%.2f%%", 100*out.Stats.MispredictionRatio()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig25WAF reproduces Figure 25: the write amplification factor of each
+// scheme over every workload (paper: LeaFTL comparable to SFTL; DFTL
+// slightly larger from translation-page writes).
+func (s *Suite) Fig25WAF() (Table, error) {
+	t := Table{
+		ID:     "fig25",
+		Title:  "Write amplification factor",
+		Header: []string{"workload", "DFTL", "SFTL", "LeaFTL"},
+	}
+	for _, p := range allWorkloads() {
+		row := []string{p.Name}
+		for _, scheme := range []string{"DFTL", "SFTL", "LeaFTL"} {
+			out, err := s.Run(cfgFor(p), p, scheme, 0)
+			if err != nil {
+				return t, err
+			}
+			row = append(row, f2(out.WAF))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table3Microbench reproduces Table 3: the learning cost of one 256-LPA
+// batch and the per-LPA lookup latency, per γ, measured on this host
+// (the paper measures an ARM Cortex-A72).
+func (s *Suite) Table3Microbench() (Table, error) {
+	t := Table{
+		ID:     "table3",
+		Title:  "Overhead of learning and lookup (host CPU; paper: ARM Cortex-A72)",
+		Header: []string{"gamma", "learning (256 LPAs)", "lookup (per LPA)"},
+		Notes:  "paper: 9.8–10.8µs learning, 40.2–67.5ns lookup",
+	}
+	for _, gamma := range []int{0, 1, 4} {
+		learnUS := measureLearnUS(gamma)
+		lookupNS := measureLookupNS(gamma)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", gamma),
+			fmt.Sprintf("%.1fµs", learnUS),
+			fmt.Sprintf("%.1fns", lookupNS),
+		})
+	}
+	return t, nil
+}
+
+// measureLearnUS times learning a 256-mapping batch (µs per batch).
+func measureLearnUS(gamma int) float64 {
+	pairs := benchBatch(gamma, 0)
+	const iters = 2000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		core.Learn(pairs, gamma)
+	}
+	return float64(time.Since(start).Microseconds()) / iters
+}
+
+// measureLookupNS times table lookups (ns per lookup) on a table holding
+// a mixed set of segments.
+func measureLookupNS(gamma int) float64 {
+	tb := core.NewTable(gamma)
+	rng := rand.New(rand.NewSource(1))
+	for b := 0; b < 64; b++ {
+		tb.Update(benchBatch(gamma, int64(b)))
+	}
+	lpas := make([]addr.LPA, 4096)
+	for i := range lpas {
+		lpas[i] = addr.LPA(rng.Intn(64 * 256))
+	}
+	const iters = 200
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		for _, l := range lpas {
+			tb.Lookup(l)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters*len(lpas))
+}
+
+// benchBatch builds one 256-mapping batch with the mixed patterns the
+// microbenchmarks exercise.
+func benchBatch(gamma int, seed int64) []addr.Mapping {
+	rng := rand.New(rand.NewSource(seed))
+	pairs := make([]addr.Mapping, 0, 256)
+	lpa := addr.LPA(uint32(seed) * 256)
+	ppa := addr.PPA(rng.Intn(1 << 20))
+	for len(pairs) < 256 {
+		switch rng.Intn(3) {
+		case 0:
+			lpa += 1
+		case 1:
+			lpa += addr.LPA(1 + rng.Intn(2))
+		default:
+			lpa += addr.LPA(1 + rng.Intn(4))
+		}
+		ppa++
+		pairs = append(pairs, addr.Mapping{LPA: lpa, PPA: ppa})
+	}
+	return pairs
+}

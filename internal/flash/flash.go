@@ -1,0 +1,340 @@
+// Package flash models the NAND flash array inside the simulated SSD:
+// geometry (channels → blocks → pages), operation latencies, per-block
+// erase counting, and the out-of-band (OOB) metadata area LeaFTL uses to
+// store reverse mappings (paper §2, §3.5, Table 1).
+//
+// The model is deliberately first-order: each channel is an independent
+// service timeline, every operation occupies its channel for the
+// operation's nominal latency, and requests issued to a busy channel
+// queue behind it. This reproduces the contention effects the paper's
+// evaluation depends on (flush and GC traffic delaying reads) without a
+// full event-driven simulator; DESIGN.md §2 records the substitution for
+// WiscSim.
+package flash
+
+import (
+	"fmt"
+	"time"
+
+	"leaftl/internal/addr"
+)
+
+// Config describes the flash geometry and timing (paper Table 1).
+type Config struct {
+	Channels      int           // independent flash channels
+	BlocksPerChan int           // erase blocks per channel
+	PagesPerBlock int           // flash pages per erase block
+	PageSize      int           // bytes per page (data area)
+	OOBSize       int           // bytes of out-of-band metadata per page
+	ReadLatency   time.Duration // page read (20µs in Table 1)
+	WriteLatency  time.Duration // page program (200µs)
+	EraseLatency  time.Duration // block erase (1.5ms)
+}
+
+// SimulatorDefaults mirrors the paper's Table 1 geometry with capacity
+// scaled down (DESIGN.md §5): 16 channels, 4KB pages, 256 pages/block,
+// 128B OOB, 20µs/200µs/1.5ms latencies.
+func SimulatorDefaults() Config {
+	return Config{
+		Channels:      16,
+		BlocksPerChan: 256,
+		PagesPerBlock: 256,
+		PageSize:      4096,
+		OOBSize:       128,
+		ReadLatency:   20 * time.Microsecond,
+		WriteLatency:  200 * time.Microsecond,
+		EraseLatency:  1500 * time.Microsecond,
+	}
+}
+
+// PrototypeDefaults mirrors the paper's open-channel SSD prototype
+// (§3.9): 16KB pages, 16 channels, 256 pages per block.
+func PrototypeDefaults() Config {
+	c := SimulatorDefaults()
+	c.PageSize = 16384
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Channels <= 0:
+		return fmt.Errorf("flash: Channels = %d, must be positive", c.Channels)
+	case c.BlocksPerChan <= 0:
+		return fmt.Errorf("flash: BlocksPerChan = %d, must be positive", c.BlocksPerChan)
+	case c.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: PagesPerBlock = %d, must be positive", c.PagesPerBlock)
+	case c.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize = %d, must be positive", c.PageSize)
+	case c.TotalPages() > int(addr.InvalidPPA):
+		return fmt.Errorf("flash: %d pages exceed the PPA space", c.TotalPages())
+	}
+	return nil
+}
+
+// Blocks returns the total number of erase blocks.
+func (c Config) Blocks() int { return c.Channels * c.BlocksPerChan }
+
+// TotalPages returns the total number of flash pages.
+func (c Config) TotalPages() int { return c.Blocks() * c.PagesPerBlock }
+
+// CapacityBytes returns the raw capacity.
+func (c Config) CapacityBytes() int64 {
+	return int64(c.TotalPages()) * int64(c.PageSize)
+}
+
+// OOBEntries returns how many 4-byte reverse-mapping entries fit in one
+// page's OOB area (paper §3.5: 32–64 for 128–256B OOBs).
+func (c Config) OOBEntries() int { return c.OOBSize / 4 }
+
+// BlockID identifies an erase block, numbered channel-major:
+// block b lives on channel b % Channels.
+type BlockID uint32
+
+// BlockOf returns the erase block containing ppa.
+func (c Config) BlockOf(ppa addr.PPA) BlockID {
+	return BlockID(uint32(ppa) / uint32(c.PagesPerBlock))
+}
+
+// ChannelOf returns the channel serving ppa.
+func (c Config) ChannelOf(ppa addr.PPA) int {
+	return int(uint32(c.BlockOf(ppa)) % uint32(c.Channels))
+}
+
+// PageOf returns ppa's page index within its block.
+func (c Config) PageOf(ppa addr.PPA) int {
+	return int(uint32(ppa) % uint32(c.PagesPerBlock))
+}
+
+// FirstPPA returns the first page of block b.
+func (c Config) FirstPPA(b BlockID) addr.PPA {
+	return addr.PPA(uint32(b) * uint32(c.PagesPerBlock))
+}
+
+// Stats counts physical flash operations; the write amplification factor
+// (paper Figure 25) and all latency modelling derive from these.
+type Stats struct {
+	PageReads   uint64
+	PageWrites  uint64
+	BlockErases uint64
+}
+
+// Array is the simulated flash array. It stores, per page, an opaque
+// 8-byte payload token standing in for page contents (enough for
+// end-to-end integrity checking without 4KB of host memory per page) and
+// the OOB reverse mapping, plus per-block erase counts and per-channel
+// service timelines.
+//
+// Array enforces NAND ordering rules: a page must be free to be
+// programmed, pages within a block must be programmed in order, and only
+// whole blocks are erased.
+type Array struct {
+	cfg     Config
+	token   []uint64        // page payload stand-in
+	reverse []addr.LPA      // OOB reverse mapping (written LPA per page)
+	seq     []uint64        // OOB write sequence number (crash recovery)
+	seqGen  uint64          // monotonic write-sequence generator
+	written []bool          // page has been programmed since last erase
+	nextPg  []int           // next programmable page index per block
+	erases  []uint32        // per-block erase count (wear leveling)
+	busy    []time.Duration // per-channel: time the channel frees up
+	stats   Stats
+}
+
+// NewArray allocates a fully-erased flash array.
+func NewArray(cfg Config) (*Array, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.TotalPages()
+	return &Array{
+		cfg:     cfg,
+		token:   make([]uint64, n),
+		reverse: make([]addr.LPA, n),
+		seq:     make([]uint64, n),
+		written: make([]bool, n),
+		nextPg:  make([]int, cfg.Blocks()),
+		erases:  make([]uint32, cfg.Blocks()),
+		busy:    make([]time.Duration, cfg.Channels),
+	}, nil
+}
+
+// Config returns the array's geometry.
+func (a *Array) Config() Config { return a.cfg }
+
+// Stats returns operation counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// EraseCount returns how many times block b has been erased.
+func (a *Array) EraseCount(b BlockID) uint32 { return a.erases[b] }
+
+// serve charges one operation of the given latency on ppa's channel
+// starting no earlier than now, returning the completion time.
+func (a *Array) serve(ch int, now, latency time.Duration) time.Duration {
+	start := now
+	if a.busy[ch] > start {
+		start = a.busy[ch]
+	}
+	done := start + latency
+	a.busy[ch] = done
+	return done
+}
+
+// serveRead charges a read with program suspension: modern NAND lets a
+// read preempt a queued program burst, so a read waits for at most one
+// in-flight program operation rather than the channel's whole write
+// backlog. The read still occupies the channel for its own latency.
+func (a *Array) serveRead(ch int, now time.Duration) time.Duration {
+	start := now
+	if wait := a.busy[ch] - now; wait > 0 {
+		if wait > a.cfg.WriteLatency {
+			wait = a.cfg.WriteLatency
+		}
+		start = now + wait
+	}
+	done := start + a.cfg.ReadLatency
+	// The preempting read delays the outstanding program queue.
+	if a.busy[ch] > start {
+		a.busy[ch] += a.cfg.ReadLatency
+	} else {
+		a.busy[ch] = done
+	}
+	return done
+}
+
+// Read returns the page payload token and its OOB reverse-mapping LPA.
+// done is when the read completes on the page's channel.
+func (a *Array) Read(ppa addr.PPA, now time.Duration) (token uint64, reverse addr.LPA, done time.Duration) {
+	a.stats.PageReads++
+	done = a.serveRead(a.cfg.ChannelOf(ppa), now)
+	return a.token[ppa], a.reverse[ppa], done
+}
+
+// ReadOOB models a read that only needs the OOB area; it costs a full
+// page read (NAND reads whole pages) but returns just the reverse LPA.
+func (a *Array) ReadOOB(ppa addr.PPA, now time.Duration) (addr.LPA, time.Duration) {
+	_, rev, done := a.Read(ppa, now)
+	return rev, done
+}
+
+// Write programs a free page with the payload token and OOB reverse
+// mapping. Programming a non-free or out-of-order page panics: the FTL
+// above must never do that, and a panic here is a broken-invariant
+// signal, not an I/O error.
+func (a *Array) Write(ppa addr.PPA, lpa addr.LPA, token uint64, now time.Duration) time.Duration {
+	b := a.cfg.BlockOf(ppa)
+	pg := a.cfg.PageOf(ppa)
+	if a.written[ppa] {
+		panic(fmt.Sprintf("flash: program of written page %d", ppa))
+	}
+	if pg != a.nextPg[b] {
+		panic(fmt.Sprintf("flash: out-of-order program: block %d page %d, expected %d", b, pg, a.nextPg[b]))
+	}
+	a.nextPg[b] = pg + 1
+	a.written[ppa] = true
+	a.token[ppa] = token
+	a.reverse[ppa] = lpa
+	a.seqGen++
+	a.seq[ppa] = a.seqGen
+	a.stats.PageWrites++
+	return a.serve(a.cfg.ChannelOf(ppa), now, a.cfg.WriteLatency)
+}
+
+// Erase wipes block b, making its pages programmable again.
+func (a *Array) Erase(b BlockID, now time.Duration) time.Duration {
+	first := a.cfg.FirstPPA(b)
+	for i := 0; i < a.cfg.PagesPerBlock; i++ {
+		p := first + addr.PPA(i)
+		a.written[p] = false
+		a.token[p] = 0
+		a.reverse[p] = addr.InvalidLPA
+		a.seq[p] = 0
+	}
+	a.nextPg[b] = 0
+	a.erases[b]++
+	a.stats.BlockErases++
+	return a.serve(int(uint32(b)%uint32(a.cfg.Channels)), now, a.cfg.EraseLatency)
+}
+
+// Written reports whether ppa currently holds programmed data.
+func (a *Array) Written(ppa addr.PPA) bool { return a.written[ppa] }
+
+// Reverse returns the OOB reverse-mapping LPA of ppa without charging a
+// flash access. Device code must not use this on the data path — it
+// exists for recovery scans (which charge reads themselves) and tests.
+func (a *Array) Reverse(ppa addr.PPA) addr.LPA {
+	if !a.written[ppa] {
+		return addr.InvalidLPA
+	}
+	return a.reverse[ppa]
+}
+
+// BusyUntil returns channel ch's next free time (for tests and for
+// completion accounting in the device).
+func (a *Array) BusyUntil(ch int) time.Duration { return a.busy[ch] }
+
+// WriteSeq returns the OOB write-sequence number of ppa (0 if unwritten).
+// Recovery scans use it to order copies of the same LPA; real SSDs stamp
+// the same information into the OOB at program time.
+func (a *Array) WriteSeq(ppa addr.PPA) uint64 {
+	if !a.written[ppa] {
+		return 0
+	}
+	return a.seq[ppa]
+}
+
+// TokenAt returns the stored payload token without charging a flash
+// access. Simulator-oracle access for recovery bookkeeping and tests —
+// never the data path.
+func (a *Array) TokenAt(ppa addr.PPA) uint64 { return a.token[ppa] }
+
+// MetaRead charges one translation-page read on a rotating channel and
+// returns its completion time. Translation metadata I/O (DFTL/SFTL
+// translation pages, LeaFTL table persistence) is modeled as latency and
+// wear without occupying data blocks; DESIGN.md §2 records the
+// simplification.
+func (a *Array) MetaRead(now time.Duration) time.Duration {
+	a.stats.PageReads++
+	return a.serveRead(a.metaChannel(), now)
+}
+
+// MetaWrite charges one translation-page write on a rotating channel.
+func (a *Array) MetaWrite(now time.Duration) time.Duration {
+	a.stats.PageWrites++
+	return a.serve(a.metaChannel(), now, a.cfg.WriteLatency)
+}
+
+// metaChannel rotates metadata traffic across channels.
+func (a *Array) metaChannel() int {
+	return int((a.stats.PageReads + a.stats.PageWrites) % uint64(a.cfg.Channels))
+}
+
+// OOBWindow models the paper's §3.5 misprediction recovery: the OOB of
+// the page at center stores the reverse mappings of its neighbor PPAs
+// [center−gamma, center+gamma] (Figure 11), so one page read yields the
+// whole window. Slots outside the device or not yet written come back as
+// InvalidLPA (the paper's null bytes). The read is charged on center's
+// channel; done is its completion time.
+//
+// gamma must satisfy 2·gamma+1 ≤ Config.OOBEntries — the FTL checks this
+// at construction, mirroring the paper's observation that a 128–256B OOB
+// holds 32–64 entries.
+func (a *Array) OOBWindow(center addr.PPA, gamma int, now time.Duration) (window []addr.LPA, done time.Duration) {
+	a.stats.PageReads++
+	done = a.serveRead(a.cfg.ChannelOf(center), now)
+	window = make([]addr.LPA, 2*gamma+1)
+	lo := int64(center) - int64(gamma)
+	// The stored window covers neighbors within the same block; the paper
+	// nulls entries that fall off the block's ends.
+	blockFirst := int64(a.cfg.FirstPPA(a.cfg.BlockOf(center)))
+	blockLast := blockFirst + int64(a.cfg.PagesPerBlock) - 1
+	for i := range window {
+		p := lo + int64(i)
+		if p < blockFirst || p > blockLast || !a.written[p] {
+			window[i] = addr.InvalidLPA
+			continue
+		}
+		window[i] = a.reverse[p]
+	}
+	return window, done
+}

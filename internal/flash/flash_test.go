@@ -1,0 +1,168 @@
+package flash
+
+import (
+	"testing"
+	"time"
+
+	"leaftl/internal/addr"
+)
+
+func testCfg() Config {
+	c := SimulatorDefaults()
+	c.Channels = 2
+	c.BlocksPerChan = 4
+	c.PagesPerBlock = 8
+	return c
+}
+
+func TestGeometry(t *testing.T) {
+	c := testCfg()
+	if c.Blocks() != 8 || c.TotalPages() != 64 {
+		t.Fatalf("blocks=%d pages=%d", c.Blocks(), c.TotalPages())
+	}
+	if c.BlockOf(17) != 2 || c.PageOf(17) != 1 {
+		t.Errorf("BlockOf/PageOf(17) = %d/%d", c.BlockOf(17), c.PageOf(17))
+	}
+	if c.ChannelOf(17) != 0 { // block 2 on channel 2%2=0
+		t.Errorf("ChannelOf(17) = %d", c.ChannelOf(17))
+	}
+	if c.FirstPPA(3) != 24 {
+		t.Errorf("FirstPPA(3) = %d", c.FirstPPA(3))
+	}
+	if got := SimulatorDefaults().OOBEntries(); got != 32 {
+		t.Errorf("OOBEntries = %d, want 32", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := testCfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := testCfg()
+	bad.Channels = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("Channels=0 accepted")
+	}
+}
+
+func TestWriteReadEraseCycle(t *testing.T) {
+	a, err := NewArray(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := a.Write(0, 100, 0xdead, 0)
+	if done != a.Config().WriteLatency {
+		t.Errorf("first write done at %v", done)
+	}
+	tok, rev, _ := a.Read(0, done)
+	if tok != 0xdead || rev != 100 {
+		t.Errorf("read back %x/%d", tok, rev)
+	}
+	if a.WriteSeq(0) == 0 {
+		t.Error("write seq not stamped")
+	}
+	a.Erase(0, 0)
+	if a.Written(0) {
+		t.Error("page written after erase")
+	}
+	if a.EraseCount(0) != 1 {
+		t.Errorf("erase count %d", a.EraseCount(0))
+	}
+	// Page is programmable again.
+	a.Write(0, 7, 1, 0)
+	if a.Reverse(0) != 7 {
+		t.Errorf("reverse after rewrite = %d", a.Reverse(0))
+	}
+}
+
+func TestOutOfOrderProgramPanics(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-order program did not panic")
+		}
+	}()
+	a.Write(1, 0, 0, 0) // page 1 before page 0
+}
+
+func TestDoubleProgramPanics(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	a.Write(0, 0, 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double program did not panic")
+		}
+	}()
+	a.Write(0, 0, 0, 0)
+}
+
+func TestChannelQueueing(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	// Block 0 (channel 0) and block 1 (channel 1) proceed in parallel;
+	// two ops on the same channel serialize.
+	d1 := a.Write(0, 0, 0, 0)                      // ch 0
+	d2 := a.Write(a.Config().FirstPPA(1), 1, 0, 0) // ch 1
+	if d1 != d2 {
+		t.Errorf("parallel channels finished at %v and %v", d1, d2)
+	}
+	d3 := a.Write(1, 2, 0, 0) // ch 0 again, queued behind d1
+	if d3 != d1+a.Config().WriteLatency {
+		t.Errorf("queued write done at %v, want %v", d3, d1+a.Config().WriteLatency)
+	}
+}
+
+func TestOOBWindow(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	for i := 0; i < 8; i++ {
+		a.Write(addr.PPA(i), addr.LPA(1000+i*2), 0, 0)
+	}
+	win, _ := a.OOBWindow(4, 2, 0)
+	want := []addr.LPA{1004, 1006, 1008, 1010, 1012}
+	for i := range want {
+		if win[i] != want[i] {
+			t.Errorf("window[%d] = %d, want %d", i, win[i], want[i])
+		}
+	}
+	// Window at the block edge nulls out-of-block slots.
+	win, _ = a.OOBWindow(0, 2, 0)
+	if win[0] != addr.InvalidLPA || win[1] != addr.InvalidLPA {
+		t.Errorf("edge window = %v, want leading nulls", win[:2])
+	}
+	if win[2] != 1000 {
+		t.Errorf("center of edge window = %d", win[2])
+	}
+}
+
+func TestMetaOpsCountAndCharge(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	before := a.Stats()
+	done := a.MetaRead(0)
+	if done < a.Config().ReadLatency {
+		t.Errorf("meta read done at %v", done)
+	}
+	a.MetaWrite(0)
+	st := a.Stats()
+	if st.PageReads != before.PageReads+1 || st.PageWrites != before.PageWrites+1 {
+		t.Errorf("meta ops not counted: %+v", st)
+	}
+}
+
+func TestWriteSeqMonotone(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	a.Write(0, 0, 0, 0)
+	a.Write(1, 1, 0, 0)
+	if !(a.WriteSeq(1) > a.WriteSeq(0)) {
+		t.Error("write sequence not monotone")
+	}
+	if a.WriteSeq(5) != 0 {
+		t.Error("unwritten page has nonzero seq")
+	}
+}
+
+func TestBusyUntil(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	a.Write(0, 0, 0, 5*time.Millisecond)
+	if a.BusyUntil(0) != 5*time.Millisecond+a.Config().WriteLatency {
+		t.Errorf("BusyUntil = %v", a.BusyUntil(0))
+	}
+}

@@ -1,0 +1,133 @@
+// Package float16 implements the IEEE 754 binary16 ("half precision")
+// encoding used by LeaFTL to store the slope K of a learned index segment
+// in two bytes (paper §3.2).
+//
+// LeaFTL additionally steals the least-significant mantissa bit of the
+// encoded slope as a segment-type flag (0 = accurate, 1 = approximate).
+// The paper argues this is safe because K ∈ [0, 1], so the LSB only
+// perturbs the slope by ~1e-4 at most; helpers for setting and reading
+// the flag live here so the rest of the system never touches raw bits.
+package float16
+
+import "math"
+
+// Bits is an IEEE 754 binary16 value in its raw bit representation:
+// 1 sign bit, 5 exponent bits, 10 mantissa bits.
+type Bits uint16
+
+const (
+	signMask     = 0x8000
+	expMask      = 0x7C00
+	mantissaMask = 0x03FF
+	expBias      = 15
+)
+
+// From32 converts a float32 to the nearest binary16 value
+// (round-to-nearest-even), with overflow mapped to ±Inf and underflow
+// flushed toward zero/subnormals.
+func From32(f float32) Bits {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask
+	exp := int32(b>>23) & 0xFF
+	mant := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if mant != 0 {
+			return Bits(sign | expMask | 0x200) // quiet NaN
+		}
+		return Bits(sign | expMask)
+	case exp == 0 && mant == 0: // signed zero
+		return Bits(sign)
+	}
+
+	// Unbiased exponent of the float32 value.
+	e := exp - 127
+	switch {
+	case e > 15: // overflow to infinity
+		return Bits(sign | expMask)
+	case e >= -14: // normal half range
+		// 10-bit mantissa with round-to-nearest-even on the dropped 13 bits.
+		m := mant >> 13
+		round := mant & 0x1FFF
+		if round > 0x1000 || (round == 0x1000 && m&1 == 1) {
+			m++
+		}
+		h := uint32(uint16(e+expBias))<<10 + m
+		return Bits(sign | uint16(h)) // mantissa carry bumps the exponent correctly
+	case e >= -24: // subnormal half
+		// Implicit leading 1 becomes explicit; shift depends on exponent.
+		mant |= 0x800000
+		shift := uint32(14 - e) // in [15, 24] relative to the 10-bit target... see below
+		// mant currently has 24 significant bits; we need to shift right by
+		// (13 + (−14 − e)) = (−1 − e + 14) bits to land in 10 bits.
+		shift = uint32(13 + (-14 - e))
+		m := mant >> shift
+		round := mant & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if round > half || (round == half && m&1 == 1) {
+			m++
+		}
+		return Bits(sign | uint16(m))
+	default: // underflow to signed zero
+		return Bits(sign)
+	}
+}
+
+// To32 converts a binary16 value back to float32 exactly
+// (every binary16 value is representable as a float32).
+func To32(h Bits) float32 {
+	sign := uint32(h&signMask) << 16
+	exp := uint32(h&expMask) >> 10
+	mant := uint32(h & mantissaMask)
+
+	switch exp {
+	case 0:
+		if mant == 0 { // signed zero
+			return math.Float32frombits(sign)
+		}
+		// Subnormal half: normalize into float32.
+		e := int32(-14)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= mantissaMask
+		return math.Float32frombits(sign | uint32(e+127)<<23 | mant<<13)
+	case 0x1F:
+		if mant == 0 {
+			return math.Float32frombits(sign | 0x7F800000) // Inf
+		}
+		return math.Float32frombits(sign | 0x7F800000 | mant<<13) // NaN
+	default:
+		return math.Float32frombits(sign | (exp-expBias+127)<<23 | mant<<13)
+	}
+}
+
+// From64 converts a float64 via float32 to binary16.
+func From64(f float64) Bits { return From32(float32(f)) }
+
+// To64 converts a binary16 value to float64.
+func To64(h Bits) float64 { return float64(To32(h)) }
+
+// WithFlag returns h with its least-significant mantissa bit forced to the
+// given flag value. LeaFTL stores the segment type here (paper §3.2).
+func (h Bits) WithFlag(flag bool) Bits {
+	if flag {
+		return h | 1
+	}
+	return h &^ 1
+}
+
+// Flag reports the least-significant mantissa bit.
+func (h Bits) Flag() bool { return h&1 == 1 }
+
+// IsNaN reports whether h encodes a NaN.
+func (h Bits) IsNaN() bool {
+	return h&expMask == expMask && h&mantissaMask != 0
+}
+
+// IsInf reports whether h encodes ±Inf.
+func (h Bits) IsInf() bool {
+	return h&expMask == expMask && h&mantissaMask == 0
+}

@@ -1,0 +1,145 @@
+package float16
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExactValues(t *testing.T) {
+	cases := []struct {
+		f    float32
+		bits Bits
+	}{
+		{0, 0x0000},
+		{1, 0x3C00},
+		{-1, 0xBC00},
+		{0.5, 0x3800},
+		{0.25, 0x3400},
+		{2, 0x4000},
+		{65504, 0x7BFF}, // max finite half
+		{float32(math.Inf(1)), 0x7C00},
+		{float32(math.Inf(-1)), 0xFC00},
+	}
+	for _, c := range cases {
+		if got := From32(c.f); got != c.bits {
+			t.Errorf("From32(%v) = %#04x, want %#04x", c.f, got, c.bits)
+		}
+		if got := To32(c.bits); got != c.f {
+			t.Errorf("To32(%#04x) = %v, want %v", c.bits, got, c.f)
+		}
+	}
+}
+
+func TestNaN(t *testing.T) {
+	h := From32(float32(math.NaN()))
+	if !h.IsNaN() {
+		t.Fatalf("From32(NaN) = %#04x, not NaN", h)
+	}
+	if f := To32(h); !math.IsNaN(float64(f)) {
+		t.Errorf("To32(NaN bits) = %v, want NaN", f)
+	}
+}
+
+func TestOverflowToInf(t *testing.T) {
+	if h := From32(1e30); !h.IsInf() {
+		t.Errorf("From32(1e30) = %#04x, want +Inf", h)
+	}
+	if h := From32(-1e30); !h.IsInf() || h&signMask == 0 {
+		t.Errorf("From32(-1e30) = %#04x, want -Inf", h)
+	}
+}
+
+func TestUnderflowToZero(t *testing.T) {
+	if h := From32(1e-30); h != 0 {
+		t.Errorf("From32(1e-30) = %#04x, want +0", h)
+	}
+}
+
+func TestSubnormals(t *testing.T) {
+	// Smallest positive subnormal half is 2^-24.
+	small := float32(math.Ldexp(1, -24))
+	h := From32(small)
+	if h != 0x0001 {
+		t.Fatalf("From32(2^-24) = %#04x, want 0x0001", h)
+	}
+	if got := To32(h); got != small {
+		t.Errorf("To32(0x0001) = %g, want %g", got, small)
+	}
+	// Largest subnormal: (1023/1024) * 2^-14.
+	large := float32(math.Ldexp(1023, -24))
+	if h := From32(large); h != 0x03FF {
+		t.Errorf("From32(largest subnormal) = %#04x, want 0x03ff", h)
+	}
+}
+
+// Property: To32 → From32 is the identity on every one of the 65536
+// half-precision bit patterns (except NaN payloads, which stay NaN).
+func TestRoundTripAllBits(t *testing.T) {
+	for i := 0; i <= 0xFFFF; i++ {
+		h := Bits(i)
+		f := To32(h)
+		back := From32(f)
+		if h.IsNaN() {
+			if !back.IsNaN() {
+				t.Fatalf("bits %#04x: NaN did not round-trip to NaN (got %#04x)", h, back)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("bits %#04x: round trip gave %#04x (value %g)", h, back, f)
+		}
+	}
+}
+
+// Property: for slopes in LeaFTL's range K ∈ [0,1], quantization error is
+// bounded by 2^-11 (half ulp at 1.0), so predictions over a 256-wide group
+// shift by < 0.125 pages — far inside any γ ≥ 1 bound.
+func TestQuantizationErrorInSlopeRange(t *testing.T) {
+	f := func(k float64) bool {
+		k = math.Abs(k)
+		k -= math.Floor(k) // into [0,1)
+		q := To64(From64(k))
+		return math.Abs(q-k) <= 1.0/2048.0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlag(t *testing.T) {
+	h := From32(0.5)
+	if h.Flag() {
+		t.Fatalf("0.5 should encode with clear LSB")
+	}
+	hf := h.WithFlag(true)
+	if !hf.Flag() {
+		t.Fatalf("WithFlag(true) did not set flag")
+	}
+	if hf.WithFlag(false) != h {
+		t.Fatalf("WithFlag(false) did not restore original bits")
+	}
+	// Setting the flag perturbs the value by at most one ulp.
+	if d := math.Abs(To64(hf) - To64(h)); d > 1.0/1024.0 {
+		t.Errorf("flag perturbation %g too large", d)
+	}
+}
+
+// Property: From32 is monotone on finite positive inputs.
+func TestMonotonic(t *testing.T) {
+	f := func(a, b float32) bool {
+		a = float32(math.Abs(float64(a)))
+		b = float32(math.Abs(float64(b)))
+		if math.IsInf(float64(a), 0) || math.IsInf(float64(b), 0) ||
+			math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return From32(a) <= From32(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

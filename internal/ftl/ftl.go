@@ -1,0 +1,76 @@
+// Package ftl defines the interface every address-translation scheme
+// implements (LeaFTL, and the DFTL and SFTL baselines of paper §4.1),
+// plus the byte-budgeted LRU cache the demand-paged schemes and the
+// device's data cache share.
+//
+// A scheme owns only the mapping *index*. The device (package ssd) owns
+// flash, the data buffer, the data cache, GC and wear leveling, and calls
+// the scheme to translate reads and to commit the mappings created by
+// flushes and GC moves. Costs are returned as counts of translation-
+// metadata flash operations so the device can charge them on the flash
+// timelines and in the write-amplification accounting (Figure 25).
+package ftl
+
+import "leaftl/internal/addr"
+
+// Cost counts flash operations a translation-layer action induced:
+// translation-page reads on mapping-cache misses and translation-page
+// writes for dirty evictions or periodic table persistence.
+type Cost struct {
+	MetaReads  int
+	MetaWrites int
+}
+
+// Add accumulates o into c.
+func (c *Cost) Add(o Cost) {
+	c.MetaReads += o.MetaReads
+	c.MetaWrites += o.MetaWrites
+}
+
+// Translation is the result of one LPA lookup.
+type Translation struct {
+	PPA  addr.PPA
+	Cost Cost
+	// Levels is how many mapping-table levels the lookup visited
+	// (LeaFTL only; 1 for flat schemes). Feeds Figure 23.
+	Levels int
+	// Approx marks a prediction that may be off by up to ±gamma and must
+	// be verified against the OOB reverse mapping (LeaFTL only).
+	Approx bool
+}
+
+// Scheme is an address-translation scheme under test.
+type Scheme interface {
+	// Name identifies the scheme in reports ("DFTL", "SFTL", "LeaFTL").
+	Name() string
+
+	// Translate maps an LPA to its (possibly approximate) PPA. ok is
+	// false when the scheme holds no mapping for lpa.
+	Translate(lpa addr.LPA) (Translation, bool)
+
+	// Commit installs freshly written mappings. pairs are sorted by LPA
+	// with unique LPAs and monotonically increasing PPAs — the flush
+	// path guarantees this ordering (paper §3.3).
+	Commit(pairs []addr.Mapping) Cost
+
+	// SetBudget caps the scheme's DRAM usage for cached mapping state.
+	// Schemes whose structures are fully resident (LeaFTL) may ignore it.
+	SetBudget(bytes int)
+
+	// MemoryBytes reports current DRAM consumption of mapping state.
+	MemoryBytes() int
+
+	// FullSizeBytes reports the size of the complete mapping structure,
+	// resident or not — the quantity Figures 15 and 19 compare.
+	FullSizeBytes() int
+
+	// Maintain runs periodic work (LeaFTL: segment compaction and
+	// mapping-table persistence). The device calls it after every flush
+	// with the cumulative count of host page writes.
+	Maintain(hostPageWrites uint64) Cost
+}
+
+// Gamma is implemented by schemes with a configurable error bound.
+type Gamma interface {
+	Gamma() int
+}

@@ -1,0 +1,11 @@
+package ftl
+
+import "testing"
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{MetaReads: 1, MetaWrites: 2}
+	a.Add(Cost{MetaReads: 3, MetaWrites: 4})
+	if a.MetaReads != 4 || a.MetaWrites != 6 {
+		t.Errorf("Add gave %+v", a)
+	}
+}

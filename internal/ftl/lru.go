@@ -1,0 +1,193 @@
+package ftl
+
+// ByteLRU is a least-recently-used cache whose capacity is a byte budget
+// rather than an entry count, because cached items have different sizes
+// (a DFTL mapping entry is 8 bytes, a compressed SFTL region is
+// runs×8 bytes, a cached data page is the flash page size).
+//
+// Entries carry a dirty flag; evicting a dirty entry is reported to the
+// caller so it can charge a writeback.
+type ByteLRU[K comparable, V any] struct {
+	budget int
+	used   int
+	items  map[K]*lruNode[K, V]
+	head   *lruNode[K, V] // most recently used
+	tail   *lruNode[K, V] // least recently used
+}
+
+type lruNode[K comparable, V any] struct {
+	key        K
+	value      V
+	size       int
+	dirty      bool
+	prev, next *lruNode[K, V]
+}
+
+// Evicted describes one entry pushed out by an insert or budget change.
+type Evicted[K comparable, V any] struct {
+	Key   K
+	Value V
+	Dirty bool
+}
+
+// NewByteLRU returns an empty cache with the given byte budget.
+func NewByteLRU[K comparable, V any](budget int) *ByteLRU[K, V] {
+	if budget < 0 {
+		budget = 0
+	}
+	return &ByteLRU[K, V]{budget: budget, items: make(map[K]*lruNode[K, V])}
+}
+
+// Budget returns the configured byte budget.
+func (c *ByteLRU[K, V]) Budget() int { return c.budget }
+
+// Used returns the bytes currently occupied.
+func (c *ByteLRU[K, V]) Used() int { return c.used }
+
+// Len returns the number of cached entries.
+func (c *ByteLRU[K, V]) Len() int { return len(c.items) }
+
+// Get returns the value for key, marking it most recently used.
+func (c *ByteLRU[K, V]) Get(key K) (V, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(n)
+	return n.value, true
+}
+
+// Peek returns the value without touching recency.
+func (c *ByteLRU[K, V]) Peek(key K) (V, bool) {
+	n, ok := c.items[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return n.value, true
+}
+
+// Contains reports presence without touching recency.
+func (c *ByteLRU[K, V]) Contains(key K) bool {
+	_, ok := c.items[key]
+	return ok
+}
+
+// Put inserts or updates key with the given size and dirtiness, returning
+// any entries evicted to fit the budget. An item larger than the whole
+// budget is not cached (and is returned as if immediately evicted when
+// dirty, so writeback accounting still happens).
+func (c *ByteLRU[K, V]) Put(key K, value V, size int, dirty bool) []Evicted[K, V] {
+	var out []Evicted[K, V]
+	if n, ok := c.items[key]; ok {
+		c.used += size - n.size
+		n.value, n.size = value, size
+		n.dirty = n.dirty || dirty
+		c.moveToFront(n)
+		return c.shrink(out)
+	}
+	if size > c.budget {
+		if dirty {
+			out = append(out, Evicted[K, V]{Key: key, Value: value, Dirty: true})
+		}
+		return out
+	}
+	n := &lruNode[K, V]{key: key, value: value, size: size, dirty: dirty}
+	c.items[key] = n
+	c.pushFront(n)
+	c.used += size
+	return c.shrink(out)
+}
+
+// MarkDirty flags an existing entry dirty; it reports whether the key was
+// present.
+func (c *ByteLRU[K, V]) MarkDirty(key K) bool {
+	n, ok := c.items[key]
+	if ok {
+		n.dirty = true
+	}
+	return ok
+}
+
+// CleanMatching clears the dirty flag of every entry for which match
+// returns true, returning how many were cleaned. DFTL uses this for its
+// batched translation-page writeback: one flash write cleans every
+// cached entry of that translation page.
+func (c *ByteLRU[K, V]) CleanMatching(match func(K) bool) int {
+	n := 0
+	for k, node := range c.items {
+		if node.dirty && match(k) {
+			node.dirty = false
+			n++
+		}
+	}
+	return n
+}
+
+// Remove drops key, reporting the removed entry if present.
+func (c *ByteLRU[K, V]) Remove(key K) (Evicted[K, V], bool) {
+	n, ok := c.items[key]
+	if !ok {
+		return Evicted[K, V]{}, false
+	}
+	c.unlink(n)
+	delete(c.items, key)
+	c.used -= n.size
+	return Evicted[K, V]{Key: n.key, Value: n.value, Dirty: n.dirty}, true
+}
+
+// Resize changes the byte budget, evicting LRU entries as needed.
+func (c *ByteLRU[K, V]) Resize(budget int) []Evicted[K, V] {
+	if budget < 0 {
+		budget = 0
+	}
+	c.budget = budget
+	return c.shrink(nil)
+}
+
+// shrink evicts from the tail until used ≤ budget.
+func (c *ByteLRU[K, V]) shrink(out []Evicted[K, V]) []Evicted[K, V] {
+	for c.used > c.budget && c.tail != nil {
+		n := c.tail
+		c.unlink(n)
+		delete(c.items, n.key)
+		c.used -= n.size
+		out = append(out, Evicted[K, V]{Key: n.key, Value: n.value, Dirty: n.dirty})
+	}
+	return out
+}
+
+func (c *ByteLRU[K, V]) pushFront(n *lruNode[K, V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *ByteLRU[K, V]) unlink(n *lruNode[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *ByteLRU[K, V]) moveToFront(n *lruNode[K, V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

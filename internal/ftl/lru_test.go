@@ -1,0 +1,162 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := NewByteLRU[int, string](100)
+	c.Put(1, "a", 40, false)
+	c.Put(2, "b", 40, false)
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q,%v", v, ok)
+	}
+	// 1 is now MRU; inserting 60 bytes evicts 2.
+	ev := c.Put(3, "c", 60, false)
+	if len(ev) != 1 || ev[0].Key != 2 {
+		t.Fatalf("evicted %v, want key 2", ev)
+	}
+	if c.Used() != 100 || c.Len() != 2 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestLRUDirtyEviction(t *testing.T) {
+	c := NewByteLRU[int, int](16)
+	c.Put(1, 1, 8, true)
+	c.Put(2, 2, 8, false)
+	ev := c.Put(3, 3, 8, false)
+	if len(ev) != 1 || !ev[0].Dirty || ev[0].Key != 1 {
+		t.Fatalf("evictions = %+v", ev)
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	c := NewByteLRU[int, int](32)
+	c.Put(1, 10, 8, false)
+	c.Put(1, 11, 16, true)
+	if c.Used() != 16 || c.Len() != 1 {
+		t.Errorf("used=%d len=%d", c.Used(), c.Len())
+	}
+	if v, _ := c.Peek(1); v != 11 {
+		t.Errorf("value = %d", v)
+	}
+	// Updated entry keeps dirtiness until cleaned.
+	if n := c.CleanMatching(func(int) bool { return true }); n != 1 {
+		t.Errorf("cleaned %d", n)
+	}
+}
+
+func TestLRUOversizeItem(t *testing.T) {
+	c := NewByteLRU[int, int](10)
+	ev := c.Put(1, 1, 20, true)
+	if c.Len() != 0 {
+		t.Error("oversize item cached")
+	}
+	if len(ev) != 1 || !ev[0].Dirty {
+		t.Errorf("oversize dirty item must report writeback: %v", ev)
+	}
+}
+
+func TestLRUResize(t *testing.T) {
+	c := NewByteLRU[int, int](100)
+	for i := 0; i < 10; i++ {
+		c.Put(i, i, 10, false)
+	}
+	ev := c.Resize(35)
+	if len(ev) != 7 {
+		t.Fatalf("evicted %d, want 7", len(ev))
+	}
+	// Survivors are the three most recently used: 7, 8, 9.
+	for _, k := range []int{7, 8, 9} {
+		if !c.Contains(k) {
+			t.Errorf("key %d missing after resize", k)
+		}
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := NewByteLRU[int, int](100)
+	c.Put(1, 1, 10, true)
+	ev, ok := c.Remove(1)
+	if !ok || !ev.Dirty || c.Len() != 0 || c.Used() != 0 {
+		t.Errorf("remove: %+v ok=%v len=%d used=%d", ev, ok, c.Len(), c.Used())
+	}
+	if _, ok := c.Remove(1); ok {
+		t.Error("second remove succeeded")
+	}
+}
+
+// Property: eviction order is exactly least-recently-used and used never
+// exceeds budget.
+func TestLRUProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewByteLRU[int, int](64)
+	type ref struct{ key, size int }
+	var order []ref // recency list, MRU first (reference model)
+	touch := func(k, size int) {
+		for i, r := range order {
+			if r.key == k {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+		order = append([]ref{{k, size}}, order...)
+	}
+	for i := 0; i < 5000; i++ {
+		k := rng.Intn(20)
+		switch rng.Intn(3) {
+		case 0:
+			size := 4 + rng.Intn(12)
+			evs := c.Put(k, k, size, false)
+			touch(k, size)
+			// Trim reference model the same way.
+			used := 0
+			for _, r := range order {
+				used += r.size
+			}
+			for used > 64 {
+				last := order[len(order)-1]
+				order = order[:len(order)-1]
+				used -= last.size
+				found := false
+				for _, e := range evs {
+					if e.Key == last.key {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("step %d: model evicted %d, cache did not (evs=%v)", i, last.key, evs)
+				}
+			}
+		case 1:
+			_, ok := c.Get(k)
+			inModel := false
+			for _, r := range order {
+				if r.key == k {
+					inModel = true
+					touch(k, r.size)
+					break
+				}
+			}
+			if ok != inModel {
+				t.Fatalf("step %d: Get(%d) = %v, model %v", i, k, ok, inModel)
+			}
+		case 2:
+			c.Remove(k)
+			for j, r := range order {
+				if r.key == k {
+					order = append(order[:j], order[j+1:]...)
+					break
+				}
+			}
+		}
+		if c.Used() > c.Budget() {
+			t.Fatalf("step %d: used %d > budget %d", i, c.Used(), c.Budget())
+		}
+		if c.Len() != len(order) {
+			t.Fatalf("step %d: len %d, model %d", i, c.Len(), len(order))
+		}
+	}
+}

@@ -1,0 +1,153 @@
+// Package leaftl wires the learned mapping table (internal/core) into the
+// ftl.Scheme interface the SSD device drives (paper §3.8 "Put It All
+// Together").
+//
+// The learned table is fully DRAM-resident — its whole point is being
+// small (Figures 15/19) — so translations cost no flash accesses. The
+// scheme's periodic maintenance performs segment compaction (every
+// CompactEvery host page writes, §3.7) and persists the table to flash
+// translation blocks for recovery (§3.8), charging the corresponding
+// translation-page writes.
+package leaftl
+
+import (
+	"leaftl/internal/addr"
+	"leaftl/internal/core"
+	"leaftl/internal/ftl"
+)
+
+// Option configures a Scheme.
+type Option func(*Scheme)
+
+// WithCompactEvery overrides the compaction interval, in host page
+// writes. The paper's default is one million (§3.7).
+func WithCompactEvery(n uint64) Option {
+	return func(s *Scheme) { s.compactEvery = n }
+}
+
+// WithoutSortedFlush is used by the buffer-sorting ablation; it only
+// marks the scheme name, the device owns actual buffer sorting.
+func WithoutSortedFlush() Option {
+	return func(s *Scheme) { s.name = "LeaFTL-nosort" }
+}
+
+// Scheme is LeaFTL as an ftl.Scheme.
+type Scheme struct {
+	name         string
+	table        *core.Table
+	pageSize     int
+	compactEvery uint64
+	lastCompact  uint64
+
+	// Stats accumulated for the evaluation figures.
+	lookups    uint64
+	levelsSum  uint64
+	levelsHist map[int]uint64
+	segLearned uint64
+	batchCount uint64
+}
+
+// New returns a LeaFTL scheme with error bound gamma (pages) on a device
+// with the given flash page size.
+func New(gamma, pageSize int, opts ...Option) *Scheme {
+	s := &Scheme{
+		name:         "LeaFTL",
+		table:        core.NewTable(gamma),
+		pageSize:     pageSize,
+		compactEvery: 1_000_000,
+		levelsHist:   make(map[int]uint64),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Name implements ftl.Scheme.
+func (s *Scheme) Name() string { return s.name }
+
+// Gamma returns the error bound (implements ftl.Gamma).
+func (s *Scheme) Gamma() int { return s.table.Gamma() }
+
+// Table exposes the underlying learned table for structure-level
+// experiments (Figures 5, 10, 12, 20).
+func (s *Scheme) Table() *core.Table { return s.table }
+
+// Translate implements ftl.Scheme.
+func (s *Scheme) Translate(lpa addr.LPA) (ftl.Translation, bool) {
+	ppa, res, ok := s.table.Lookup(lpa)
+	if !ok {
+		return ftl.Translation{}, false
+	}
+	s.lookups++
+	s.levelsSum += uint64(res.Levels)
+	s.levelsHist[res.Levels]++
+	return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx}, true
+}
+
+// Commit implements ftl.Scheme: learns index segments over the flushed
+// batch and inserts them at the top level. Learning runs on the
+// controller CPU (Table 3 measures it at ~10µs per 256 mappings) and
+// costs no flash operations.
+func (s *Scheme) Commit(pairs []addr.Mapping) ftl.Cost {
+	n := s.table.Update(pairs)
+	s.segLearned += uint64(n)
+	s.batchCount++
+	return ftl.Cost{}
+}
+
+// SetBudget implements ftl.Scheme. The learned table is always resident;
+// the budget is accepted for interface symmetry.
+func (s *Scheme) SetBudget(int) {}
+
+// MemoryBytes implements ftl.Scheme.
+func (s *Scheme) MemoryBytes() int { return s.table.SizeBytes() }
+
+// FullSizeBytes implements ftl.Scheme.
+func (s *Scheme) FullSizeBytes() int { return s.table.SizeBytes() }
+
+// Maintain implements ftl.Scheme: every compactEvery host page writes,
+// compact the log-structured table (§3.7) and persist it to translation
+// blocks (§3.8), charging ⌈table/pageSize⌉ translation-page writes.
+func (s *Scheme) Maintain(hostPageWrites uint64) ftl.Cost {
+	if hostPageWrites < s.lastCompact {
+		// The device's host counters were reset (warmup/steady-state
+		// separation); re-anchor instead of underflowing.
+		s.lastCompact = hostPageWrites
+	}
+	if hostPageWrites-s.lastCompact < s.compactEvery {
+		return ftl.Cost{}
+	}
+	s.lastCompact = hostPageWrites
+	s.table.Compact()
+	pages := (s.table.SizeBytes() + s.pageSize - 1) / s.pageSize
+	return ftl.Cost{MetaWrites: pages}
+}
+
+// Snapshot serializes the learned table (the translation-page image of
+// §3.8). With battery-backed DRAM this is persisted on power failure and
+// recovery is one Restore instead of an OOB scan.
+func (s *Scheme) Snapshot() ([]byte, error) { return s.table.MarshalBinary() }
+
+// Restore replaces the learned table with a Snapshot image.
+func (s *Scheme) Restore(data []byte) error { return s.table.UnmarshalBinary(data) }
+
+// LookupLevels reports the average levels visited per lookup and the
+// histogram of level counts (Figure 23a).
+func (s *Scheme) LookupLevels() (avg float64, hist map[int]uint64) {
+	if s.lookups == 0 {
+		return 0, s.levelsHist
+	}
+	return float64(s.levelsSum) / float64(s.lookups), s.levelsHist
+}
+
+// SegmentsPerBatch reports the average number of segments learned per
+// committed batch.
+func (s *Scheme) SegmentsPerBatch() float64 {
+	if s.batchCount == 0 {
+		return 0
+	}
+	return float64(s.segLearned) / float64(s.batchCount)
+}
+
+var _ ftl.Scheme = (*Scheme)(nil)

@@ -1,0 +1,119 @@
+package leaftl
+
+import (
+	"testing"
+
+	"leaftl/internal/addr"
+)
+
+func seq(start addr.LPA, ppa addr.PPA, n int) []addr.Mapping {
+	out := make([]addr.Mapping, n)
+	for i := 0; i < n; i++ {
+		out[i] = addr.Mapping{LPA: start + addr.LPA(i), PPA: ppa + addr.PPA(i)}
+	}
+	return out
+}
+
+func TestSchemeTranslate(t *testing.T) {
+	s := New(0, 4096)
+	s.Commit(seq(0, 100, 256))
+	tr, ok := s.Translate(10)
+	if !ok || tr.PPA != 110 || tr.Approx {
+		t.Fatalf("Translate(10) = %+v, %v", tr, ok)
+	}
+	if _, ok := s.Translate(9999); ok {
+		t.Error("unmapped LPA translated")
+	}
+	if s.Name() != "LeaFTL" || s.Gamma() != 0 {
+		t.Errorf("name/gamma = %s/%d", s.Name(), s.Gamma())
+	}
+}
+
+func TestSchemeMemorySmallOnSequential(t *testing.T) {
+	s := New(0, 4096)
+	for b := 0; b < 64; b++ {
+		s.Commit(seq(addr.LPA(b*256), addr.PPA(b*256), 256))
+	}
+	// 64 blocks × 256 pages = 16384 mappings; DFTL would need 128KB.
+	if s.MemoryBytes() > 1024 {
+		t.Errorf("sequential mapping used %d bytes", s.MemoryBytes())
+	}
+	if s.FullSizeBytes() != s.MemoryBytes() {
+		t.Error("resident table: full size must equal memory")
+	}
+}
+
+func TestSchemeMaintainCompacts(t *testing.T) {
+	s := New(0, 4096, WithCompactEvery(100))
+	for i := 0; i < 20; i++ {
+		s.Commit(seq(0, addr.PPA(1000*i), 128))
+	}
+	cost := s.Maintain(100) // interval reached
+	if cost.MetaWrites == 0 {
+		t.Error("maintenance did not persist the table")
+	}
+	if c := s.Maintain(150); c.MetaWrites != 0 {
+		t.Error("maintenance re-ran before the interval elapsed")
+	}
+	tr, ok := s.Translate(5)
+	if !ok || tr.PPA != addr.PPA(1000*19+5) {
+		t.Fatalf("post-compaction Translate(5) = %+v, %v", tr, ok)
+	}
+}
+
+func TestSchemeStatsCounters(t *testing.T) {
+	s := New(4, 4096)
+	s.Commit(seq(0, 0, 64))
+	for i := 0; i < 10; i++ {
+		s.Translate(addr.LPA(i))
+	}
+	avg, hist := s.LookupLevels()
+	if avg < 1 {
+		t.Errorf("avg levels = %v", avg)
+	}
+	if len(hist) == 0 {
+		t.Error("empty level histogram")
+	}
+	if s.SegmentsPerBatch() <= 0 {
+		t.Error("segments-per-batch not tracked")
+	}
+	if s.Table() == nil {
+		t.Error("table accessor nil")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New(4, 4096)
+	ir := func(lpas []addr.LPA, ppa addr.PPA) []addr.Mapping {
+		out := make([]addr.Mapping, len(lpas))
+		for i, l := range lpas {
+			out[i] = addr.Mapping{LPA: l, PPA: ppa + addr.PPA(i)}
+		}
+		return out
+	}
+	s.Commit(seq(0, 100, 256))
+	s.Commit(ir([]addr.LPA{300, 302, 305, 309}, 5000))
+	s.Commit(seq(64, 9000, 64))
+
+	img, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := New(0, 4096)
+	if err := fresh.Restore(img); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Gamma() != 4 {
+		t.Errorf("gamma after restore = %d", fresh.Gamma())
+	}
+	for _, lpa := range []addr.LPA{0, 63, 64, 127, 300, 305, 255} {
+		a, aok := s.Translate(lpa)
+		b, bok := fresh.Translate(lpa)
+		if aok != bok || a.PPA != b.PPA {
+			t.Errorf("Translate(%d): %v/%v vs %v/%v", lpa, a.PPA, aok, b.PPA, bok)
+		}
+	}
+	if err := fresh.Restore([]byte("garbage")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}

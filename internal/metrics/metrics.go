@@ -1,0 +1,213 @@
+// Package metrics provides the measurement plumbing for the evaluation:
+// log-bucketed latency histograms with percentile queries (Figures 18 and
+// 23), running means, and CDF extraction over integer samples (Figures 5,
+// 10, 12).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Histogram is a logarithmically bucketed latency histogram. Buckets grow
+// by ~7.2% per step (96 buckets per decade), bounding percentile error
+// under 4% — plenty for distribution *shape* comparisons.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+const (
+	histBucketsPerDecade = 96
+	histMinValue         = 1e-9 // 1ns
+	histBuckets          = 96 * 12
+)
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]uint64, histBuckets), min: math.Inf(1)}
+}
+
+func bucketOf(v float64) int {
+	if v < histMinValue {
+		return 0
+	}
+	b := int(math.Log10(v/histMinValue) * histBucketsPerDecade)
+	if b < 0 {
+		b = 0
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func bucketValue(b int) float64 {
+	return histMinValue * math.Pow(10, float64(b)/histBucketsPerDecade)
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveValue(d.Seconds())
+}
+
+// ObserveValue records one sample in seconds.
+func (h *Histogram) ObserveValue(v float64) {
+	h.counts[bucketOf(v)]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the sample mean in seconds (0 with no samples).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) in seconds.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := uint64(math.Ceil(float64(h.total) * p / 100))
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= target {
+			v := bucketValue(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// MeanDuration returns Mean as a time.Duration.
+func (h *Histogram) MeanDuration() time.Duration {
+	return time.Duration(h.Mean() * float64(time.Second))
+}
+
+// PercentileDuration returns Percentile as a time.Duration.
+func (h *Histogram) PercentileDuration(p float64) time.Duration {
+	return time.Duration(h.Percentile(p) * float64(time.Second))
+}
+
+// Merge adds o's samples to h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// IntDist summarizes an integer sample set (CRB sizes, level counts,
+// segment lengths).
+type IntDist struct {
+	sorted []int
+	sum    int64
+}
+
+// NewIntDist builds a distribution over the samples.
+func NewIntDist(samples []int) *IntDist {
+	s := append([]int(nil), samples...)
+	sort.Ints(s)
+	var sum int64
+	for _, v := range s {
+		sum += int64(v)
+	}
+	return &IntDist{sorted: s, sum: sum}
+}
+
+// Count returns the number of samples.
+func (d *IntDist) Count() int { return len(d.sorted) }
+
+// Mean returns the sample mean.
+func (d *IntDist) Mean() float64 {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return float64(d.sum) / float64(len(d.sorted))
+}
+
+// Percentile returns the p-th percentile (nearest-rank).
+func (d *IntDist) Percentile(p float64) int {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return d.sorted[0]
+	}
+	idx := int(math.Ceil(float64(len(d.sorted))*p/100)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(d.sorted) {
+		idx = len(d.sorted) - 1
+	}
+	return d.sorted[idx]
+}
+
+// Max returns the largest sample.
+func (d *IntDist) Max() int {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	return d.sorted[len(d.sorted)-1]
+}
+
+// CDFAt returns the fraction of samples ≤ v.
+func (d *IntDist) CDFAt(v int) float64 {
+	if len(d.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchInts(d.sorted, v+1)
+	return float64(i) / float64(len(d.sorted))
+}
+
+// FormatBytes renders a byte count in human units (KiB/MiB/GiB).
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

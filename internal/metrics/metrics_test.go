@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(50) != 0 {
+		t.Error("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	mean := h.MeanDuration()
+	if mean < 50*time.Microsecond || mean > 51*time.Microsecond {
+		t.Errorf("mean = %v, want ~50.5µs", mean)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	var samples []float64
+	for i := 0; i < 100000; i++ {
+		v := rng.ExpFloat64() * 100e-6 // exponential latencies ~100µs
+		samples = append(samples, v)
+		h.ObserveValue(v)
+	}
+	sort.Float64s(samples)
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		exact := samples[int(float64(len(samples))*p/100)-1]
+		got := h.Percentile(p)
+		if got < exact*0.9 || got > exact*1.1 {
+			t.Errorf("p%v = %g, exact %g (>10%% off)", p, got, exact)
+		}
+	}
+	if h.Percentile(0) > h.Percentile(100) {
+		t.Error("p0 > p100")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(time.Microsecond)
+	b.Observe(time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Percentile(100) < (time.Millisecond).Seconds() {
+		t.Error("merge lost the max")
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveValue(0)   // below first bucket
+	h.ObserveValue(1e6) // way above last bucket
+	if h.Count() != 2 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Percentile(100) != 1e6 {
+		t.Errorf("max = %v", h.Percentile(100))
+	}
+}
+
+func TestIntDist(t *testing.T) {
+	d := NewIntDist([]int{5, 1, 3, 2, 4})
+	if d.Count() != 5 || d.Mean() != 3 || d.Max() != 5 {
+		t.Errorf("count=%d mean=%v max=%d", d.Count(), d.Mean(), d.Max())
+	}
+	if d.Percentile(50) != 3 {
+		t.Errorf("p50 = %d", d.Percentile(50))
+	}
+	if d.Percentile(99) != 5 {
+		t.Errorf("p99 = %d", d.Percentile(99))
+	}
+	if d.Percentile(0) != 1 {
+		t.Errorf("p0 = %d", d.Percentile(0))
+	}
+	if got := d.CDFAt(3); got != 0.6 {
+		t.Errorf("CDF(3) = %v", got)
+	}
+	if got := d.CDFAt(0); got != 0 {
+		t.Errorf("CDF(0) = %v", got)
+	}
+	if got := d.CDFAt(5); got != 1 {
+		t.Errorf("CDF(5) = %v", got)
+	}
+}
+
+func TestIntDistEmpty(t *testing.T) {
+	d := NewIntDist(nil)
+	if d.Count() != 0 || d.Mean() != 0 || d.Percentile(99) != 0 || d.Max() != 0 || d.CDFAt(5) != 0 {
+		t.Error("empty distribution not zeroed")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2048:    "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		5 << 30: "5.00 GiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package plr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchPoints(n int) []Point {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]Point, 0, n)
+	x, y := int64(0), int64(0)
+	for i := 0; i < n; i++ {
+		x += 1 + rng.Int63n(3)
+		y++
+		pts = append(pts, Point{X: x, Y: y})
+	}
+	return pts
+}
+
+func BenchmarkFit256(b *testing.B) {
+	pts := benchPoints(256)
+	for _, gamma := range []float64{0, 4} {
+		name := "gamma0"
+		if gamma > 0 {
+			name = "gamma4"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Fit(pts, gamma, 0, 1, 255)
+			}
+		})
+	}
+}
+
+func BenchmarkFitterAdd(b *testing.B) {
+	pts := benchPoints(1 << 16)
+	f := NewFitter(4, 0, 1, 255)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		f.Add(p.X+int64(i/len(pts))*1<<20, p.Y)
+	}
+}

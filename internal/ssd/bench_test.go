@@ -1,0 +1,54 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/leaftl"
+)
+
+// BenchmarkDeviceWrite measures the host write path (buffer insert plus
+// amortized flush, learning and GC).
+func BenchmarkDeviceWrite(b *testing.B) {
+	cfg := testConfig()
+	d, err := New(cfg, leaftl.New(0, cfg.Flash.PageSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	logical := d.LogicalPages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Write(addr.LPA(rng.Intn(logical-8)), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeviceRead measures the host read path (translation, flash
+// model, cache maintenance).
+func BenchmarkDeviceRead(b *testing.B) {
+	cfg := testConfig()
+	d, err := New(cfg, leaftl.New(0, cfg.Flash.PageSize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	logical := d.LogicalPages()
+	for lpa := 0; lpa+64 <= logical/2; lpa += 64 {
+		if _, err := d.Write(addr.LPA(lpa), 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Read(addr.LPA(rng.Intn(logical/2)), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

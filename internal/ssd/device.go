@@ -1,0 +1,479 @@
+// Package ssd simulates the SSD the paper evaluates on: flash array plus
+// controller machinery — write data buffer with sorted flushes (§3.3),
+// DRAM split between mapping structures and an LRU data cache (§4.2),
+// greedy garbage collection and wear leveling (§3.6), OOB-verified reads
+// with misprediction recovery (§3.5), and crash recovery (§3.8).
+//
+// The device is driven closed-loop: every host request starts when the
+// previous one finished, and background flash traffic (flushes, GC)
+// occupies channels so subsequent reads queue behind it. This substitutes
+// WiscSim's event engine with a per-channel timeline (DESIGN.md §2).
+package ssd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/flash"
+	"leaftl/internal/ftl"
+	"leaftl/internal/metrics"
+)
+
+// Device is one simulated SSD with a pluggable translation scheme.
+type Device struct {
+	cfg    Config
+	arr    *flash.Array
+	scheme ftl.Scheme
+	gamma  int // scheme's error bound (0 for exact schemes)
+
+	logicalPages int
+
+	// Simulator ground truth, used for bookkeeping (PVT/BVC updates, GC
+	// victim contents) and integrity checking — never for performance
+	// accounting, which flows through the scheme and OOB reads.
+	truth []addr.PPA
+	token []uint64 // expected payload per LPA
+
+	valid    []bool // PVT: per-PPA validity bitmap (Figure 3 structure 4)
+	bvc      []int  // BVC: per-block valid-page count (structure 3)
+	free     []flash.BlockID
+	isFree   []bool
+	blockSeq []uint64 // allocation sequence per block, for recovery order
+	nextSeq  uint64
+
+	// Write data buffer (§3.3) and data cache.
+	buffer     map[addr.LPA]uint64
+	cache      *ftl.ByteLRU[addr.LPA, uint64]
+	mapBudget  int
+	writeStamp uint64
+	gc         gcState
+	// flushDone is when the last flush's slowest program completes; the
+	// next flush stalls behind it (write back-pressure: the host cannot
+	// outrun the flash's program bandwidth indefinitely).
+	flushDone time.Duration
+
+	now   time.Duration
+	stats Stats
+
+	readLat   *metrics.Histogram
+	writeLat  *metrics.Histogram
+	flashBase flash.Stats // snapshot at last ResetMetrics, for WAF deltas
+}
+
+// New builds a device. The scheme's DRAM budget is derived from cfg.Mode
+// before any traffic flows.
+func New(cfg Config, scheme ftl.Scheme) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	arr, err := flash.NewArray(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	gamma := 0
+	if g, ok := scheme.(ftl.Gamma); ok {
+		gamma = g.Gamma()
+	}
+	if 2*gamma+1 > cfg.Flash.OOBEntries() {
+		return nil, fmt.Errorf("ssd: gamma %d needs %d OOB entries, flash provides %d (§3.5)",
+			gamma, 2*gamma+1, cfg.Flash.OOBEntries())
+	}
+
+	d := &Device{
+		cfg:          cfg,
+		arr:          arr,
+		scheme:       scheme,
+		gamma:        gamma,
+		logicalPages: cfg.LogicalPages(),
+		truth:        make([]addr.PPA, cfg.LogicalPages()),
+		token:        make([]uint64, cfg.LogicalPages()),
+		valid:        make([]bool, cfg.Flash.TotalPages()),
+		bvc:          make([]int, cfg.Flash.Blocks()),
+		isFree:       make([]bool, cfg.Flash.Blocks()),
+		blockSeq:     make([]uint64, cfg.Flash.Blocks()),
+		buffer:       make(map[addr.LPA]uint64, cfg.BufferPages),
+		readLat:      metrics.NewHistogram(),
+		writeLat:     metrics.NewHistogram(),
+	}
+	for i := range d.truth {
+		d.truth[i] = addr.InvalidPPA
+	}
+	for b := cfg.Flash.Blocks() - 1; b >= 0; b-- {
+		d.free = append(d.free, flash.BlockID(b))
+		d.isFree[b] = true
+	}
+
+	// DRAM split (§4.2): the write buffer is pinned; the mapping budget
+	// depends on the mode; the data cache takes the rest and is resized
+	// as the mapping grows.
+	avail := int(cfg.DRAMBytes - cfg.BufferBytes())
+	switch cfg.Mode {
+	case MappingCapped:
+		d.mapBudget = int(float64(cfg.DRAMBytes) * cfg.CapFraction)
+		if d.mapBudget > avail {
+			d.mapBudget = avail
+		}
+	default:
+		d.mapBudget = avail
+	}
+	scheme.SetBudget(d.mapBudget)
+	d.cache = ftl.NewByteLRU[addr.LPA, uint64](0)
+	d.resizeCache()
+	return d, nil
+}
+
+// Scheme returns the device's translation scheme.
+func (d *Device) Scheme() ftl.Scheme { return d.scheme }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// FlashStats returns raw flash operation counters.
+func (d *Device) FlashStats() flash.Stats { return d.arr.Stats() }
+
+// Now returns the simulated clock (sum of host request latencies).
+func (d *Device) Now() time.Duration { return d.now }
+
+// ReadLatency returns the host read latency histogram.
+func (d *Device) ReadLatency() *metrics.Histogram { return d.readLat }
+
+// WriteLatency returns the host write latency histogram.
+func (d *Device) WriteLatency() *metrics.Histogram { return d.writeLat }
+
+// WAF returns the write amplification factor since the last
+// ResetMetrics (Figure 25).
+func (d *Device) WAF() float64 {
+	return d.stats.WAF(d.arr.Stats().PageWrites - d.flashBase.PageWrites)
+}
+
+// ResetMetrics zeroes the host-visible counters and latency histograms,
+// snapshotting flash counters so WAF measures the steady state after a
+// warmup phase (§4.1 warms the SSD before measuring).
+func (d *Device) ResetMetrics() {
+	d.stats = Stats{}
+	d.readLat = metrics.NewHistogram()
+	d.writeLat = metrics.NewHistogram()
+	d.flashBase = d.arr.Stats()
+}
+
+// LogicalPages returns the host-visible capacity in pages.
+func (d *Device) LogicalPages() int { return d.logicalPages }
+
+// resizeCache gives the data cache whatever DRAM the mapping is not
+// using (recomputed after every flush as the mapping grows).
+func (d *Device) resizeCache() {
+	used := d.scheme.MemoryBytes()
+	budget := int(d.cfg.DRAMBytes-d.cfg.BufferBytes()) - used
+	if budget < 0 {
+		budget = 0
+	}
+	d.cache.Resize(budget)
+}
+
+// Read performs a host read of n pages starting at lpa and returns its
+// latency. Pages are issued concurrently (per-channel queueing decides
+// actual overlap), the request completes when the slowest page does.
+func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
+	if err := d.checkRange(lpa, n); err != nil {
+		return 0, err
+	}
+	d.stats.HostReadReqs++
+	start := d.now
+	end := start + d.cfg.CacheHitLatency
+	for i := 0; i < n; i++ {
+		done, err := d.readPage(lpa+addr.LPA(i), start)
+		if err != nil {
+			return 0, err
+		}
+		if done > end {
+			end = done
+		}
+	}
+	lat := end - start
+	d.now = end
+	d.readLat.Observe(lat)
+	return lat, nil
+}
+
+// readPage serves one page read issued at time t; returns completion.
+func (d *Device) readPage(lpa addr.LPA, t time.Duration) (time.Duration, error) {
+	d.stats.HostPagesRead++
+
+	if tok, ok := d.buffer[lpa]; ok {
+		d.stats.BufferHits++
+		_ = tok
+		return t + d.cfg.CacheHitLatency, nil
+	}
+	if tok, ok := d.cache.Get(lpa); ok {
+		d.stats.CacheHits++
+		if tok != d.token[lpa] {
+			return 0, fmt.Errorf("ssd: cache corruption at LPA %d", lpa)
+		}
+		return t + d.cfg.CacheHitLatency, nil
+	}
+
+	tr, ok := d.scheme.Translate(lpa)
+	t = d.chargeMeta(tr.Cost, t)
+	if !ok {
+		// Never written: a real drive returns zeroes without touching
+		// flash. Cross-check against ground truth.
+		if d.truth[lpa] != addr.InvalidPPA {
+			return 0, fmt.Errorf("ssd: scheme %s lost mapping for LPA %d", d.scheme.Name(), lpa)
+		}
+		d.stats.UnmappedReads++
+		return t + d.cfg.CacheHitLatency, nil
+	}
+	if tr.Approx {
+		d.stats.ApproxReads++
+	}
+	d.stats.CacheMisses++
+
+	want := d.truth[lpa]
+	if want == addr.InvalidPPA {
+		return 0, fmt.Errorf("ssd: scheme %s fabricated mapping for unwritten LPA %d", d.scheme.Name(), lpa)
+	}
+
+	var tok uint64
+	if tr.PPA == want {
+		var rev addr.LPA
+		tok, rev, t = d.arr.Read(want, t)
+		if rev != lpa {
+			return 0, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", want, rev, lpa)
+		}
+	} else {
+		// Misprediction (§3.5): the predicted page's OOB holds the
+		// reverse mappings of its ±gamma neighborhood; one extra read
+		// locates the right page.
+		if !tr.Approx {
+			return 0, fmt.Errorf("ssd: exact scheme %s mistranslated LPA %d: got PPA %d, want %d",
+				d.scheme.Name(), lpa, tr.PPA, want)
+		}
+		d.stats.Mispredictions++
+		var window []addr.LPA
+		window, t = d.arr.OOBWindow(tr.PPA, d.gamma, t)
+		found := addr.InvalidPPA
+		for i, rev := range window {
+			if rev == lpa {
+				found = tr.PPA - addr.PPA(d.gamma) + addr.PPA(i)
+				break
+			}
+		}
+		if found == addr.InvalidPPA {
+			// The window is block-bounded; a prediction near a block
+			// edge may point outside the true page's block. Probe the
+			// remaining candidates' OOBs directly (each a charged read).
+			d.stats.OOBFallbacks++
+			lo := int64(tr.PPA) - int64(d.gamma)
+			hi := int64(tr.PPA) + int64(d.gamma)
+			for p := lo; p <= hi && found == addr.InvalidPPA; p++ {
+				if p < 0 || p >= int64(d.cfg.Flash.TotalPages()) || addr.PPA(p) == tr.PPA {
+					continue
+				}
+				if d.cfg.Flash.BlockOf(addr.PPA(p)) == d.cfg.Flash.BlockOf(tr.PPA) {
+					continue // already covered by the window
+				}
+				var rev addr.LPA
+				rev, t = d.arr.ReadOOB(addr.PPA(p), t)
+				if rev == lpa {
+					found = addr.PPA(p)
+				}
+			}
+		}
+		if found != want {
+			return 0, fmt.Errorf("ssd: misprediction recovery for LPA %d found PPA %v, want %d",
+				lpa, found, want)
+		}
+		var rev addr.LPA
+		tok, rev, t = d.arr.Read(found, t)
+		if rev != lpa {
+			return 0, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", found, rev, lpa)
+		}
+	}
+
+	if tok != d.token[lpa] {
+		return 0, fmt.Errorf("ssd: data corruption at LPA %d", lpa)
+	}
+	for range d.cache.Put(lpa, tok, d.cfg.Flash.PageSize, false) {
+		// Data-cache entries are clean (writes go through the buffer);
+		// evictions are free.
+	}
+	return t, nil
+}
+
+// Write performs a host write of n pages starting at lpa and returns its
+// latency. Writes land in the battery-backed data buffer (§3.8) and are
+// acknowledged at DRAM speed; a full buffer triggers a block-granularity
+// sorted flush whose flash traffic runs in the background.
+func (d *Device) Write(lpa addr.LPA, n int) (time.Duration, error) {
+	if err := d.checkRange(lpa, n); err != nil {
+		return 0, err
+	}
+	d.stats.HostWriteReqs++
+	start := d.now
+	for i := 0; i < n; i++ {
+		l := lpa + addr.LPA(i)
+		d.stats.HostPagesWrite++
+		d.writeStamp++
+		tok := uint64(l)<<24 ^ d.writeStamp
+		d.buffer[l] = tok
+		d.token[l] = tok
+		d.cache.Remove(l) // drop the stale cached copy
+		if len(d.buffer) >= d.cfg.BufferPages {
+			stall, err := d.flush(start)
+			if err != nil {
+				return 0, err
+			}
+			// Back-pressure: the write that could not fit until the
+			// previous flush drained pays the stall.
+			start += stall
+		}
+	}
+	lat := start + d.cfg.CacheHitLatency - d.now
+	d.now += lat
+	d.writeLat.Observe(lat)
+	return lat, nil
+}
+
+// checkRange validates a host request.
+func (d *Device) checkRange(lpa addr.LPA, n int) error {
+	if n <= 0 {
+		return fmt.Errorf("ssd: request of %d pages", n)
+	}
+	if int(lpa)+n > d.logicalPages {
+		return fmt.Errorf("ssd: request [%d, %d) beyond logical capacity %d",
+			lpa, int(lpa)+n, d.logicalPages)
+	}
+	return nil
+}
+
+// Flush drains the write buffer, including a final partial block. Call
+// at end of run before inspecting mapping-structure figures.
+func (d *Device) Flush() error {
+	if len(d.buffer) == 0 {
+		return nil
+	}
+	_, err := d.flushChunks(d.now, true)
+	return err
+}
+
+// flush writes out full blocks, keeping any partial remainder buffered.
+// It returns how long the caller had to stall behind the previous flush.
+func (d *Device) flush(t time.Duration) (time.Duration, error) {
+	return d.flushChunks(t, false)
+}
+
+func (d *Device) flushChunks(t time.Duration, includePartial bool) (time.Duration, error) {
+	var stall time.Duration
+	if d.flushDone > t {
+		stall = d.flushDone - t
+		t = d.flushDone
+	}
+	lpas := make([]addr.LPA, 0, len(d.buffer))
+	for l := range d.buffer {
+		lpas = append(lpas, l)
+	}
+	if d.cfg.SortBuffer {
+		sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
+	}
+	ppb := d.cfg.Flash.PagesPerBlock
+	for len(lpas) >= ppb || (includePartial && len(lpas) > 0) {
+		n := ppb
+		if n > len(lpas) {
+			n = len(lpas)
+		}
+		chunk := lpas[:n]
+		lpas = lpas[n:]
+		done, err := d.writeChunk(chunk, t)
+		if err != nil {
+			return stall, err
+		}
+		if done > d.flushDone {
+			d.flushDone = done
+		}
+	}
+	d.chargeMeta(d.scheme.Maintain(d.stats.HostPagesWrite), t)
+	d.resizeCache()
+	return stall, d.maybeGC(t)
+}
+
+// writeChunk programs one block's worth of buffered pages (sorted order
+// means ascending LPAs land on consecutive PPAs — the monotone mapping
+// §3.3 exploits) and commits the new mappings to the scheme.
+func (d *Device) writeChunk(chunk []addr.LPA, t time.Duration) (time.Duration, error) {
+	b, err := d.allocBlock(t)
+	if err != nil {
+		return 0, err
+	}
+	first := d.cfg.Flash.FirstPPA(b)
+	pairs := make([]addr.Mapping, len(chunk))
+	var done time.Duration
+	for i, l := range chunk {
+		ppa := first + addr.PPA(i)
+		tok := d.buffer[l]
+		done = d.arr.Write(ppa, l, tok, t)
+		d.invalidate(l)
+		d.truth[l] = ppa
+		d.valid[ppa] = true
+		d.bvc[b]++
+		pairs[i] = addr.Mapping{LPA: l, PPA: ppa}
+		delete(d.buffer, l)
+	}
+	// In-buffer ordering is by insertion when sorting is disabled; the
+	// scheme contract wants sorted pairs, so sort the *mappings* without
+	// changing the physical layout (the learned patterns degrade, which
+	// is exactly what the no-sort ablation measures).
+	if !d.cfg.SortBuffer {
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].LPA < pairs[j].LPA })
+	}
+	cost := d.scheme.Commit(pairs)
+	d.chargeMeta(cost, t)
+	d.stats.FlushedBlocks++
+	return done, nil
+}
+
+// invalidate clears the PVT/BVC state of lpa's previous page.
+func (d *Device) invalidate(lpa addr.LPA) {
+	old := d.truth[lpa]
+	if old == addr.InvalidPPA || !d.valid[old] {
+		return
+	}
+	d.valid[old] = false
+	d.bvc[d.cfg.Flash.BlockOf(old)]--
+}
+
+// allocBlock takes a free block, garbage-collecting first if the pool is
+// empty.
+func (d *Device) allocBlock(t time.Duration) (flash.BlockID, error) {
+	if len(d.free) == 0 {
+		if err := d.runGC(t, 1); err != nil {
+			return 0, err
+		}
+	}
+	if len(d.free) == 0 {
+		return 0, fmt.Errorf("ssd: out of flash blocks (logical space overcommitted)")
+	}
+	b := d.free[len(d.free)-1]
+	d.free = d.free[:len(d.free)-1]
+	d.isFree[b] = false
+	d.nextSeq++
+	d.blockSeq[b] = d.nextSeq
+	return b, nil
+}
+
+// chargeMeta serializes translation-metadata flash operations.
+func (d *Device) chargeMeta(c ftl.Cost, t time.Duration) time.Duration {
+	for i := 0; i < c.MetaReads; i++ {
+		t = d.arr.MetaRead(t)
+		d.stats.MetaReads++
+	}
+	for i := 0; i < c.MetaWrites; i++ {
+		t = d.arr.MetaWrite(t)
+		d.stats.MetaWrites++
+	}
+	return t
+}

@@ -1,0 +1,202 @@
+package ssd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/flash"
+)
+
+// gcState tracks the open destination block GC packs valid pages into
+// across runs.
+type gcState struct {
+	open  bool
+	block flash.BlockID
+	next  int
+}
+
+// maybeGC runs garbage collection when the free pool drops below the low
+// watermark, reclaiming until the high watermark (§3.6), then checks
+// wear leveling.
+func (d *Device) maybeGC(t time.Duration) error {
+	blocks := d.cfg.Flash.Blocks()
+	low := int(d.cfg.GCLowWater * float64(blocks))
+	high := int(d.cfg.GCHighWater * float64(blocks))
+	if len(d.free) >= low {
+		return d.maybeWearLevel(t)
+	}
+	if err := d.runGC(t, high); err != nil {
+		return err
+	}
+	return d.maybeWearLevel(t)
+}
+
+// runGC reclaims blocks until at least minFree are free. Victims are the
+// blocks with the fewest valid pages (greedy policy, §3.6); their valid
+// pages are read, re-sorted by LPA, packed into the GC destination block
+// and re-learned by the scheme.
+func (d *Device) runGC(t time.Duration, minFree int) error {
+	d.stats.GCRuns++
+	for len(d.free) < minFree {
+		victim, ok := d.pickVictim()
+		if !ok {
+			return fmt.Errorf("ssd: GC found no victim (free=%d)", len(d.free))
+		}
+		if err := d.moveBlock(victim, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictim returns the allocated block with the fewest valid pages,
+// excluding the open GC destination.
+func (d *Device) pickVictim() (flash.BlockID, bool) {
+	best := flash.BlockID(0)
+	bestValid := -1
+	for b := 0; b < d.cfg.Flash.Blocks(); b++ {
+		id := flash.BlockID(b)
+		if d.isFree[b] || d.blockSeq[b] == 0 {
+			continue
+		}
+		if d.gc.open && id == d.gc.block {
+			continue
+		}
+		if bestValid == -1 || d.bvc[b] < bestValid {
+			best, bestValid = id, d.bvc[b]
+		}
+	}
+	// A victim with every page valid frees nothing net of the moves;
+	// refuse so the caller can error instead of looping.
+	if bestValid == -1 || bestValid >= d.cfg.Flash.PagesPerBlock {
+		return 0, false
+	}
+	return best, true
+}
+
+// moveBlock relocates a block's valid pages and erases it.
+func (d *Device) moveBlock(victim flash.BlockID, t time.Duration) error {
+	first := d.cfg.Flash.FirstPPA(victim)
+	type moved struct {
+		lpa addr.LPA
+		tok uint64
+	}
+	var pages []moved
+	for i := 0; i < d.cfg.Flash.PagesPerBlock; i++ {
+		ppa := first + addr.PPA(i)
+		if !d.valid[ppa] {
+			continue
+		}
+		tok, lpa, done := d.arr.Read(ppa, t)
+		_ = done
+		pages = append(pages, moved{lpa: lpa, tok: tok})
+	}
+	// Sort by LPA so relocated runs stay learnable (§3.6: "place these
+	// valid pages into the DRAM buffer, sort them by their LPAs, and
+	// learn a new index segment").
+	sort.Slice(pages, func(i, j int) bool { return pages[i].lpa < pages[j].lpa })
+
+	var pairs []addr.Mapping
+	flushPairs := func() {
+		if len(pairs) == 0 {
+			return
+		}
+		cost := d.scheme.Commit(pairs)
+		d.chargeMeta(cost, t)
+		pairs = nil
+	}
+	for _, pg := range pages {
+		ppa, fresh, err := d.gcDest(t)
+		if err != nil {
+			return err
+		}
+		if fresh {
+			// Destination block changed: PPAs would jump backwards or
+			// across blocks, so commit the accumulated ascending run.
+			flushPairs()
+		}
+		d.arr.Write(ppa, pg.lpa, pg.tok, t)
+		d.invalidate(pg.lpa)
+		d.truth[pg.lpa] = ppa
+		d.valid[ppa] = true
+		d.bvc[d.cfg.Flash.BlockOf(ppa)]++
+		pairs = append(pairs, addr.Mapping{LPA: pg.lpa, PPA: ppa})
+		d.stats.GCPagesMoved++
+	}
+	flushPairs()
+
+	d.arr.Erase(victim, t)
+	d.bvc[victim] = 0
+	d.blockSeq[victim] = 0
+	d.free = append(d.free, victim)
+	d.isFree[victim] = true
+	d.stats.GCErases++
+	return nil
+}
+
+// gcDest returns the next destination PPA for a GC move, opening a new
+// block when the current one fills. fresh reports a block switch.
+func (d *Device) gcDest(t time.Duration) (addr.PPA, bool, error) {
+	fresh := false
+	if !d.gc.open || d.gc.next >= d.cfg.Flash.PagesPerBlock {
+		if len(d.free) == 0 {
+			return 0, false, fmt.Errorf("ssd: GC needs a destination block but none are free")
+		}
+		b := d.free[len(d.free)-1]
+		d.free = d.free[:len(d.free)-1]
+		d.isFree[b] = false
+		d.nextSeq++
+		d.blockSeq[b] = d.nextSeq
+		d.gc = gcState{open: true, block: b, next: 0}
+		fresh = true
+	}
+	ppa := d.cfg.Flash.FirstPPA(d.gc.block) + addr.PPA(d.gc.next)
+	d.gc.next++
+	return ppa, fresh, nil
+}
+
+// maybeWearLevel migrates the coldest block when the erase-count spread
+// exceeds the configured delta (§3.6: throttle-and-swap; cold data moves
+// so young blocks rejoin the hot rotation).
+func (d *Device) maybeWearLevel(t time.Duration) error {
+	if d.cfg.WearDelta == 0 {
+		return nil
+	}
+	var (
+		minErase, maxErase uint32
+		coldest            flash.BlockID
+		haveCold           bool
+		first              = true
+	)
+	for b := 0; b < d.cfg.Flash.Blocks(); b++ {
+		e := d.arr.EraseCount(flash.BlockID(b))
+		if first {
+			minErase, maxErase = e, e
+			first = false
+		}
+		if e < minErase {
+			minErase = e
+		}
+		if e > maxErase {
+			maxErase = e
+		}
+		// Cold candidate: allocated, holds data, low erase count.
+		if !d.isFree[b] && d.blockSeq[b] != 0 && d.bvc[b] > 0 &&
+			(!d.gc.open || flash.BlockID(b) != d.gc.block) {
+			if !haveCold || e < d.arr.EraseCount(coldest) {
+				coldest = flash.BlockID(b)
+				haveCold = true
+			}
+		}
+	}
+	if !haveCold || maxErase-minErase <= d.cfg.WearDelta {
+		return nil
+	}
+	if len(d.free) == 0 {
+		return nil // defer; GC will free space first
+	}
+	d.stats.WearMoves++
+	return d.moveBlock(coldest, t)
+}

@@ -1,0 +1,113 @@
+package ssd
+
+import (
+	"sort"
+	"time"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/flash"
+	"leaftl/internal/ftl"
+)
+
+// RecoveryReport summarizes a crash-recovery scan (§3.8, §5).
+type RecoveryReport struct {
+	// ScanTime is the simulated wall time of the OOB scan, bounded by
+	// the busiest channel (the paper scans channels in parallel).
+	ScanTime time.Duration
+	// PagesScanned counts OOB reads performed.
+	PagesScanned uint64
+	// BlocksScanned counts allocated blocks visited.
+	BlocksScanned int
+	// MappingsRebuilt counts live LPA→PPA pairs re-learned.
+	MappingsRebuilt int
+}
+
+// Recover simulates a power failure without battery-backed DRAM (§3.8):
+// the write buffer, data cache and all DRAM mapping state are lost, and
+// the mapping is rebuilt by scanning every allocated block's OOB at
+// channel parallelism. Each page's OOB carries its reverse LPA and a
+// write sequence number, so the newest copy of every LPA wins regardless
+// of which block GC packed it into. The rebuilt mappings are committed
+// to the given fresh scheme, which replaces the device's scheme.
+//
+// Buffered-but-unflushed writes are lost, exactly as on a real drive
+// without power-loss protection; the device's ground truth rolls back so
+// subsequent reads verify the recovered state.
+func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
+	var rep RecoveryReport
+
+	// Power loss drops the buffer; the expected payload reverts to the
+	// last flushed copy (or nothing, if the LPA never reached flash).
+	for l := range d.buffer {
+		delete(d.buffer, l)
+		if d.truth[l] == addr.InvalidPPA {
+			d.token[l] = 0
+		} else {
+			d.token[l] = d.arr.TokenAt(d.truth[l])
+		}
+	}
+	d.cache.Resize(0)
+
+	// Channel-parallel OOB scan of all allocated blocks.
+	chanBusy := make([]time.Duration, d.cfg.Flash.Channels)
+	type copyRef struct {
+		ppa addr.PPA
+		seq uint64
+	}
+	newest := make(map[addr.LPA]copyRef)
+	for b := 0; b < d.cfg.Flash.Blocks(); b++ {
+		if d.blockSeq[b] == 0 {
+			continue
+		}
+		rep.BlocksScanned++
+		first := d.cfg.Flash.FirstPPA(flash.BlockID(b))
+		ch := d.cfg.Flash.ChannelOf(first)
+		for i := 0; i < d.cfg.Flash.PagesPerBlock; i++ {
+			ppa := first + addr.PPA(i)
+			if !d.arr.Written(ppa) {
+				continue
+			}
+			rep.PagesScanned++
+			chanBusy[ch] += d.cfg.Flash.ReadLatency
+			lpa := d.arr.Reverse(ppa)
+			if lpa == addr.InvalidLPA {
+				continue
+			}
+			seq := d.arr.WriteSeq(ppa)
+			if cur, ok := newest[lpa]; !ok || seq > cur.seq {
+				newest[lpa] = copyRef{ppa: ppa, seq: seq}
+			}
+		}
+	}
+	for _, busy := range chanBusy {
+		if busy > rep.ScanTime {
+			rep.ScanTime = busy
+		}
+	}
+
+	// Re-learn the surviving mappings in LPA order, committing in
+	// ascending-PPA runs to respect the scheme contract.
+	pairs := make([]addr.Mapping, 0, len(newest))
+	for lpa, ref := range newest {
+		pairs = append(pairs, addr.Mapping{LPA: lpa, PPA: ref.ppa})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].LPA < pairs[j].LPA })
+	start := 0
+	for i := 1; i <= len(pairs); i++ {
+		if i == len(pairs) || pairs[i].PPA <= pairs[i-1].PPA {
+			fresh.Commit(pairs[start:i])
+			start = i
+		}
+	}
+	rep.MappingsRebuilt = len(pairs)
+
+	fresh.SetBudget(d.mapBudget)
+	d.scheme = fresh
+	if g, ok := fresh.(ftl.Gamma); ok {
+		d.gamma = g.Gamma()
+	} else {
+		d.gamma = 0
+	}
+	d.resizeCache()
+	return rep, nil
+}

@@ -1,0 +1,58 @@
+package ssd
+
+// Stats aggregates everything the evaluation reports about one run.
+type Stats struct {
+	// Host-visible traffic.
+	HostReadReqs   uint64
+	HostWriteReqs  uint64
+	HostPagesRead  uint64
+	HostPagesWrite uint64
+
+	// Where reads were served.
+	BufferHits    uint64
+	CacheHits     uint64
+	CacheMisses   uint64
+	UnmappedReads uint64 // reads of never-written LPAs
+
+	// Translation behaviour.
+	MetaReads      uint64 // translation-page reads (DFTL/SFTL misses)
+	MetaWrites     uint64 // translation-page writes (dirty evictions, table persistence)
+	Mispredictions uint64 // LeaFTL approximate lookups that missed (§3.5)
+	ApproxReads    uint64 // reads translated by approximate segments
+	OOBFallbacks   uint64 // mispredictions not resolved by one OOB window read
+
+	// Background machinery.
+	FlushedBlocks uint64
+	GCRuns        uint64
+	GCPagesMoved  uint64
+	GCErases      uint64
+	WearMoves     uint64
+}
+
+// WAF returns the write amplification factor given the raw flash page
+// writes observed by the array (paper Figure 25: actual / requested).
+func (s Stats) WAF(flashPageWrites uint64) float64 {
+	if s.HostPagesWrite == 0 {
+		return 0
+	}
+	return float64(flashPageWrites) / float64(s.HostPagesWrite)
+}
+
+// CacheHitRatio returns the fraction of host page reads served from
+// DRAM (buffer or data cache).
+func (s Stats) CacheHitRatio() float64 {
+	total := s.BufferHits + s.CacheHits + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BufferHits+s.CacheHits) / float64(total)
+}
+
+// MispredictionRatio returns mispredictions per host page read
+// (paper Figure 24).
+func (s Stats) MispredictionRatio() float64 {
+	if s.HostPagesRead == 0 {
+		return 0
+	}
+	return float64(s.Mispredictions) / float64(s.HostPagesRead)
+}

@@ -1,0 +1,35 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"leaftl/internal/addr"
+)
+
+// Device is the request surface a trace replays onto (implemented by
+// *ssd.Device).
+type Device interface {
+	Read(lpa addr.LPA, pages int) (time.Duration, error)
+	Write(lpa addr.LPA, pages int) (time.Duration, error)
+}
+
+// Replay applies every request in order (closed loop: the device's clock
+// advances per request).
+func Replay(d Device, reqs []Request) error {
+	for i, r := range reqs {
+		var err error
+		switch r.Op {
+		case OpRead:
+			_, err = d.Read(r.LPA, r.Pages)
+		case OpWrite:
+			_, err = d.Write(r.LPA, r.Pages)
+		default:
+			err = fmt.Errorf("unknown op %q", r.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("trace: request %d (%s): %w", i, r, err)
+		}
+	}
+	return nil
+}

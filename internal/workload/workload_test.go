@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"leaftl/internal/trace"
+)
+
+const testLogical = 1 << 20 // 1M pages
+
+func TestCatalogsValidate(t *testing.T) {
+	for _, p := range append(Catalog(), AppCatalog()...) {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if len(Catalog()) != 7 {
+		t.Errorf("trace catalog has %d workloads, want 7 (5 MSR + 2 FIU)", len(Catalog()))
+	}
+	if len(AppCatalog()) != 5 {
+		t.Errorf("app catalog has %d workloads, want 5 (Table 2)", len(AppCatalog()))
+	}
+}
+
+func TestByName(t *testing.T) {
+	if p, ok := ByName("MSR-hm"); !ok || p.Name != "MSR-hm" {
+		t.Errorf("ByName(MSR-hm) = %v, %v", p, ok)
+	}
+	if p, ok := ByName("TPCC"); !ok || p.Class != "app" {
+		t.Errorf("ByName(TPCC) = %v, %v", p, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName(nope) succeeded")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := ByName("MSR-hm")
+	a := p.Generate(testLogical, 5000, 42)
+	b := p.Generate(testLogical, 5000, 42)
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("lengths %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := p.Generate(testLogical, 5000, 43)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateStaysInFootprint(t *testing.T) {
+	for _, p := range append(Catalog(), AppCatalog()...) {
+		reqs := p.Generate(testLogical, 20000, 1)
+		limit := p.Footprint(testLogical)
+		for _, r := range reqs {
+			if int(r.LPA)+r.Pages > limit {
+				t.Fatalf("%s: request %v exceeds footprint %d", p.Name, r, limit)
+			}
+		}
+	}
+}
+
+func TestGenerateMixMatchesProfile(t *testing.T) {
+	for _, p := range Catalog() {
+		reqs := p.Generate(testLogical, 50000, 7)
+		reads := 0
+		for _, r := range reqs {
+			if r.Op == trace.OpRead {
+				reads++
+			}
+		}
+		frac := float64(reads) / float64(len(reqs))
+		// Strided bursts share one op choice, so allow a loose tolerance.
+		if frac < p.ReadFrac-0.12 || frac > p.ReadFrac+0.12 {
+			t.Errorf("%s: read fraction %.3f, profile %.3f", p.Name, frac, p.ReadFrac)
+		}
+	}
+}
+
+func TestSequentialWorkloadHasRuns(t *testing.T) {
+	p, _ := ByName("MSR-usr") // SeqFrac 0.6
+	reqs := p.Generate(testLogical, 10000, 3)
+	// Count adjacent requests that continue exactly where the previous
+	// one ended (sequential stream behaviour).
+	count := 0
+	for i := 1; i < len(reqs); i++ {
+		if int(reqs[i].LPA) == int(reqs[i-1].LPA)+reqs[i-1].Pages {
+			count++
+		}
+	}
+	if count < len(reqs)/10 {
+		t.Errorf("MSR-usr: only %d/%d sequential continuations", count, len(reqs))
+	}
+}
+
+func TestHotSkew(t *testing.T) {
+	p, _ := ByName("FIU-mail") // HotFrac 0.9, HotSpace 0.05
+	reqs := p.Generate(testLogical, 30000, 9)
+	hotLimit := int(float64(p.Footprint(testLogical)) * p.HotSpace)
+	inHot := 0
+	for _, r := range reqs {
+		if int(r.LPA) < hotLimit {
+			inHot++
+		}
+	}
+	if frac := float64(inHot) / float64(len(reqs)); frac < 0.5 {
+		t.Errorf("FIU-mail: hot fraction %.3f, expected strong skew", frac)
+	}
+}
+
+func TestFootprintBounds(t *testing.T) {
+	p, _ := ByName("MSR-hm")
+	if f := p.Footprint(100); f != 100 {
+		t.Errorf("tiny device footprint = %d, want clamped to 100", f)
+	}
+	want := int(p.FootprintFrac * float64(testLogical))
+	if f := p.Footprint(testLogical); f != want {
+		t.Errorf("footprint = %d, want %d", f, want)
+	}
+}

@@ -1,0 +1,86 @@
+package leaftl_test
+
+import (
+	"testing"
+
+	"leaftl"
+)
+
+// TestPublicAPIRoundTrip drives the whole stack through the public
+// facade only: build a device, write, flush, read, inspect stats.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	cfg := leaftl.SimulatorConfig()
+	cfg.Flash.BlocksPerChan = 8
+	cfg.DRAMBytes = 16 << 20
+	cfg.BufferPages = cfg.Flash.PagesPerBlock
+
+	dev, err := leaftl.OpenSimulated(cfg, leaftl.NewLeaFTL(0, cfg.Flash.PageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lpa := 0; lpa < 2048; lpa += 64 {
+		if _, err := dev.Write(leaftl.LPA(lpa), 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for lpa := 0; lpa < 2048; lpa += 64 {
+		if _, err := dev.Read(leaftl.LPA(lpa), 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dev.Stats().HostPagesRead != 2048 {
+		t.Errorf("pages read = %d", dev.Stats().HostPagesRead)
+	}
+	if dev.Scheme().FullSizeBytes() >= 2048*8 {
+		t.Errorf("learned table %dB not smaller than page-level %dB",
+			dev.Scheme().FullSizeBytes(), 2048*8)
+	}
+}
+
+func TestPublicMappingTable(t *testing.T) {
+	tb := leaftl.NewMappingTable(4)
+	pairs := make([]leaftl.Mapping, 128)
+	for i := range pairs {
+		pairs[i] = leaftl.Mapping{LPA: leaftl.LPA(2 * i), PPA: leaftl.PPA(1000 + i)}
+	}
+	tb.Update(pairs)
+	ppa, _, ok := tb.Lookup(64)
+	if !ok {
+		t.Fatal("lookup missed")
+	}
+	if d := int64(ppa) - int64(1000+32); d < -4 || d > 4 {
+		t.Errorf("lookup off by %d, beyond gamma", d)
+	}
+	if got := len(leaftl.Learn(pairs, 0)); got < 1 {
+		t.Errorf("Learn returned %d segments", got)
+	}
+}
+
+func TestPublicWorkloads(t *testing.T) {
+	if len(leaftl.Workloads()) != 7 || len(leaftl.AppWorkloads()) != 5 {
+		t.Fatal("catalog sizes changed")
+	}
+	p, ok := leaftl.WorkloadByName("TPCC")
+	if !ok {
+		t.Fatal("TPCC missing")
+	}
+	reqs := p.Generate(1<<20, 100, 1)
+	if len(reqs) != 100 {
+		t.Fatalf("generated %d requests", len(reqs))
+	}
+
+	cfg := leaftl.SimulatorConfig()
+	cfg.Flash.BlocksPerChan = 8
+	cfg.DRAMBytes = 16 << 20
+	cfg.BufferPages = cfg.Flash.PagesPerBlock
+	dev, err := leaftl.OpenSimulated(cfg, leaftl.NewDFTL(cfg.Flash.PageSize, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := leaftl.Replay(dev, p.Generate(dev.LogicalPages(), 500, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
