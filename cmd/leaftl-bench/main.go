@@ -18,7 +18,19 @@ func main() {
 	only := flag.String("only", "", "comma-separated figure IDs to run (e.g. fig15,fig16)")
 	seed := flag.Int64("seed", 1, "workload generation seed")
 	markdown := flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
+	parallel := flag.Int("parallel", 0, "parallel replay mode: N independent host streams against the sharded translation core (skips figures)")
+	shards := flag.Int("shards", 8, "shard count for the parallel replay mode")
+	gamma := flag.Int("gamma", 0, "error bound for the parallel replay mode")
+	jsonOut := flag.String("json", "", "parallel replay mode: write JSON results to this file (- for stdout)")
 	flag.Parse()
+
+	if *parallel > 0 {
+		if err := runParallel(*parallel, *shards, *gamma, *seed, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: parallel: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := experiments.QuickScale()
 	if *full {

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/core"
+)
+
+// parallelResult is the machine-readable output of the parallel replay
+// mode, recorded into BENCH_*.json by scripts/bench.sh so successive PRs
+// have a performance trajectory.
+type parallelResult struct {
+	Mode     string `json:"mode"`
+	Gamma    int    `json:"gamma"`
+	Shards   int    `json:"shards"`
+	Streams  int    `json:"streams"`
+	MaxProcs int    `json:"maxprocs"`
+
+	Mappings        int     `json:"mappings"`
+	Lookups         int     `json:"lookups"`
+	LookupMismatch  int     `json:"lookup_mismatches"`
+	SegmentCount    int     `json:"segments"`
+	AccurateSegs    int     `json:"accurate_segments"`
+	TableBytes      int     `json:"table_bytes"`
+	PageLevelBytes  int     `json:"page_level_bytes"`
+	MemoryReduction float64 `json:"memory_reduction"`
+
+	SerialLookupNs   float64 `json:"serial_lookup_ns"`
+	ParallelLookupNs float64 `json:"parallel_lookup_ns"`
+	LookupSpeedup    float64 `json:"lookup_speedup"`
+	SerialUpdateNs   float64 `json:"serial_update_ns_per_mapping"`
+	ParallelUpdateNs float64 `json:"parallel_update_ns_per_mapping"`
+}
+
+// runParallel is the leaftl-bench parallel replay mode: it replays the
+// same learned-table trace into a plain core.Table and a sharded one,
+// proves the translations bit-identical, then measures lookup and update
+// throughput with N independent host streams hammering the sharded core
+// concurrently (the LFTL/FMMU scalability scenario — on a single-core
+// host the parallel numbers degenerate to the serial ones plus locking).
+func runParallel(streams, shards, gamma int, seed int64, jsonPath string) error {
+	// The trace size scales with the stream count (groupsPerStream groups
+	// each); cap both knobs so absurd flag values cannot ask for a
+	// billion-LPA replay or a million goroutines.
+	const maxStreams, maxShards = 1024, 1024
+	if streams < 1 {
+		streams = 1
+	} else if streams > maxStreams {
+		return fmt.Errorf("streams %d exceeds the maximum of %d", streams, maxStreams)
+	}
+	if shards < 1 {
+		shards = 1
+	} else if shards > maxShards {
+		return fmt.Errorf("shards %d exceeds the maximum of %d", shards, maxShards)
+	}
+	const groupsPerStream = 64
+	groups := streams * groupsPerStream
+	space := groups * addr.GroupSize
+
+	rng := rand.New(rand.NewSource(seed))
+	batches := make([][]addr.Mapping, 0, groups)
+	ppa := addr.PPA(0)
+	mappings := 0
+	for g := 0; g < groups; g++ {
+		base := addr.LPA(g * addr.GroupSize)
+		var pairs []addr.Mapping
+		switch g % 3 {
+		case 0: // sequential group
+			for i := 0; i < addr.GroupSize; i++ {
+				pairs = append(pairs, addr.Mapping{LPA: base + addr.LPA(i), PPA: ppa})
+				ppa++
+			}
+		case 1: // strided
+			st := 2 + g%3
+			for i := 0; i*st < addr.GroupSize; i++ {
+				pairs = append(pairs, addr.Mapping{LPA: base + addr.LPA(i*st), PPA: ppa})
+				ppa++
+			}
+		default: // irregular ascending
+			l := base
+			for l < base+addr.GroupSize {
+				pairs = append(pairs, addr.Mapping{LPA: l, PPA: ppa})
+				ppa++
+				l += addr.LPA(1 + rng.Intn(4))
+			}
+		}
+		mappings += len(pairs)
+		batches = append(batches, pairs)
+	}
+
+	// Equivalence replay: identical batches into both cores.
+	plain := core.NewTable(gamma)
+	sharded := core.NewShardedTable(gamma, shards)
+	for _, b := range batches {
+		plain.Update(b)
+		sharded.Update(b)
+	}
+	mismatches := 0
+	for lpa := 0; lpa < space; lpa++ {
+		pp, pres, pok := plain.Lookup(addr.LPA(lpa))
+		sp, sres, sok := sharded.Lookup(addr.LPA(lpa))
+		if pp != sp || pres != sres || pok != sok {
+			mismatches++
+		}
+	}
+
+	// Lookup throughput, serial (plain table) vs parallel streams
+	// (sharded table). Every stream walks its own LPA sequence.
+	lpas := make([]addr.LPA, 1<<16)
+	for i := range lpas {
+		lpas[i] = addr.LPA(rng.Intn(space))
+	}
+	const rounds = 8
+	lookups := rounds * len(lpas)
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, l := range lpas {
+			plain.Lookup(l)
+		}
+	}
+	serialLookup := time.Since(start)
+
+	start = time.Now()
+	var wg sync.WaitGroup
+	per, rem := len(lpas)/streams, len(lpas)%streams
+	for s, next := 0, 0; s < streams; s++ {
+		n := per
+		if s < rem {
+			n++ // spread the remainder so every LPA is looked up
+		}
+		mine := lpas[next : next+n]
+		next += n
+		wg.Add(1)
+		go func(mine []addr.LPA) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for _, l := range mine {
+					sharded.Lookup(l)
+				}
+			}
+		}(mine)
+	}
+	wg.Wait()
+	parallelLookup := time.Since(start)
+
+	// Update throughput: re-learning the same working set (steady-state
+	// overwrite churn), serial vs per-stream writers on disjoint regions.
+	start = time.Now()
+	for _, b := range batches {
+		plain.Update(b)
+	}
+	serialUpdate := time.Since(start)
+
+	start = time.Now()
+	for s := 0; s < streams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for g := s * groupsPerStream; g < (s+1)*groupsPerStream; g++ {
+				sharded.Update(batches[g])
+			}
+		}(s)
+	}
+	wg.Wait()
+	parallelUpdate := time.Since(start)
+
+	st := sharded.Stats()
+	res := parallelResult{
+		Mode:             "parallel-replay",
+		Gamma:            gamma,
+		Shards:           shards,
+		Streams:          streams,
+		MaxProcs:         runtime.GOMAXPROCS(0),
+		Mappings:         mappings,
+		Lookups:          lookups,
+		LookupMismatch:   mismatches,
+		SegmentCount:     st.Segments,
+		AccurateSegs:     st.Accurate,
+		TableBytes:       sharded.SizeBytes(),
+		PageLevelBytes:   mappings * 8,
+		SerialLookupNs:   float64(serialLookup.Nanoseconds()) / float64(lookups),
+		ParallelLookupNs: float64(parallelLookup.Nanoseconds()) / float64(lookups),
+		SerialUpdateNs:   float64(serialUpdate.Nanoseconds()) / float64(mappings),
+		ParallelUpdateNs: float64(parallelUpdate.Nanoseconds()) / float64(mappings),
+	}
+	if res.TableBytes > 0 {
+		res.MemoryReduction = float64(res.PageLevelBytes) / float64(res.TableBytes)
+	}
+	if res.ParallelLookupNs > 0 {
+		res.LookupSpeedup = res.SerialLookupNs / res.ParallelLookupNs
+	}
+
+	fmt.Printf("== parallel: sharded translation replay ==\n")
+	fmt.Printf("gamma=%d shards=%d streams=%d GOMAXPROCS=%d\n", gamma, shards, streams, res.MaxProcs)
+	fmt.Printf("mappings             %d (%d groups)\n", mappings, groups)
+	fmt.Printf("lookup mismatches    %d (must be 0)\n", mismatches)
+	fmt.Printf("serial lookup        %.1f ns/op\n", res.SerialLookupNs)
+	fmt.Printf("parallel lookup      %.1f ns/op (%.2fx)\n", res.ParallelLookupNs, res.LookupSpeedup)
+	fmt.Printf("serial update        %.1f ns/mapping\n", res.SerialUpdateNs)
+	fmt.Printf("parallel update      %.1f ns/mapping\n", res.ParallelUpdateNs)
+	fmt.Printf("table footprint      %d B vs page-level %d B (%.1fx smaller)\n",
+		res.TableBytes, res.PageLevelBytes, res.MemoryReduction)
+
+	if mismatches > 0 {
+		return fmt.Errorf("sharded table diverged from plain table on %d LPAs", mismatches)
+	}
+	if jsonPath != "" {
+		enc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		enc = append(enc, '\n')
+		if jsonPath == "-" {
+			_, err = os.Stdout.Write(enc)
+			return err
+		}
+		return os.WriteFile(jsonPath, enc, 0o644)
+	}
+	return nil
+}

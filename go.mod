@@ -1,0 +1,3 @@
+module leaftl
+
+go 1.22

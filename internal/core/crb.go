@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"leaftl/internal/addr"
 )
 
@@ -24,6 +22,63 @@ import (
 // matches the paper's (Figure 10).
 type crb struct {
 	entries []crbEntry
+	// bytes is the flat-encoding footprint (one byte per stored LPA plus a
+	// separator per entry), maintained incrementally so sizeBytes is O(1).
+	bytes int
+	// owner is a direct-mapped acceleration index: owner[o] is the start
+	// offset of the entry containing o, or ownerNone. It turns the lookup
+	// path's candidate scan into one array read. Allocated on first use so
+	// groups without approximate segments pay nothing; like the entry
+	// slices it is controller working state, not part of the paper's flat
+	// CRB footprint (sizeBytes).
+	owner []uint16
+	// free recycles the backing arrays of removed entries into new ones,
+	// so steady-state overwrite churn allocates nothing.
+	free [][]uint8
+}
+
+// newEntryBuf returns a zero-length buffer with capacity for n offsets,
+// reusing a freed entry's backing array when one fits.
+func (c *crb) newEntryBuf(n int) []uint8 {
+	for i := len(c.free) - 1; i >= 0; i-- {
+		if cap(c.free[i]) >= n {
+			buf := c.free[i][:0]
+			c.free[i] = c.free[len(c.free)-1]
+			c.free = c.free[:len(c.free)-1]
+			return buf
+		}
+	}
+	if n < 16 {
+		n = 16
+	}
+	return make([]uint8, 0, n)
+}
+
+// releaseEntryBuf returns an entry's backing array to the free list.
+func (c *crb) releaseEntryBuf(buf []uint8) {
+	if cap(buf) == 0 || len(c.free) >= 8 {
+		return
+	}
+	c.free = append(c.free, buf[:0])
+}
+
+const ownerNone = 0xFFFF
+
+func (c *crb) setOwner(o uint8, start uint16) {
+	if c.owner == nil {
+		c.owner = make([]uint16, addr.GroupSize)
+		for i := range c.owner {
+			c.owner[i] = ownerNone
+		}
+	}
+	c.owner[o] = start
+}
+
+// reown records that every LPA of entry e is owned by start.
+func (c *crb) reown(e *crbEntry, start uint16) {
+	for _, o := range e.lpas {
+		c.setOwner(o, start)
+	}
 }
 
 // crbEntry lists one approximate segment's LPA offsets, sorted ascending.
@@ -34,19 +89,6 @@ type crbEntry struct {
 
 func (e *crbEntry) start() uint8 { return e.lpas[0] }
 func (e *crbEntry) last() uint8  { return e.lpas[len(e.lpas)-1] }
-
-func (e *crbEntry) contains(off uint8) bool {
-	lo, hi := 0, len(e.lpas)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if e.lpas[mid] < off {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(e.lpas) && e.lpas[lo] == off
-}
 
 // boundaryEdit reports that the approximate segment previously starting at
 // Old now spans [NewStart, NewLast]; Removed means it lost every LPA and
@@ -65,20 +107,30 @@ type boundaryEdit struct {
 // segment with the adjacent LPA"), and entries that lose everything are
 // deleted. The returned edits let the table re-shape the affected
 // segments.
+//
+// Production code calls insertMarked directly with the table's shared
+// mark array; this wrapper (like removeLPAs) exists for tests and as the
+// readable statement of the operation's contract.
 func (c *crb) insert(lpas []uint8) []boundaryEdit {
-	var edits []boundaryEdit
-	member := make(map[uint8]bool, len(lpas))
+	var mark [addr.GroupSize]uint64
 	for _, o := range lpas {
-		member[o] = true
+		mark[o] = 1
 	}
+	return c.insertMarked(lpas, &mark, 1, nil)
+}
 
+// insertMarked is insert with the membership set passed as a
+// generation-stamped mark array (mark[o] == gen ⇔ o ∈ lpas) and the edit
+// list appended into a caller-owned buffer — the allocation-free form the
+// table's mutation path uses.
+func (c *crb) insertMarked(lpas []uint8, mark *[addr.GroupSize]uint64, gen uint64, edits []boundaryEdit) []boundaryEdit {
 	kept := c.entries[:0]
 	for i := range c.entries {
 		e := &c.entries[i]
 		oldStart, oldLast := e.start(), e.last()
 		overlapped := false
 		for _, o := range e.lpas {
-			if member[o] {
+			if mark[o] == gen {
 				overlapped = true
 				break
 			}
@@ -89,23 +141,35 @@ func (c *crb) insert(lpas []uint8) []boundaryEdit {
 		}
 		filtered := e.lpas[:0]
 		for _, o := range e.lpas {
-			if !member[o] {
+			if mark[o] != gen {
 				filtered = append(filtered, o)
 			}
 		}
+		c.bytes -= len(e.lpas) - len(filtered)
 		if len(filtered) == 0 {
+			c.bytes-- // the entry's separator goes too
+			c.releaseEntryBuf(filtered)
 			edits = append(edits, boundaryEdit{Old: oldStart, Removed: true})
 			continue
 		}
 		e.lpas = filtered
 		if e.start() != oldStart || e.last() != oldLast {
 			edits = append(edits, boundaryEdit{Old: oldStart, NewStart: e.start(), NewLast: e.last()})
+			if e.start() != oldStart {
+				c.reown(e, uint16(e.start()))
+			}
 		}
 		kept = append(kept, *e)
 	}
 	c.entries = kept
 
-	c.entries = append(c.entries, crbEntry{lpas: append([]uint8(nil), lpas...)})
+	c.entries = append(c.entries, crbEntry{lpas: append(c.newEntryBuf(len(lpas)), lpas...)})
+	c.bytes += len(lpas) + 1
+	// The new entry owns its LPAs, including any just evicted from older
+	// entries.
+	for _, o := range lpas {
+		c.setOwner(o, uint16(lpas[0]))
+	}
 	// Dedup can raise an entry's start past a later entry's start (entry
 	// ranges may interleave even though LPA sets are disjoint), so restore
 	// the sorted-by-start invariant explicitly.
@@ -113,11 +177,15 @@ func (c *crb) insert(lpas []uint8) []boundaryEdit {
 	return edits
 }
 
-// normalize re-sorts entries by their (unique) starting LPA.
+// normalize re-sorts entries by their (unique) starting LPA. Entries are
+// nearly sorted (one insert or one raised start at a time), so an
+// insertion sort is O(n) here and, unlike sort.Slice, allocation-free.
 func (c *crb) normalize() {
-	sort.Slice(c.entries, func(i, j int) bool {
-		return c.entries[i].start() < c.entries[j].start()
-	})
+	for i := 1; i < len(c.entries); i++ {
+		for j := i; j > 0 && c.entries[j].start() < c.entries[j-1].start(); j-- {
+			c.entries[j], c.entries[j-1] = c.entries[j-1], c.entries[j]
+		}
+	}
 }
 
 // searchStart returns the index of the first entry whose start is ≥ off.
@@ -135,32 +203,18 @@ func (c *crb) searchStart(off uint8) int {
 }
 
 // lookup returns the starting LPA offset of the approximate segment that
-// indexes off, if any (paper Figure 9 (b): binary-search to the LPA, then
-// scan left to the segment head).
+// indexes off, if any. The paper's flat layout binary-searches to the LPA
+// and scans left to the segment head (Figure 9 (b)); the owner index
+// answers the same question with one array read.
 func (c *crb) lookup(off uint8) (start uint8, ok bool) {
-	// Entries are sorted by start; any entry with start > off cannot
-	// contain off. Entry ranges may interleave, so walk candidates from
-	// the closest start leftwards.
-	for i := c.searchUpper(off) - 1; i >= 0; i-- {
-		if c.entries[i].contains(off) {
-			return c.entries[i].start(), true
-		}
+	if c.owner == nil {
+		return 0, false
 	}
-	return 0, false
-}
-
-// searchUpper returns the index of the first entry whose start is > off.
-func (c *crb) searchUpper(off uint8) int {
-	lo, hi := 0, len(c.entries)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if c.entries[mid].start() <= off {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
+	ow := c.owner[off]
+	if ow == ownerNone {
+		return 0, false
 	}
-	return lo
+	return uint8(ow), true
 }
 
 // entryFor returns the entry whose start equals off, or nil.
@@ -172,29 +226,59 @@ func (c *crb) entryFor(start uint8) *crbEntry {
 	return nil
 }
 
-// removeLPAs deletes the given offsets from the segment entry starting at
-// start (used when a merge trims a victim, Algorithm 2 line 24-25). It
-// returns the resulting boundary edit.
+// removeLPAs deletes the offsets matched by drop from the segment entry
+// starting at start (used when a merge trims a victim, Algorithm 2 line
+// 24-25). It returns the resulting boundary edit.
 func (c *crb) removeLPAs(start uint8, drop func(uint8) bool) (boundaryEdit, bool) {
 	i := c.searchStart(start)
 	if i >= len(c.entries) || c.entries[i].start() != start {
 		return boundaryEdit{}, false
 	}
+	return c.filterEntry(i, drop, nil, 0)
+}
+
+// removeMarked is removeLPAs with the drop set given as a
+// generation-stamped mark array, avoiding a closure allocation on the
+// merge path.
+func (c *crb) removeMarked(start uint8, mark *[addr.GroupSize]uint64, gen uint64) (boundaryEdit, bool) {
+	i := c.searchStart(start)
+	if i >= len(c.entries) || c.entries[i].start() != start {
+		return boundaryEdit{}, false
+	}
+	return c.filterEntry(i, nil, mark, gen)
+}
+
+// filterEntry filters entry i by drop (or, when drop is nil, by the mark
+// array), maintaining the size counter, the owner index and the sort
+// invariant.
+func (c *crb) filterEntry(i int, drop func(uint8) bool, mark *[addr.GroupSize]uint64, gen uint64) (boundaryEdit, bool) {
 	e := &c.entries[i]
 	oldStart, oldLast := e.start(), e.last()
 	filtered := e.lpas[:0]
 	for _, o := range e.lpas {
-		if !drop(o) {
+		dropped := false
+		if drop != nil {
+			dropped = drop(o)
+		} else {
+			dropped = mark[o] == gen
+		}
+		if dropped {
+			c.setOwner(o, ownerNone)
+		} else {
 			filtered = append(filtered, o)
 		}
 	}
+	c.bytes -= len(e.lpas) - len(filtered)
 	if len(filtered) == 0 {
+		c.bytes--
+		c.releaseEntryBuf(filtered)
 		c.entries = append(c.entries[:i], c.entries[i+1:]...)
 		return boundaryEdit{Old: oldStart, Removed: true}, true
 	}
 	e.lpas = filtered
 	ns, nl := e.start(), e.last()
 	if ns != oldStart {
+		c.reown(e, uint16(ns))
 		c.normalize()
 	}
 	if ns != oldStart || nl != oldLast {
@@ -208,29 +292,28 @@ func (c *crb) removeLPAs(start uint8, drop func(uint8) bool) (boundaryEdit, bool
 func (c *crb) removeSegment(start uint8) {
 	i := c.searchStart(start)
 	if i < len(c.entries) && c.entries[i].start() == start {
+		for _, o := range c.entries[i].lpas {
+			c.setOwner(o, ownerNone)
+		}
+		c.bytes -= len(c.entries[i].lpas) + 1
+		c.releaseEntryBuf(c.entries[i].lpas)
 		c.entries = append(c.entries[:i], c.entries[i+1:]...)
 	}
 }
 
 // sizeBytes is the flat encoding footprint: one byte per stored LPA plus a
-// one-byte null separator per segment (paper §3.4).
-func (c *crb) sizeBytes() int {
-	n := 0
-	for i := range c.entries {
-		n += len(c.entries[i].lpas) + 1
-	}
-	return n
-}
+// one-byte null separator per segment (paper §3.4). Maintained
+// incrementally; O(1).
+func (c *crb) sizeBytes() int { return c.bytes }
 
-// lpasOf returns the absolute LPAs of the segment starting at start.
-func (c *crb) lpasOf(start uint8, base addr.LPA) []addr.LPA {
-	e := c.entryFor(start)
-	if e == nil {
-		return nil
+// recompute rebuilds the size counter and the owner index from the
+// entries (snapshot restore path).
+func (c *crb) recompute() {
+	c.bytes = 0
+	c.owner = nil
+	for i := range c.entries {
+		e := &c.entries[i]
+		c.bytes += len(e.lpas) + 1
+		c.reown(e, uint16(e.start()))
 	}
-	out := make([]addr.LPA, len(e.lpas))
-	for i, o := range e.lpas {
-		out[i] = base + addr.LPA(o)
-	}
-	return out
 }

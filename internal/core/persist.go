@@ -3,7 +3,6 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"leaftl/internal/addr"
 )
@@ -29,38 +28,41 @@ const (
 	persistVersion = 1
 )
 
-// MarshalBinary serializes the table.
+// MarshalBinary serializes the table. The dense group slice is already in
+// ascending group-ID order.
 func (t *Table) MarshalBinary() ([]byte, error) {
-	ids := make([]addr.GroupID, 0, len(t.groups))
-	for id := range t.groups {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-
 	buf := make([]byte, 0, 64+t.SizeBytes())
 	buf = append(buf, persistMagic...)
 	buf = append(buf, persistVersion, uint8(t.gamma))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.nGroups))
 
-	for _, id := range ids {
-		g := t.groups[id]
+	var ferr error
+	t.eachGroup(func(id addr.GroupID, g *group) {
+		if ferr != nil {
+			return
+		}
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.levels)))
-		for _, lvl := range g.levels {
-			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(lvl)))
-			for i := range lvl {
-				enc := lvl[i].Encode()
+		for li := range g.levels {
+			segs := g.levels[li].segs
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(segs)))
+			for i := range segs {
+				enc := segs[i].Encode()
 				buf = append(buf, enc[:]...)
 			}
 		}
 		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.crb.entries)))
 		for _, e := range g.crb.entries {
 			if len(e.lpas) > addr.GroupSize {
-				return nil, fmt.Errorf("core: CRB entry with %d LPAs", len(e.lpas))
+				ferr = fmt.Errorf("core: CRB entry with %d LPAs", len(e.lpas))
+				return
 			}
 			buf = append(buf, uint8(len(e.lpas)))
 			buf = append(buf, e.lpas...)
 		}
+	})
+	if ferr != nil {
+		return nil, ferr
 	}
 	return buf, nil
 }
@@ -86,12 +88,21 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 		return err
 	}
 
-	groups := make(map[addr.GroupID]*group, nGroups)
+	var groups []*group
+	lastGid := int64(-1)
 	for i := uint32(0); i < nGroups; i++ {
 		gid, err := r.u32()
 		if err != nil {
 			return err
 		}
+		// Marshal writes groups in strictly ascending gid order, and a
+		// 32-bit LPA space holds at most 2^24 groups of 256 pages.
+		// Validating both keeps a corrupt snapshot from forcing a huge
+		// dense-slice allocation below.
+		if int64(gid) <= lastGid || gid >= 1<<24 {
+			return fmt.Errorf("core: snapshot group id %d out of order or implausible", gid)
+		}
+		lastGid = int64(gid)
 		nLevels, err := r.u16()
 		if err != nil {
 			return err
@@ -102,7 +113,10 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 			if err != nil {
 				return err
 			}
-			lvl := make([]Segment, 0, nSegs)
+			lvl := level{
+				keys: make([]uint8, 0, nSegs),
+				segs: make([]Segment, 0, nSegs),
+			}
 			for s := uint16(0); s < nSegs; s++ {
 				raw, err := r.bytes(SegmentBytes)
 				if err != nil {
@@ -110,7 +124,9 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 				}
 				var enc [SegmentBytes]byte
 				copy(enc[:], raw)
-				lvl = append(lvl, DecodeSegment(enc, addr.GroupID(gid)))
+				seg := DecodeSegment(enc, addr.GroupID(gid))
+				lvl.keys = append(lvl.keys, seg.Start())
+				lvl.segs = append(lvl.segs, seg)
 			}
 			g.levels = append(g.levels, lvl)
 		}
@@ -133,7 +149,10 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 			g.crb.entries = append(g.crb.entries, crbEntry{lpas: append([]uint8(nil), lpas...)})
 		}
 		g.crb.normalize()
-		groups[addr.GroupID(gid)] = g
+		for len(groups) <= int(gid) {
+			groups = append(groups, nil)
+		}
+		groups[gid] = g
 	}
 	if r.off != len(data) {
 		return fmt.Errorf("core: %d trailing bytes in snapshot", len(data)-r.off)
@@ -141,6 +160,7 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 
 	t.gamma = int(gamma)
 	t.groups = groups
+	t.recomputeStats()
 	return nil
 }
 

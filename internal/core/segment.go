@@ -27,6 +27,34 @@ type Segment struct {
 	L    uint8        // span: the segment covers [SLPA, SLPA+L]
 	K    float16.Bits // slope; LSB is the type flag (0 accurate, 1 approximate)
 	I    float32      // intercept, in group-offset space
+
+	// Decoded cache, filled by prime. Not part of the 8-byte wire format
+	// (Encode/DecodeSegment are unchanged); every field is a pure function
+	// of (SLPA, L, K, I), so a learned segment and its encode/decode round
+	// trip stay ==-comparable. With the cache hot, the lookup path for
+	// accurate segments is pure integer arithmetic — no float16 decode, no
+	// math.Round(1/K) stride recomputation, no math.Ceil.
+	kf     float64  // float16.To64(K)
+	stride uint32   // round(1/kf) for accurate segments, ≥ 1
+	p0     addr.PPA // prediction at SLPA (fast-path anchor)
+	primed bool
+}
+
+// prime fills the decoded cache. It must be called whenever a segment
+// enters the table or its SLPA/L are edited (trims move the prediction
+// anchor). Idempotent and cheap; the table maintains the invariant that
+// every resident segment is primed.
+func (s *Segment) prime() {
+	s.kf = float16.To64(s.K)
+	st := uint32(1)
+	if s.kf > 0 {
+		if r := uint32(math.Round(1 / s.kf)); r > 0 {
+			st = r
+		}
+	}
+	s.stride = st
+	s.p0 = s.predictOffset(int64(s.Start()))
+	s.primed = true
 }
 
 // Accurate reports whether the segment guarantees exact translations.
@@ -59,6 +87,9 @@ func (s Segment) Overlaps(o Segment) bool {
 // accurate segment: round(1/K) (Algorithm 2 tests
 // (lpa−S) mod ⌈1/K⌉ = 0). Single-point segments report stride 1.
 func (s Segment) Stride() uint32 {
+	if s.primed {
+		return s.stride
+	}
 	k := float16.To64(s.K)
 	if k <= 0 {
 		return 1
@@ -82,10 +113,34 @@ func (s Segment) OnStride(lpa addr.LPA) bool {
 // Predict returns the segment's PPA prediction for lpa. For accurate
 // segments the result is exact; for approximate segments it is within
 // ±gamma of the true PPA (guaranteed at learning time).
+//
+// Primed accurate segments answer covered on-stride LPAs with pure
+// integer arithmetic: learning verified that the segment's points form an
+// arithmetic LPA progression mapped to consecutive PPAs, so the anchored
+// prediction p0 + (lpa−SLPA)/stride equals ⌈K·x + I⌉ on every covered
+// point, and trims only shrink the covered set.
 func (s Segment) Predict(lpa addr.LPA) addr.PPA {
+	if s.primed {
+		if !s.K.Flag() && lpa >= s.SLPA && lpa <= s.End() {
+			if d := uint32(lpa - s.SLPA); d%s.stride == 0 {
+				return s.p0 + addr.PPA(d/s.stride)
+			}
+		}
+		return s.predictApprox(addr.Offset(lpa))
+	}
 	x := float64(addr.Offset(lpa))
 	k := float16.To64(s.K)
 	p := math.Ceil(k*x + float64(s.I))
+	if p < 0 {
+		p = 0
+	}
+	return addr.PPA(p)
+}
+
+// predictApprox evaluates the line with the cached float slope (primed
+// segments only) — one multiply and a ceil, no float16 decode.
+func (s *Segment) predictApprox(off uint8) addr.PPA {
+	p := math.Ceil(s.kf*float64(off) + float64(s.I))
 	if p < 0 {
 		p = 0
 	}
@@ -104,14 +159,18 @@ func (s Segment) Encode() [SegmentBytes]byte {
 	return b
 }
 
-// DecodeSegment unpacks an 8-byte segment belonging to group g.
+// DecodeSegment unpacks an 8-byte segment belonging to group g. The
+// decoded cache is primed, so decoded segments are ready for the fast
+// lookup path (and == their in-memory originals).
 func DecodeSegment(b [SegmentBytes]byte, g addr.GroupID) Segment {
-	return Segment{
+	s := Segment{
 		SLPA: addr.GroupBase(g) + addr.LPA(b[0]),
 		L:    b[1],
 		K:    float16.Bits(binary.LittleEndian.Uint16(b[2:4])),
 		I:    math.Float32frombits(binary.LittleEndian.Uint32(b[4:8])),
 	}
+	s.prime()
+	return s
 }
 
 // String renders the segment like the paper's figures: [S, S+L] with its
@@ -143,10 +202,30 @@ type Learned struct {
 // fitting, each segment is re-verified with its *quantized* (float16,
 // flag-bearing) slope; a segment that no longer meets its bound is split.
 func Learn(pairs []addr.Mapping, gamma int) []Learned {
+	var b learnBuf
+	return b.learn(pairs, gamma)
+}
+
+// learnBuf holds the reusable scratch behind Learn: the output slice, the
+// per-group point buffer, the fitted-segment buffer, and one LPA arena
+// that backs every Learned.LPAs of a batch. Table.Update owns one and
+// reuses it across batches, so steady-state learning costs amortized O(1)
+// allocations; results of a learn call are valid until the next call on
+// the same buffer.
+type learnBuf struct {
+	out       []Learned
+	pts       []plr.Point
+	segs      []plr.Segment
+	refitSegs []plr.Segment
+	arena     []addr.LPA
+}
+
+func (b *learnBuf) learn(pairs []addr.Mapping, gamma int) []Learned {
 	if len(pairs) == 0 {
 		return nil
 	}
-	out := make([]Learned, 0, 4)
+	b.out = b.out[:0]
+	b.arena = b.arena[:0]
 	i := 0
 	for i < len(pairs) {
 		g := addr.Group(pairs[i].LPA)
@@ -154,20 +233,32 @@ func Learn(pairs []addr.Mapping, gamma int) []Learned {
 		for j < len(pairs) && addr.Group(pairs[j].LPA) == g {
 			j++
 		}
-		out = appendGroupSegments(out, g, pairs[i:j], gamma)
+		b.groupSegments(g, pairs[i:j], gamma)
 		i = j
 	}
-	return out
+	return b.out
 }
 
-func appendGroupSegments(out []Learned, g addr.GroupID, pairs []addr.Mapping, gamma int) []Learned {
-	base := addr.GroupBase(g)
-	pts := make([]plr.Point, len(pairs))
-	for i, m := range pairs {
-		pts[i] = plr.Point{X: int64(m.LPA - base), Y: int64(m.PPA)}
+// lpas copies the points' LPAs into the arena and returns the capped
+// sub-slice (later arena growth cannot alias into it).
+func (b *learnBuf) lpas(pts []plr.Point, base addr.LPA) []addr.LPA {
+	start := len(b.arena)
+	for _, p := range pts {
+		b.arena = append(b.arena, base+addr.LPA(p.X))
 	}
+	return b.arena[start:len(b.arena):len(b.arena)]
+}
+
+func (b *learnBuf) groupSegments(g addr.GroupID, pairs []addr.Mapping, gamma int) {
+	base := addr.GroupBase(g)
+	b.pts = b.pts[:0]
+	for _, m := range pairs {
+		b.pts = append(b.pts, plr.Point{X: int64(m.LPA - base), Y: int64(m.PPA)})
+	}
+	pts := b.pts
 	if gamma == 0 {
-		return fitRange(out, g, pts, 0)
+		b.fitRange(g, pts, 0)
+		return
 	}
 	// Two-pass learning for gamma > 0: peel off stride-clean runs first
 	// so they become *accurate* segments, then fit only the irregular
@@ -189,7 +280,7 @@ func appendGroupSegments(out []Learned, g addr.GroupID, pairs []addr.Mapping, ga
 			}
 		}
 		if hi-lo >= minCleanRun {
-			out = fitRange(out, g, pts[lo:hi], 0)
+			b.fitRange(g, pts[lo:hi], 0)
 		} else {
 			// Extend the irregular stretch until the next long clean run.
 			end := hi
@@ -206,35 +297,36 @@ func appendGroupSegments(out []Learned, g addr.GroupID, pairs []addr.Mapping, ga
 				}
 				end = rh
 			}
-			out = fitRange(out, g, pts[lo:end], gamma)
+			b.fitRange(g, pts[lo:end], gamma)
 			hi = end
 		}
 		lo = hi
 	}
-	return out
 }
 
 // fitRange fits one stretch of points with the given bound and verifies
-// the quantized segments.
-func fitRange(out []Learned, g addr.GroupID, pts []plr.Point, gamma int) []Learned {
-	segs := plr.Fit(pts, float64(gamma), 0, 1, int64(addr.GroupSize-1))
+// the quantized segments. The fitted-segment buffer is reused across
+// calls; buildVerified never re-enters fitRange, so that is safe.
+func (b *learnBuf) fitRange(g addr.GroupID, pts []plr.Point, gamma int) {
+	b.segs = plr.FitAppend(b.segs[:0], pts, float64(gamma), 0, 1, int64(addr.GroupSize-1))
 	k := 0
-	for _, fs := range segs {
+	for _, fs := range b.segs {
 		n := fs.N
-		out = buildVerified(out, g, pts[k:k+n], fs, gamma)
+		b.buildVerified(g, pts[k:k+n], fs, gamma)
 		k += n
 	}
-	return out
 }
 
 // buildVerified quantizes a fitted segment and verifies its predictions,
 // splitting recursively if float16/float32 quantization broke the bound.
-func buildVerified(out []Learned, g addr.GroupID, pts []plr.Point, fs plr.Segment, gamma int) []Learned {
+func (b *learnBuf) buildVerified(g addr.GroupID, pts []plr.Point, fs plr.Segment, gamma int) {
 	base := addr.GroupBase(g)
 	if len(pts) == 1 {
 		// Single-point segment: L=0, K=0, I=PPA (paper §3.1).
 		seg := Segment{SLPA: base + addr.LPA(pts[0].X), L: 0, K: 0, I: float32(pts[0].Y)}
-		return append(out, Learned{Seg: seg, LPAs: []addr.LPA{seg.SLPA}})
+		seg.prime()
+		b.out = append(b.out, Learned{Seg: seg, LPAs: b.lpas(pts, base)})
+		return
 	}
 
 	// An accurate segment encodes an arithmetic LPA progression mapped to
@@ -256,20 +348,23 @@ func buildVerified(out []Learned, g addr.GroupID, pts []plr.Point, fs plr.Segmen
 	if strideOK {
 		if cand, ok := quantize(pts, fs, false); ok &&
 			int64(cand.Stride()) == st && exact(cand, pts, base) {
-			return append(out, finish(cand, pts, base))
+			b.finish(cand, pts, base)
+			return
 		}
 	}
 	if gamma > 0 {
 		if cand, ok := quantize(pts, fs, true); ok && withinGamma(cand, pts, base, gamma) {
-			return append(out, finish(cand, pts, base))
+			b.finish(cand, pts, base)
+			return
 		}
 	}
 	if strideOK || gamma > 0 {
 		// Quantization broke the fit: halve and retry. Halving terminates
 		// at single points, which always encode exactly.
 		mid := len(pts) / 2
-		out = buildVerified(out, g, pts[:mid], refit(pts[:mid], gamma), gamma)
-		return buildVerified(out, g, pts[mid:], refit(pts[mid:], gamma), gamma)
+		b.buildVerified(g, pts[:mid], b.refit(pts[:mid], gamma), gamma)
+		b.buildVerified(g, pts[mid:], b.refit(pts[mid:], gamma), gamma)
+		return
 	}
 	// gamma = 0 and the run is not stride-clean (e.g. collinear points
 	// with irregular strides, or PPA jumps): emit maximal stride-clean
@@ -285,16 +380,18 @@ func buildVerified(out []Learned, g addr.GroupID, pts []plr.Point, fs plr.Segmen
 			}
 		}
 		run := pts[lo:hi]
-		out = buildVerified(out, g, run, refit(run, 0), 0)
+		b.buildVerified(g, run, b.refit(run, 0), 0)
 		lo = hi
 	}
-	return out
 }
 
-func refit(pts []plr.Point, gamma int) plr.Segment {
-	segs := plr.Fit(pts, float64(gamma), 0, 1, int64(addr.GroupSize-1))
-	if len(segs) == 1 {
-		return segs[0]
+// refit fits a split subset. Its scratch is separate from fitRange's segs
+// buffer (fitRange is mid-iteration when refit runs); the returned value
+// is consumed before the next refit call, so one buffer suffices.
+func (b *learnBuf) refit(pts []plr.Point, gamma int) plr.Segment {
+	b.refitSegs = plr.FitAppend(b.refitSegs[:0], pts, float64(gamma), 0, 1, int64(addr.GroupSize-1))
+	if len(b.refitSegs) == 1 {
+		return b.refitSegs[0]
 	}
 	// The subset may itself need multiple segments; return a fit for the
 	// whole span anyway — buildVerified's verification will split again.
@@ -320,13 +417,10 @@ func quantize(pts []plr.Point, fs plr.Segment, approx bool) (Segment, bool) {
 	}, true
 }
 
-func finish(seg Segment, pts []plr.Point, base addr.LPA) Learned {
+func (b *learnBuf) finish(seg Segment, pts []plr.Point, base addr.LPA) {
 	seg.SLPA = base + addr.LPA(pts[0].X)
-	lpas := make([]addr.LPA, len(pts))
-	for i, p := range pts {
-		lpas[i] = base + addr.LPA(p.X)
-	}
-	return Learned{Seg: seg, LPAs: lpas}
+	seg.prime()
+	b.out = append(b.out, Learned{Seg: seg, LPAs: b.lpas(pts, base)})
 }
 
 func exact(seg Segment, pts []plr.Point, base addr.LPA) bool {

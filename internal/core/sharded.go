@@ -1,0 +1,242 @@
+package core
+
+import (
+	"sync"
+
+	"leaftl/internal/addr"
+)
+
+// ShardedTable partitions the learned mapping table into N independently
+// locked shards, keyed by a hash of the 256-LPA group ID. Every group's
+// state (level stack + CRB) lives wholly inside one shard and groups are
+// fully independent in Table, so a ShardedTable fed the same batches as a
+// plain Table produces bit-identical translations — sharding only changes
+// who may run concurrently.
+//
+// Lookups take a shard read lock (Table.Lookup touches no mutation
+// scratch), so independent host streams translate in parallel; updates
+// take the owning shard's write lock. This is the concurrency structure
+// LFTL (arXiv:1302.5502) argues an FTL needs to exploit parallel-IO
+// flash hardware, applied to LeaFTL's learned core.
+type ShardedTable struct {
+	gamma  int
+	shards []*tableShard
+}
+
+type tableShard struct {
+	mu sync.RWMutex
+	// pad the mutex+table onto its own cache line so shard locks do not
+	// false-share under concurrent streams.
+	_   [40]byte
+	tab *Table
+}
+
+// NewShardedTable returns an empty sharded table with the given error
+// bound and shard count (values < 1 are clamped to 1).
+func NewShardedTable(gamma, shards int) *ShardedTable {
+	if shards < 1 {
+		shards = 1
+	}
+	if gamma < 0 {
+		gamma = 0
+	}
+	st := &ShardedTable{gamma: gamma, shards: make([]*tableShard, shards)}
+	for i := range st.shards {
+		st.shards[i] = &tableShard{tab: NewTable(gamma)}
+	}
+	return st
+}
+
+// Gamma returns the table's error bound.
+func (s *ShardedTable) Gamma() int { return s.gamma }
+
+// Shards returns the shard count.
+func (s *ShardedTable) Shards() int { return len(s.shards) }
+
+// shardFor maps a group to its shard. Group IDs are Fibonacci-hashed so
+// strided access patterns cannot pile onto one shard.
+func (s *ShardedTable) shardFor(g addr.GroupID) *tableShard {
+	h := uint64(g) * 0x9E3779B97F4A7C15
+	return s.shards[(h>>32)%uint64(len(s.shards))]
+}
+
+// Lookup translates lpa (see Table.Lookup). Safe for concurrent use with
+// other Lookups and Updates.
+func (s *ShardedTable) Lookup(lpa addr.LPA) (addr.PPA, LookupResult, bool) {
+	sh := s.shardFor(addr.Group(lpa))
+	sh.mu.RLock()
+	ppa, res, ok := sh.tab.Lookup(lpa)
+	sh.mu.RUnlock()
+	return ppa, res, ok
+}
+
+// Update learns and inserts a batch (see Table.Update). pairs are split
+// into maximal same-shard runs — shard boundaries are group boundaries,
+// so per-group learning is identical to the unsharded path.
+func (s *ShardedTable) Update(pairs []addr.Mapping) int {
+	n := 0
+	for i := 0; i < len(pairs); {
+		sh := s.shardFor(addr.Group(pairs[i].LPA))
+		j := i + 1
+		for j < len(pairs) && s.shardFor(addr.Group(pairs[j].LPA)) == sh {
+			j++
+		}
+		sh.mu.Lock()
+		n += sh.tab.Update(pairs[i:j])
+		sh.mu.Unlock()
+		i = j
+	}
+	return n
+}
+
+// Insert places one learned segment (see Table.Insert).
+func (s *ShardedTable) Insert(ls Learned) {
+	sh := s.shardFor(ls.Seg.Group())
+	sh.mu.Lock()
+	sh.tab.Insert(ls)
+	sh.mu.Unlock()
+}
+
+// Compact compacts every shard, in parallel (paper §3.7; compaction is
+// the natural point to spend all cores, it runs off the host path).
+func (s *ShardedTable) Compact() {
+	var wg sync.WaitGroup
+	for _, sh := range s.shards {
+		wg.Add(1)
+		go func(sh *tableShard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			sh.tab.Compact()
+			sh.mu.Unlock()
+		}(sh)
+	}
+	wg.Wait()
+}
+
+// SizeBytes sums the shards' DRAM footprints. O(shards).
+func (s *ShardedTable) SizeBytes() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += sh.tab.SizeBytes()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Stats aggregates the shards' incrementally maintained statistics.
+func (s *ShardedTable) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st := sh.tab.Stats()
+		sh.mu.RUnlock()
+		out.Groups += st.Groups
+		out.Segments += st.Segments
+		out.Accurate += st.Accurate
+		out.Approximate += st.Approximate
+		out.SegmentBytes += st.SegmentBytes
+		out.CRBBytes += st.CRBBytes
+		out.TotalLevels += st.TotalLevels
+		if st.MaxLevels > out.MaxLevels {
+			out.MaxLevels = st.MaxLevels
+		}
+	}
+	return out
+}
+
+// LevelCounts concatenates every group's level count (Figure 12).
+func (s *ShardedTable) LevelCounts() []int {
+	var out []int
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		out = append(out, sh.tab.LevelCounts()...)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// CRBSizes concatenates every group's CRB size (Figure 10).
+func (s *ShardedTable) CRBSizes() []int {
+	var out []int
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		out = append(out, sh.tab.CRBSizes()...)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// SegmentLengths concatenates every segment's mapping count (Figure 5).
+func (s *ShardedTable) SegmentLengths() []int {
+	var out []int
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		out = append(out, sh.tab.SegmentLengths()...)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// MarshalBinary serializes the union of the shards in the plain Table
+// snapshot format: a sharded and an unsharded table restore from each
+// other's snapshots. All shard read locks are held for the duration.
+func (s *ShardedTable) MarshalBinary() ([]byte, error) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.RUnlock()
+		}
+	}()
+
+	merged := NewTable(s.gamma)
+	for _, sh := range s.shards {
+		sh.tab.eachGroup(func(id addr.GroupID, g *group) {
+			for len(merged.groups) <= int(id) {
+				merged.groups = append(merged.groups, nil)
+			}
+			merged.groups[id] = g
+			merged.nGroups++
+		})
+		// Carry the size counters so MarshalBinary's SizeBytes-based
+		// buffer preallocation works on the merged view.
+		merged.nSegments += sh.tab.nSegments
+		merged.crbBytes += sh.tab.crbBytes
+	}
+	return merged.MarshalBinary()
+}
+
+// UnmarshalBinary replaces the shards' contents with a snapshot written
+// by either table flavor. The shard count is preserved.
+func (s *ShardedTable) UnmarshalBinary(data []byte) error {
+	tmp := NewTable(0)
+	if err := tmp.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.Unlock()
+		}
+	}()
+
+	s.gamma = tmp.Gamma()
+	for _, sh := range s.shards {
+		sh.tab = NewTable(s.gamma)
+	}
+	tmp.eachGroup(func(id addr.GroupID, g *group) {
+		tab := s.shardFor(id).tab
+		for len(tab.groups) <= int(id) {
+			tab.groups = append(tab.groups, nil)
+		}
+		tab.groups[id] = g
+	})
+	for _, sh := range s.shards {
+		sh.tab.recomputeStats()
+	}
+	return nil
+}

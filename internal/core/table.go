@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"leaftl/internal/addr"
 )
 
@@ -13,19 +11,132 @@ import (
 // in different levels may overlap, with the upper level always holding the
 // more recent mapping.
 //
-// Table is not safe for concurrent use; the SSD controller serializes FTL
-// operations (one embedded core owns the mapping, as in the paper's
-// firmware).
+// Layout is chosen for the lookup path: groups live in a dense slice
+// indexed by group ID (no map hashing — an SSD's LPA space is bounded and
+// dense, so the pointer array costs well under a byte per logical page),
+// and each level keeps a parallel array of 4-byte starting-LPA keys so
+// the binary search walks a compact key array instead of striding across
+// full Segment structs.
+//
+// Table is not safe for concurrent use by multiple writers; Lookup and the
+// other read-only accessors never touch the mutation scratch, so a Table
+// behind a read-write lock supports concurrent readers (see ShardedTable).
 type Table struct {
-	gamma  int
-	groups map[addr.GroupID]*group
+	gamma   int
+	groups  []*group // indexed by GroupID; nil = group never written
+	nGroups int
+
+	// Statistics are maintained incrementally at every point a segment
+	// enters or leaves a level, a level is added or removed, or a CRB
+	// mutates — Stats() and SizeBytes() are O(1) in the table size
+	// (internal/experiments reads them per simulation step, and the SSD
+	// device resizes its data cache from SizeBytes after every flush).
+	nSegments   int
+	nAccurate   int
+	crbBytes    int
+	totalLevels int
+	levelFreq   []int // levelFreq[n] = number of groups with exactly n levels
+
+	// Reusable scratch for the mutation path, so steady-state updates
+	// perform amortized O(1) allocations. mark is a generation-stamped
+	// membership set over group offsets (mark[o] == markGen ⇔ offset o is
+	// in the incoming segment's LPA set): bumping markGen clears it in
+	// O(1) instead of zeroing 256 bytes per victim.
+	mark    [addr.GroupSize]uint64
+	markGen uint64
+	offs    []uint8
+	victims []Segment
+	edits   []boundaryEdit
+	learner learnBuf
 }
 
 // group is the per-256-LPA-group state: the level stack plus the group's
 // conflict-resolution buffer for approximate segments.
 type group struct {
-	levels [][]Segment
+	levels []level
 	crb    crb
+}
+
+// level is one sorted, pairwise-disjoint run of segments. keys mirrors
+// segs (keys[i] == the group offset of segs[i].SLPA) purely for search
+// locality: a level never crosses its 256-LPA group, so one byte per key
+// suffices and a whole level's keys fit in one or two cache lines.
+type level struct {
+	keys []uint8
+	segs []Segment
+}
+
+func (l *level) len() int { return len(l.segs) }
+
+// search returns the index of the first segment whose starting offset is
+// ≥ off (pass uint16 so "offset+1" probes past 255 work).
+//
+// The level is itself searched with a learned guess: start offsets are
+// spread over the 256-LPA group, so off·n/256 interpolates within a few
+// slots of the answer on realistic workloads. Two probes either confirm
+// a ±8 window around the guess — finished with a short scan over one or
+// two cache lines of byte keys — or fall back to plain binary search, so
+// skewed levels cost O(log n) as before.
+func (l *level) search(off uint16) int {
+	keys := l.keys
+	lo, hi := 0, len(keys)
+	if hi > 8 {
+		const w = 8
+		g := int(off) * hi >> 8
+		if g >= hi {
+			g = hi - 1
+		}
+		if uint16(keys[g]) < off {
+			lo = g + 1
+			if e := g + w; e < hi && uint16(keys[e]) >= off {
+				hi = e + 1
+			}
+		} else {
+			hi = g + 1
+			if s := g - w; s >= 0 && uint16(keys[s]) < off {
+				lo = s + 1
+			}
+		}
+		if hi-lo <= w+1 {
+			for lo < hi && uint16(keys[lo]) < off {
+				lo++
+			}
+			return lo
+		}
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if uint16(keys[mid]) < off {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insert places seg at position pos, keeping keys and segs in step.
+func (l *level) insert(pos int, seg Segment) {
+	l.keys = append(l.keys, 0)
+	copy(l.keys[pos+1:], l.keys[pos:])
+	l.keys[pos] = seg.Start()
+	l.segs = append(l.segs, Segment{})
+	copy(l.segs[pos+1:], l.segs[pos:])
+	l.segs[pos] = seg
+}
+
+// remove deletes the segment at position pos.
+func (l *level) remove(pos int) {
+	l.keys = append(l.keys[:pos], l.keys[pos+1:]...)
+	l.segs = append(l.segs[:pos], l.segs[pos+1:]...)
+}
+
+// replaceRange replaces segments [lo, hi) with seg (hi > lo).
+func (l *level) replaceRange(lo, hi int, seg Segment) {
+	l.keys[lo] = seg.Start()
+	l.keys = append(l.keys[:lo+1], l.keys[hi:]...)
+	l.segs[lo] = seg
+	l.segs = append(l.segs[:lo+1], l.segs[hi:]...)
 }
 
 // LookupResult carries per-lookup diagnostics used by the paper's
@@ -49,7 +160,10 @@ func NewTable(gamma int) *Table {
 	if gamma < 0 {
 		gamma = 0
 	}
-	return &Table{gamma: gamma, groups: make(map[addr.GroupID]*group)}
+	return &Table{
+		gamma:     gamma,
+		levelFreq: make([]int, 1),
+	}
 }
 
 // Gamma returns the table's error bound.
@@ -60,9 +174,9 @@ func (t *Table) Gamma() int { return t.gamma }
 // must be sorted by LPA with unique LPAs; the device's data buffer
 // guarantees this (§3.3). It returns the number of segments created.
 func (t *Table) Update(pairs []addr.Mapping) int {
-	learned := Learn(pairs, t.gamma)
-	for _, ls := range learned {
-		t.Insert(ls)
+	learned := t.learner.learn(pairs, t.gamma)
+	for i := range learned {
+		t.insertLearned(learned[i])
 	}
 	return len(learned)
 }
@@ -70,66 +184,184 @@ func (t *Table) Update(pairs []addr.Mapping) int {
 // Insert places one learned segment at the top level of its group,
 // merging and displacing overlapped victims (Algorithm 1, seg_update).
 func (t *Table) Insert(ls Learned) {
+	ls.Seg.prime() // tolerate hand-built segments; resident ones are always primed
+	t.insertLearned(ls)
+}
+
+func (t *Table) insertLearned(ls Learned) {
 	g := t.group(ls.Seg.Group())
 	t.segUpdate(g, ls, 0)
 }
 
 func (t *Table) group(id addr.GroupID) *group {
+	for int(id) >= len(t.groups) {
+		if cap(t.groups) > len(t.groups) {
+			t.groups = t.groups[:cap(t.groups)]
+			continue
+		}
+		n := 2 * cap(t.groups)
+		if n < 64 {
+			n = 64
+		}
+		if n <= int(id) {
+			n = int(id) + 1
+		}
+		grown := make([]*group, n)
+		copy(grown, t.groups)
+		t.groups = grown
+	}
 	g := t.groups[id]
 	if g == nil {
 		g = &group{}
 		t.groups[id] = g
+		t.nGroups++
+		t.levelFreq[0]++
 	}
 	return g
+}
+
+// lookupGroup is the read-only counterpart of group.
+func (t *Table) lookupGroup(id addr.GroupID) *group {
+	if int(id) >= len(t.groups) {
+		return nil
+	}
+	return t.groups[id]
+}
+
+// eachGroup visits every existing group in ascending group-ID order.
+func (t *Table) eachGroup(f func(addr.GroupID, *group)) {
+	for id, g := range t.groups {
+		if g != nil {
+			f(addr.GroupID(id), g)
+		}
+	}
+}
+
+// noteAdd / noteRemove keep the segment counters in step with segments
+// entering and leaving levels.
+func (t *Table) noteAdd(s Segment) {
+	t.nSegments++
+	if s.Accurate() {
+		t.nAccurate++
+	}
+}
+
+func (t *Table) noteRemove(s Segment) {
+	t.nSegments--
+	if s.Accurate() {
+		t.nAccurate--
+	}
+}
+
+// noteLevels records that g went from old to len(g.levels) levels.
+func (t *Table) noteLevels(g *group, old int) {
+	n := len(g.levels)
+	if n == old {
+		return
+	}
+	t.totalLevels += n - old
+	t.levelFreq[old]--
+	for len(t.levelFreq) <= n {
+		t.levelFreq = append(t.levelFreq, 0)
+	}
+	t.levelFreq[n]++
+}
+
+// stampLPAs records the incoming segment's exact LPA set in the mark
+// array under a fresh generation; segMerge and the CRB dedup test
+// membership against it.
+func (t *Table) stampLPAs(lpas []addr.LPA) {
+	t.markGen++
+	for _, l := range lpas {
+		t.mark[addr.Offset(l)] = t.markGen
+	}
+}
+
+// stampSegment stamps the LPA set of a segment already resident in the
+// table (compaction path): reconstructed from the stride for accurate
+// segments, from the CRB for approximate ones (Algorithm 2 get_bitmap) —
+// no slice is materialized.
+func (t *Table) stampSegment(g *group, s Segment) {
+	t.markGen++
+	if !s.Accurate() {
+		if e := g.crb.entryFor(s.Start()); e != nil {
+			for _, o := range e.lpas {
+				t.mark[o] = t.markGen
+			}
+		}
+		return
+	}
+	st := addr.LPA(s.Stride())
+	for l := s.SLPA; l <= s.End(); l += st {
+		t.mark[addr.Offset(l)] = t.markGen
+	}
 }
 
 // segUpdate implements Algorithm 1 lines 1–16: insert a segment into
 // level li of group g, resolve CRB bookkeeping, merge overlapped victims
 // and push still-overlapping victims down.
 func (t *Table) segUpdate(g *group, ls Learned, li int) {
+	old := len(g.levels)
 	for len(g.levels) <= li {
-		g.levels = append(g.levels, nil)
+		g.levels = append(g.levels, level{})
 	}
+	t.noteLevels(g, old)
 	seg := ls.Seg
 
+	t.stampLPAs(ls.LPAs)
 	// CRB bookkeeping first (Algorithm 1 lines 4–7): registering the new
 	// approximate segment's LPAs evicts those LPAs from other approximate
 	// entries, which may shrink or remove their segments anywhere in the
 	// group. Doing this before the level insert means boundary edits can
 	// never hit the incoming segment itself.
 	if !seg.Accurate() {
-		offs := make([]uint8, len(ls.LPAs))
-		for i, l := range ls.LPAs {
-			offs[i] = addr.Offset(l)
+		t.offs = t.offs[:0]
+		for _, l := range ls.LPAs {
+			t.offs = append(t.offs, addr.Offset(l))
 		}
-		edits := g.crb.insert(offs)
-		t.applyEdits(g, edits)
+		pre := g.crb.sizeBytes()
+		t.edits = g.crb.insertMarked(t.offs, &t.mark, t.markGen, t.edits[:0])
+		t.crbBytes += g.crb.sizeBytes() - pre
+		t.applyEdits(g, t.edits)
 	}
 
-	// Insert into the level, keeping it sorted by starting LPA.
-	pos := searchLevel(g.levels[li], seg.SLPA)
-	g.levels[li] = insertAt(g.levels[li], pos, seg)
+	t.placeSegment(g, seg, li)
+}
 
-	// Collect victims: same-level segments whose range overlaps the new
-	// one (Algorithm 1 line 8). Within a sorted, pairwise-disjoint level
-	// these are at most one left neighbor plus a run to the right.
-	level := g.levels[li]
+// placeSegment inserts seg into level li, collects the same-level victims
+// whose ranges overlap it (Algorithm 1 line 8 — within a sorted,
+// pairwise-disjoint level these are at most one left neighbor plus a run
+// to the right), and re-homes every victim that survives the merge: back
+// into this level if now disjoint, otherwise one level down (lines 9–16).
+// The caller must have stamped the incoming segment's LPA set into t.mark
+// (stampLPAs / stampSegment). Shared by segUpdate and compactInsert,
+// which used to duplicate this block.
+func (t *Table) placeSegment(g *group, seg Segment, li int) {
+	lvl := &g.levels[li]
+	startOff := uint16(seg.Start())
+	endOff := startOff + uint16(seg.L)
+	pos := lvl.search(startOff)
 	lo := pos
-	if lo > 0 && level[lo-1].End() >= seg.SLPA {
+	if lo > 0 && lvl.segs[lo-1].End() >= seg.SLPA {
 		lo--
 	}
-	hi := pos + 1
-	for hi < len(level) && level[hi].SLPA <= seg.End() {
+	hi := pos
+	for hi < lvl.len() && uint16(lvl.keys[hi]) <= endOff {
 		hi++
 	}
-	victims := make([]Segment, 0, hi-lo-1)
-	victims = append(victims, level[lo:pos]...)
-	victims = append(victims, level[pos+1:hi]...)
-	// Remove the victims, keeping only the new segment in place.
-	g.levels[li] = append(level[:lo], append([]Segment{seg}, level[hi:]...)...)
 
-	for _, victim := range victims {
-		merged, removed := t.segMerge(g, ls, victim)
+	t.victims = append(t.victims[:0], lvl.segs[lo:hi]...)
+	if lo == hi {
+		lvl.insert(pos, seg)
+	} else {
+		lvl.replaceRange(lo, hi, seg)
+	}
+	t.noteAdd(seg)
+
+	for i := range t.victims {
+		victim := t.victims[i]
+		t.noteRemove(victim)
+		merged, removed := t.segMerge(g, victim)
 		if removed {
 			continue
 		}
@@ -138,11 +370,13 @@ func (t *Table) segUpdate(g *group, ls Learned, li int) {
 			// would overlap there, give it a fresh level to avoid
 			// recursive displacement (Algorithm 1 lines 13–16).
 			t.pushDown(g, merged, li)
+			t.noteAdd(merged)
 			continue
 		}
 		// Disjoint after trimming: it can stay in this level.
-		p := searchLevel(g.levels[li], merged.SLPA)
-		g.levels[li] = insertAt(g.levels[li], p, merged)
+		lvl := &g.levels[li]
+		lvl.insert(lvl.search(uint16(merged.Start())), merged)
+		t.noteAdd(merged)
 	}
 }
 
@@ -151,51 +385,43 @@ func (t *Table) segUpdate(g *group, ls Learned, li int) {
 func (t *Table) pushDown(g *group, victim Segment, li int) {
 	ni := li + 1
 	if ni >= len(g.levels) {
-		g.levels = append(g.levels, []Segment{victim})
+		old := len(g.levels)
+		g.levels = append(g.levels, level{})
+		g.levels[ni].insert(0, victim)
+		t.noteLevels(g, old)
 		return
 	}
-	next := g.levels[ni]
-	p := searchLevel(next, victim.SLPA)
-	overlaps := (p > 0 && next[p-1].End() >= victim.SLPA) ||
-		(p < len(next) && next[p].SLPA <= victim.End())
+	next := &g.levels[ni]
+	p := next.search(uint16(victim.Start()))
+	overlaps := (p > 0 && next.segs[p-1].End() >= victim.SLPA) ||
+		(p < next.len() && uint16(next.keys[p]) <= uint16(victim.Start())+uint16(victim.L))
 	if overlaps {
 		// Insert a brand-new level between li and ni holding only the
 		// victim. Everything below keeps its relative (temporal) order.
-		g.levels = append(g.levels, nil)
+		old := len(g.levels)
+		g.levels = append(g.levels, level{})
 		copy(g.levels[ni+1:], g.levels[ni:])
-		g.levels[ni] = []Segment{victim}
+		g.levels[ni] = level{}
+		g.levels[ni].insert(0, victim)
+		t.noteLevels(g, old)
 		return
 	}
-	g.levels[ni] = insertAt(next, p, victim)
+	next.insert(p, victim)
 }
 
-// segMerge implements Algorithm 2: subtract the new segment's encoded
-// LPAs from the victim's, shrink the victim's [S, S+L] to its remaining
-// first/last LPA, and prune the CRB for approximate victims. K and I are
-// never touched, so the victim's surviving predictions stay valid. It
-// returns the updated victim, or removed=true when nothing survives.
-func (t *Table) segMerge(g *group, newLS Learned, victim Segment) (Segment, bool) {
-	var newSet [addr.GroupSize]bool
-	for _, l := range newLS.LPAs {
-		newSet[addr.Offset(l)] = true
-	}
-
-	victimLPAs := t.encodedLPAs(g, victim)
-	var first, last addr.LPA
-	any := false
-	for _, l := range victimLPAs {
-		if newSet[addr.Offset(l)] {
-			continue
-		}
-		if !any {
-			first, last, any = l, l, true
-		} else {
-			last = l
-		}
-	}
+// segMerge implements Algorithm 2 against the stamped mark set: subtract
+// the incoming segment's LPAs from the victim's, shrink the victim's
+// [S, S+L] to its remaining first/last LPA, and prune the CRB for
+// approximate victims. K and I are never touched, so the victim's
+// surviving predictions stay valid. It returns the updated victim, or
+// removed=true when nothing survives.
+func (t *Table) segMerge(g *group, victim Segment) (Segment, bool) {
+	first, last, any := t.survivors(g, victim)
 
 	if !victim.Accurate() {
-		edit, ok := g.crb.removeLPAs(victim.Start(), func(o uint8) bool { return newSet[o] })
+		pre := g.crb.sizeBytes()
+		edit, ok := g.crb.removeMarked(victim.Start(), &t.mark, t.markGen)
+		t.crbBytes += g.crb.sizeBytes() - pre
 		if ok && edit.Removed {
 			return Segment{}, true
 		}
@@ -205,12 +431,51 @@ func (t *Table) segMerge(g *group, newLS Learned, victim Segment) (Segment, bool
 	}
 	victim.SLPA = first
 	victim.L = uint8(last - first)
+	victim.prime()
 	return victim, false
+}
+
+// survivors scans the victim's encoded LPA set (Algorithm 2 get_bitmap:
+// the stride progression for accurate segments, the CRB entry for
+// approximate ones) and returns the first and last LPAs not claimed by
+// the stamped new set — without materializing a slice.
+func (t *Table) survivors(g *group, s Segment) (first, last addr.LPA, any bool) {
+	if !s.Accurate() {
+		e := g.crb.entryFor(s.Start())
+		if e == nil {
+			return 0, 0, false
+		}
+		base := addr.GroupBase(s.Group())
+		for _, o := range e.lpas {
+			if t.mark[o] == t.markGen {
+				continue
+			}
+			l := base + addr.LPA(o)
+			if !any {
+				first, any = l, true
+			}
+			last = l
+		}
+		return first, last, any
+	}
+	st := addr.LPA(s.Stride())
+	for l := s.SLPA; l <= s.End(); l += st {
+		if t.mark[addr.Offset(l)] == t.markGen {
+			continue
+		}
+		if !any {
+			first, any = l, true
+		}
+		last = l
+	}
+	return first, last, any
 }
 
 // applyEdits reshapes or removes approximate segments whose CRB entries
 // changed during a dedup (the paper's "update the S of the old segment
-// with the adjacent LPA", Figure 9 (b)).
+// with the adjacent LPA", Figure 9 (b)). A reshaped segment keeps its
+// position: the new start stays inside the old range, which cannot cross
+// a disjoint neighbor, so the level stays sorted.
 func (t *Table) applyEdits(g *group, edits []boundaryEdit) {
 	for _, e := range edits {
 		li, idx, ok := findApprox(g, e.Old)
@@ -218,22 +483,26 @@ func (t *Table) applyEdits(g *group, edits []boundaryEdit) {
 			continue
 		}
 		if e.Removed {
-			g.levels[li] = append(g.levels[li][:idx], g.levels[li][idx+1:]...)
+			t.noteRemove(g.levels[li].segs[idx])
+			g.levels[li].remove(idx)
 			continue
 		}
-		seg := &g.levels[li][idx]
+		seg := &g.levels[li].segs[idx]
 		base := addr.GroupBase(addr.Group(seg.SLPA))
 		seg.SLPA = base + addr.LPA(e.NewStart)
 		seg.L = e.NewLast - e.NewStart
+		seg.prime()
+		g.levels[li].keys[idx] = e.NewStart
 	}
 }
 
 // findApprox locates the approximate segment with the given start offset.
 // CRB invariants make that start unique among approximate segments.
 func findApprox(g *group, start uint8) (level, idx int, ok bool) {
-	for li, lvl := range g.levels {
-		for i := range lvl {
-			if !lvl[i].Accurate() && lvl[i].Start() == start {
+	for li := range g.levels {
+		segs := g.levels[li].segs
+		for i := range segs {
+			if !segs[i].Accurate() && segs[i].Start() == start {
 				return li, i, true
 			}
 		}
@@ -241,46 +510,43 @@ func findApprox(g *group, start uint8) (level, idx int, ok bool) {
 	return 0, 0, false
 }
 
-// encodedLPAs reconstructs the exact LPA set a segment indexes
-// (Algorithm 2 get_bitmap): accurate segments walk their stride,
-// approximate segments read the CRB.
-func (t *Table) encodedLPAs(g *group, s Segment) []addr.LPA {
-	if !s.Accurate() {
-		return g.crb.lpasOf(s.Start(), addr.GroupBase(s.Group()))
-	}
-	if s.L == 0 {
-		return []addr.LPA{s.SLPA}
-	}
-	st := addr.LPA(s.Stride())
-	out := make([]addr.LPA, 0, int(s.L)/int(st)+1)
-	for l := s.SLPA; l <= s.End(); l += st {
-		out = append(out, l)
-	}
-	return out
-}
-
 // Lookup translates lpa using the learned table (Algorithm 1 lines
 // 17–22). ok is false when no segment indexes the LPA (never written, or
 // its mapping lives only in flash-resident translation pages).
+//
+// The hot path is allocation-free and, for accurate segments, pure
+// integer arithmetic against the decoded cache: a binary search over the
+// level's 4-byte key array, one modulo for the stride membership test
+// (Algorithm 2 has_lpa), one divide for the anchored prediction.
 func (t *Table) Lookup(lpa addr.LPA) (addr.PPA, LookupResult, bool) {
 	var res LookupResult
-	g := t.groups[addr.Group(lpa)]
+	g := t.lookupGroup(addr.Group(lpa))
 	if g == nil {
 		return addr.InvalidPPA, res, false
 	}
 	off := addr.Offset(lpa)
-	for li, lvl := range g.levels {
+	for li := range g.levels {
+		lvl := &g.levels[li]
 		res.Levels = li + 1
-		idx := searchLevel(lvl, lpa+1) - 1
-		if idx < 0 || !lvl[idx].Contains(lpa) {
+		// Last segment with start offset ≤ off; the search guarantees
+		// lpa ≥ SLPA, so containment needs only the End bound.
+		idx := lvl.search(uint16(off)+1) - 1
+		if idx < 0 || lpa > lvl.segs[idx].End() {
 			continue
 		}
-		seg := lvl[idx]
+		seg := &lvl.segs[idx]
 		if seg.Accurate() {
-			if seg.OnStride(lpa) {
-				return seg.Predict(lpa), res, true
+			d := uint32(lpa - seg.SLPA)
+			if seg.L == 0 {
+				if d == 0 {
+					return seg.p0, res, true
+				}
+				continue
 			}
-			continue
+			if d%seg.stride != 0 {
+				continue
+			}
+			return seg.p0 + addr.PPA(d/seg.stride), res, true
 		}
 		owner, ok := g.crb.lookup(off)
 		if !ok {
@@ -297,7 +563,7 @@ func (t *Table) Lookup(lpa addr.LPA) (addr.PPA, LookupResult, bool) {
 			continue
 		}
 		res.Approx = true
-		return seg.Predict(lpa), res, true
+		return seg.predictApprox(off), res, true
 	}
 	return addr.InvalidPPA, res, false
 }
@@ -308,7 +574,9 @@ func (t *Table) Lookup(lpa addr.LPA) (addr.PPA, LookupResult, bool) {
 // stale segments they shadow.
 func (t *Table) Compact() {
 	for _, g := range t.groups {
-		t.compactGroup(g)
+		if g != nil {
+			t.compactGroup(g)
+		}
 	}
 }
 
@@ -323,19 +591,25 @@ func (t *Table) compactGroup(g *group) {
 		beforeSegs := g.segmentCount()
 
 		top := g.levels[0]
+		old := len(g.levels)
 		g.levels = g.levels[1:]
-		for _, seg := range top {
-			ls := Learned{Seg: seg, LPAs: t.encodedLPAs(g, seg)}
-			t.compactInsert(g, ls)
+		t.noteLevels(g, old)
+		for _, seg := range top.segs {
+			t.noteRemove(seg)
+		}
+		for _, seg := range top.segs {
+			t.compactInsert(g, seg)
 		}
 		// Drop any levels emptied by merging.
+		old = len(g.levels)
 		kept := g.levels[:0]
 		for _, lvl := range g.levels {
-			if len(lvl) > 0 {
+			if lvl.len() > 0 {
 				kept = append(kept, lvl)
 			}
 		}
 		g.levels = kept
+		t.noteLevels(g, old)
 
 		if len(g.levels) >= beforeLevels && g.segmentCount() >= beforeSegs {
 			break
@@ -348,8 +622,8 @@ func (t *Table) compactGroup(g *group) {
 
 func (g *group) segmentCount() int {
 	n := 0
-	for _, lvl := range g.levels {
-		n += len(lvl)
+	for i := range g.levels {
+		n += g.levels[i].len()
 	}
 	return n
 }
@@ -357,54 +631,13 @@ func (g *group) segmentCount() int {
 // compactInsert is segUpdate for a segment that is *already* registered
 // in the CRB: no re-registration or dedup is needed (the CRB is globally
 // consistent), only the level insert and victim handling.
-func (t *Table) compactInsert(g *group, ls Learned) {
+func (t *Table) compactInsert(g *group, seg Segment) {
 	if len(g.levels) == 0 {
-		g.levels = append(g.levels, nil)
+		g.levels = append(g.levels, level{})
+		t.noteLevels(g, 0)
 	}
-	seg := ls.Seg
-	pos := searchLevel(g.levels[0], seg.SLPA)
-	g.levels[0] = insertAt(g.levels[0], pos, seg)
-
-	level := g.levels[0]
-	lo := pos
-	if lo > 0 && level[lo-1].End() >= seg.SLPA {
-		lo--
-	}
-	hi := pos + 1
-	for hi < len(level) && level[hi].SLPA <= seg.End() {
-		hi++
-	}
-	victims := make([]Segment, 0, hi-lo-1)
-	victims = append(victims, level[lo:pos]...)
-	victims = append(victims, level[pos+1:hi]...)
-	g.levels[0] = append(level[:lo], append([]Segment{seg}, level[hi:]...)...)
-
-	for _, victim := range victims {
-		merged, removed := t.segMerge(g, ls, victim)
-		if removed {
-			continue
-		}
-		if merged.Overlaps(seg) {
-			t.pushDown(g, merged, 0)
-			continue
-		}
-		p := searchLevel(g.levels[0], merged.SLPA)
-		g.levels[0] = insertAt(g.levels[0], p, merged)
-	}
-}
-
-// searchLevel returns the index of the first segment with SLPA ≥ lpa.
-func searchLevel(level []Segment, lpa addr.LPA) int {
-	return sort.Search(len(level), func(i int) bool {
-		return level[i].SLPA >= lpa
-	})
-}
-
-func insertAt(level []Segment, pos int, seg Segment) []Segment {
-	level = append(level, Segment{})
-	copy(level[pos+1:], level[pos:])
-	level[pos] = seg
-	return level
+	t.stampSegment(g, seg)
+	t.placeSegment(g, seg, 0)
 }
 
 // Stats summarizes the table for the paper's memory and structure
@@ -421,53 +654,71 @@ type Stats struct {
 }
 
 // SizeBytes reports the mapping table's DRAM footprint: encoded segments
-// plus CRB bytes. This is the quantity Figures 15 and 19 compare.
+// plus CRB bytes. This is the quantity Figures 15 and 19 compare. O(1).
 func (t *Table) SizeBytes() int {
-	s := t.Stats()
-	return s.SegmentBytes + s.CRBBytes
+	return t.nSegments*SegmentBytes + t.crbBytes
 }
 
-// Stats recomputes summary statistics by walking every group.
+// Stats returns the incrementally maintained summary statistics — O(1)
+// apart from the max-level scan over the (small) level-count histogram.
 func (t *Table) Stats() Stats {
-	var s Stats
-	s.Groups = len(t.groups)
-	for _, g := range t.groups {
-		s.TotalLevels += len(g.levels)
-		if len(g.levels) > s.MaxLevels {
-			s.MaxLevels = len(g.levels)
-		}
-		s.CRBBytes += g.crb.sizeBytes()
-		for _, lvl := range g.levels {
-			for i := range lvl {
-				s.Segments++
-				if lvl[i].Accurate() {
-					s.Accurate++
-				} else {
-					s.Approximate++
-				}
-			}
+	s := Stats{
+		Groups:       t.nGroups,
+		Segments:     t.nSegments,
+		Accurate:     t.nAccurate,
+		Approximate:  t.nSegments - t.nAccurate,
+		SegmentBytes: t.nSegments * SegmentBytes,
+		CRBBytes:     t.crbBytes,
+		TotalLevels:  t.totalLevels,
+	}
+	for n := len(t.levelFreq) - 1; n > 0; n-- {
+		if t.levelFreq[n] > 0 {
+			s.MaxLevels = n
+			break
 		}
 	}
-	s.SegmentBytes = s.Segments * SegmentBytes
 	return s
+}
+
+// recomputeStats rebuilds every incremental counter by walking the table
+// (snapshot-restore path, and the cross-check in tests).
+func (t *Table) recomputeStats() {
+	t.nGroups, t.nSegments, t.nAccurate, t.crbBytes, t.totalLevels = 0, 0, 0, 0, 0
+	t.levelFreq = append(t.levelFreq[:0], 0)
+	t.eachGroup(func(_ addr.GroupID, g *group) {
+		t.nGroups++
+		n := len(g.levels)
+		t.totalLevels += n
+		for len(t.levelFreq) <= n {
+			t.levelFreq = append(t.levelFreq, 0)
+		}
+		t.levelFreq[n]++
+		g.crb.recompute()
+		t.crbBytes += g.crb.sizeBytes()
+		for li := range g.levels {
+			for i := range g.levels[li].segs {
+				t.noteAdd(g.levels[li].segs[i])
+			}
+		}
+	})
 }
 
 // LevelCounts returns the number of levels of every group, for the
 // Figure 12 distribution.
 func (t *Table) LevelCounts() []int {
-	out := make([]int, 0, len(t.groups))
-	for _, g := range t.groups {
+	out := make([]int, 0, t.nGroups)
+	t.eachGroup(func(_ addr.GroupID, g *group) {
 		out = append(out, len(g.levels))
-	}
+	})
 	return out
 }
 
 // CRBSizes returns every group's CRB byte size, for Figure 10.
 func (t *Table) CRBSizes() []int {
-	out := make([]int, 0, len(t.groups))
-	for _, g := range t.groups {
+	out := make([]int, 0, t.nGroups)
+	t.eachGroup(func(_ addr.GroupID, g *group) {
 		out = append(out, g.crb.sizeBytes())
-	}
+	})
 	return out
 }
 
@@ -475,12 +726,28 @@ func (t *Table) CRBSizes() []int {
 // covers, for the Figure 5 distribution.
 func (t *Table) SegmentLengths() []int {
 	var out []int
-	for _, g := range t.groups {
-		for _, lvl := range g.levels {
-			for i := range lvl {
-				out = append(out, len(t.encodedLPAs(g, lvl[i])))
+	t.eachGroup(func(_ addr.GroupID, g *group) {
+		for li := range g.levels {
+			segs := g.levels[li].segs
+			for i := range segs {
+				out = append(out, segmentLen(g, &segs[i]))
 			}
 		}
-	}
+	})
 	return out
+}
+
+// segmentLen counts a resident segment's encoded LPAs without
+// materializing them.
+func segmentLen(g *group, s *Segment) int {
+	if !s.Accurate() {
+		if e := g.crb.entryFor(s.Start()); e != nil {
+			return len(e.lpas)
+		}
+		return 0
+	}
+	if s.L == 0 {
+		return 1
+	}
+	return int(uint32(s.L)/s.Stride()) + 1
 }

@@ -300,14 +300,19 @@ func TestTableLevelsAreSortedAndDisjoint(t *testing.T) {
 		}
 		tb.Update(pairs)
 	}
-	for gid, g := range tb.groups {
-		for li, lvl := range g.levels {
-			for i := 1; i < len(lvl); i++ {
-				if lvl[i-1].End() >= lvl[i].SLPA {
+	tb.eachGroup(func(gid addr.GroupID, g *group) {
+		for li := range g.levels {
+			lvl := &g.levels[li]
+			for i := 0; i < lvl.len(); i++ {
+				if lvl.keys[i] != lvl.segs[i].Start() {
+					t.Fatalf("group %d level %d: key %d out of step with segment %v",
+						gid, li, lvl.keys[i], lvl.segs[i])
+				}
+				if i > 0 && lvl.segs[i-1].End() >= lvl.segs[i].SLPA {
 					t.Fatalf("group %d level %d: segments %v and %v overlap or misordered",
-						gid, li, lvl[i-1], lvl[i])
+						gid, li, lvl.segs[i-1], lvl.segs[i])
 				}
 			}
 		}
-	}
+	})
 }

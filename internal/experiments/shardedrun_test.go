@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestShardedRunMatchesPlain runs the same workload on the "sim" and
+// "sim-sharded" configurations: the sharded translation core must be
+// invisible to every simulation outcome (device counters, mapping
+// structure, footprint, latency).
+func TestShardedRunMatchesPlain(t *testing.T) {
+	s := NewSuite(MicroScale(), 1)
+	p := traceWorkloads()[0]
+	a, err := s.Run("sim", p, "LeaFTL", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run("sim-sharded", p, "LeaFTL", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats != b.Stats || a.SegStats != b.SegStats || a.MapFullBytes != b.MapFullBytes {
+		t.Fatalf("sharded run diverges:\nplain   %+v\nsharded %+v", a, b)
+	}
+	if a.MeanRead != b.MeanRead || a.WAF != b.WAF {
+		t.Fatalf("sharded run latency/WAF diverge: %v/%v vs %v/%v",
+			a.MeanRead, a.WAF, b.MeanRead, b.WAF)
+	}
+}

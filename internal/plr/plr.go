@@ -84,20 +84,29 @@ func (f *Fitter) Gamma() float64 { return f.gamma }
 // returned, and a new segment is opened at the point. Otherwise Add
 // returns nil.
 func (f *Fitter) Add(x, y int64) *Segment {
+	if s, ok := f.add(x, y); ok {
+		return &s
+	}
+	return nil
+}
+
+// add is the allocation-free core of Add: closed reports whether a segment
+// was closed by this point.
+func (f *Fitter) add(x, y int64) (s Segment, closed bool) {
 	if !f.open {
 		f.start(x, y)
-		return nil
+		return Segment{}, false
 	}
 	if x <= f.xn {
 		// Duplicate or regressing x cannot extend a function fit; close.
 		s := f.closeSegment()
 		f.start(x, y)
-		return s
+		return s, true
 	}
 	if f.maxSpan > 0 && x-f.x0 > f.maxSpan {
 		s := f.closeSegment()
 		f.start(x, y)
-		return s
+		return s, true
 	}
 
 	dx := float64(x - f.x0)
@@ -109,12 +118,12 @@ func (f *Fitter) Add(x, y int64) *Segment {
 	if nlo > nhi {
 		s := f.closeSegment()
 		f.start(x, y)
-		return s
+		return s, true
 	}
 	f.lo, f.hi = nlo, nhi
 	f.xn, f.yn = x, y
 	f.n++
-	return nil
+	return Segment{}, false
 }
 
 // Finish closes and returns the open segment, or nil if no points are
@@ -124,7 +133,7 @@ func (f *Fitter) Finish() *Segment {
 		return nil
 	}
 	s := f.closeSegment()
-	return s
+	return &s
 }
 
 func (f *Fitter) start(x, y int64) {
@@ -135,11 +144,11 @@ func (f *Fitter) start(x, y int64) {
 	f.n = 1
 }
 
-func (f *Fitter) closeSegment() *Segment {
-	defer func() { f.open = false }()
+func (f *Fitter) closeSegment() Segment {
+	f.open = false
 	if f.n == 1 {
 		// Single point: LeaFTL encodes these as K=0, I=PPA (paper §3.1).
-		return &Segment{FirstX: f.x0, LastX: f.x0, K: 0, B: float64(f.y0), N: 1}
+		return Segment{FirstX: f.x0, LastX: f.x0, K: 0, B: float64(f.y0), N: 1}
 	}
 	// Any slope inside the final cone satisfies the bound; the midpoint
 	// maximizes slack on both sides against later quantization.
@@ -149,7 +158,7 @@ func (f *Fitter) closeSegment() *Segment {
 		// midpoint FP noise by recomputing from the endpoints.
 		k = float64(f.yn-f.y0) / float64(f.xn-f.x0)
 	}
-	return &Segment{
+	return Segment{
 		FirstX: f.x0,
 		LastX:  f.xn,
 		K:      k,
@@ -161,15 +170,28 @@ func (f *Fitter) closeSegment() *Segment {
 // Fit runs the greedy fitter over a full point slice (x strictly
 // increasing) and returns the resulting segments in order.
 func Fit(points []Point, gamma float64, minSlope, maxSlope float64, maxSpan int64) []Segment {
-	f := NewFitter(gamma, minSlope, maxSlope, maxSpan)
-	var out []Segment
+	return FitAppend(nil, points, gamma, minSlope, maxSlope, maxSpan)
+}
+
+// FitAppend is Fit appending into dst, so hot callers can reuse one
+// segment buffer across fits instead of allocating per call. The fitter
+// itself lives on the stack: a full fit performs no allocations beyond
+// growing dst.
+func FitAppend(dst []Segment, points []Point, gamma float64, minSlope, maxSlope float64, maxSpan int64) []Segment {
+	if gamma < 0 {
+		gamma = 0
+	}
+	if maxSlope < minSlope {
+		minSlope, maxSlope = maxSlope, minSlope
+	}
+	f := Fitter{gamma: gamma, minSlope: minSlope, maxSlope: maxSlope, maxSpan: maxSpan}
 	for _, p := range points {
-		if s := f.Add(p.X, p.Y); s != nil {
-			out = append(out, *s)
+		if s, closed := f.add(p.X, p.Y); closed {
+			dst = append(dst, s)
 		}
 	}
-	if s := f.Finish(); s != nil {
-		out = append(out, *s)
+	if f.open {
+		dst = append(dst, f.closeSegment())
 	}
-	return out
+	return dst
 }

@@ -69,6 +69,14 @@ type Config struct {
 	// WearDelta is the erase-count spread between the most- and
 	// least-worn blocks that triggers a cold-block migration (§3.6).
 	WearDelta uint32
+
+	// Shards selects how many ways the translation scheme's mapping core
+	// is partitioned for concurrent translation (0 or 1 = unsharded).
+	// The closed-loop device serializes requests either way — sharding
+	// matters to parallel front-ends (leaftl-bench's parallel replay
+	// mode) and costs nothing when idle; translations are bit-identical
+	// to the unsharded core.
+	Shards int
 }
 
 // SimulatorConfig returns the paper's simulator setup (Table 1) with
@@ -117,6 +125,8 @@ func (c Config) Validate() error {
 			c.GCLowWater, c.GCHighWater)
 	case c.CapFraction <= 0 || c.CapFraction > 1:
 		return fmt.Errorf("ssd: CapFraction = %v out of range (0, 1]", c.CapFraction)
+	case c.Shards < 0 || c.Shards > 1024:
+		return fmt.Errorf("ssd: Shards = %d out of range [0, 1024]", c.Shards)
 	}
 	if int64(c.BufferPages)*int64(c.Flash.PageSize) >= c.DRAMBytes {
 		return fmt.Errorf("ssd: write buffer (%d pages) does not fit in DRAM (%d bytes)",

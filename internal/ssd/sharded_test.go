@@ -1,0 +1,82 @@
+package ssd
+
+import (
+	"math/rand"
+	"testing"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/ftl"
+	"leaftl/internal/leaftl"
+)
+
+// TestDeviceShardedSchemeMatchesPlain drives identical workloads through
+// a device with the plain LeaFTL scheme and one with the 8-way sharded
+// scheme. Sharding must be invisible to the device: same latencies, same
+// counters, same flash traffic, same mapping footprint.
+func TestDeviceShardedSchemeMatchesPlain(t *testing.T) {
+	for _, gamma := range []int{0, 4} {
+		cfg := testConfig()
+		plainDev := newTestDevice(t, cfg, leaftl.New(gamma, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000)))
+		shardDev := newTestDevice(t, cfg, leaftl.NewSharded(gamma, cfg.Flash.PageSize, 8, leaftl.WithCompactEvery(2000)))
+
+		devs := []*Device{plainDev, shardDev}
+		rng := rand.New(rand.NewSource(11))
+		span := plainDev.LogicalPages()
+		for op := 0; op < 4000; op++ {
+			lpa := addr.LPA(rng.Intn(span - 8))
+			n := 1 + rng.Intn(8)
+			if rng.Intn(3) == 0 {
+				for _, d := range devs {
+					if _, err := d.Read(lpa, n); err != nil {
+						t.Fatalf("%s: read: %v", d.Scheme().Name(), err)
+					}
+				}
+			} else {
+				for _, d := range devs {
+					if _, err := d.Write(lpa, n); err != nil {
+						t.Fatalf("%s: write: %v", d.Scheme().Name(), err)
+					}
+				}
+			}
+		}
+		for _, d := range devs {
+			if err := d.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		if a, b := plainDev.Stats(), shardDev.Stats(); a != b {
+			t.Errorf("gamma %d: device stats diverge:\nplain   %+v\nsharded %+v", gamma, a, b)
+		}
+		if a, b := plainDev.Now(), shardDev.Now(); a != b {
+			t.Errorf("gamma %d: simulated clocks diverge: %v vs %v", gamma, a, b)
+		}
+		if a, b := plainDev.FlashStats(), shardDev.FlashStats(); a != b {
+			t.Errorf("gamma %d: flash traffic diverges: %+v vs %+v", gamma, a, b)
+		}
+		if a, b := plainDev.Scheme().FullSizeBytes(), shardDev.Scheme().FullSizeBytes(); a != b {
+			t.Errorf("gamma %d: mapping footprint diverges: %d vs %d", gamma, a, b)
+		}
+	}
+}
+
+// TestDeviceDetectsConcurrentScheme checks the capability plumbing: the
+// sharded scheme advertises ftl.Concurrent, the plain one does not.
+func TestDeviceDetectsConcurrentScheme(t *testing.T) {
+	cfg := testConfig()
+	var plain ftl.Scheme = leaftl.New(0, cfg.Flash.PageSize)
+	var sharded ftl.Scheme = leaftl.NewSharded(0, cfg.Flash.PageSize, 4)
+	if _, ok := plain.(ftl.Concurrent); ok {
+		t.Error("plain scheme must not advertise concurrent translation")
+	}
+	c, ok := sharded.(ftl.Concurrent)
+	if !ok {
+		t.Fatal("sharded scheme must advertise concurrent translation")
+	}
+	if c.TranslateShards() != 4 {
+		t.Errorf("TranslateShards = %d, want 4", c.TranslateShards())
+	}
+	if cfg.Shards = 4; cfg.Validate() != nil {
+		t.Error("config with Shards=4 must validate")
+	}
+}
