@@ -1,6 +1,10 @@
 // Command leaftl-bench regenerates the paper's evaluation tables and
 // figures on the simulated SSD (deliverable d). By default it runs at
 // quick scale; -full uses the larger scaled device of DESIGN.md §5.
+// Two replay modes skip the figures: -parallel hammers the sharded
+// translation core with concurrent host streams, and -openloop replays
+// a trace file (native, MSR CSV, or FIU format) at its recorded arrival
+// times against all three schemes, reporting p50/p95/p99/p999 latency.
 package main
 
 import (
@@ -20,10 +24,22 @@ func main() {
 	markdown := flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
 	parallel := flag.Int("parallel", 0, "parallel replay mode: N independent host streams against the sharded translation core (skips figures)")
 	shards := flag.Int("shards", 8, "shard count for the parallel replay mode")
-	gamma := flag.Int("gamma", 0, "error bound for the parallel replay mode")
-	jsonOut := flag.String("json", "", "parallel replay mode: write JSON results to this file (- for stdout)")
+	gamma := flag.Int("gamma", 0, "LeaFTL error bound for the parallel and open-loop replay modes")
+	jsonOut := flag.String("json", "", "parallel/open-loop replay modes: write JSON results to this file (- for stdout)")
+	openloop := flag.Bool("openloop", false, "open-loop replay mode: replay -trace at recorded arrival times against LeaFTL/DFTL/SFTL (skips figures)")
+	tracePath := flag.String("trace", "traces/msr-sample.csv", "open-loop replay mode: trace file to replay")
+	traceFormat := flag.String("trace-format", "auto", "open-loop replay mode: trace format (auto, native, msr, fiu)")
+	qd := flag.Int("qd", 4, "open-loop replay mode: host submission queue count")
+	speedup := flag.Float64("speedup", 1, "open-loop replay mode: divide recorded inter-arrival times by this factor")
 	flag.Parse()
 
+	if *openloop {
+		if err := runOpenLoop(*tracePath, *traceFormat, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: openloop: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *parallel > 0 {
 		if err := runParallel(*parallel, *shards, *gamma, *seed, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: parallel: %v\n", err)

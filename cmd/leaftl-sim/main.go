@@ -1,11 +1,13 @@
-// Command leaftl-sim replays a block I/O trace (from tracegen or any
-// file in the same format) against the simulated SSD with a chosen
-// translation scheme, and reports latency, memory, and flash statistics.
+// Command leaftl-sim replays a block I/O trace (native, MSR CSV, or
+// FIU format — auto-detected for files, see docs/TRACES.md) against
+// the simulated SSD with a chosen translation scheme, and reports
+// latency, memory, and flash statistics.
 //
 // Usage:
 //
 //	tracegen -workload TPCC -n 200000 | leaftl-sim -scheme leaftl -gamma 4
 //	leaftl-sim -scheme dftl -trace run.trace
+//	leaftl-sim -scheme leaftl -gamma 4 -trace hm_0.csv
 package main
 
 import (
@@ -28,27 +30,41 @@ func main() {
 	schemeName := flag.String("scheme", "leaftl", "translation scheme: leaftl, dftl, sftl")
 	gamma := flag.Int("gamma", 0, "LeaFTL error bound (pages)")
 	traceFile := flag.String("trace", "-", "trace file ('-' = stdin)")
+	formatName := flag.String("format", "auto", "trace format: auto, native, msr, fiu (stdin defaults to native)")
 	blocksPerChan := flag.Int("blocks", 48, "flash blocks per channel")
 	dramMB := flag.Int64("dram", 16, "controller DRAM (MiB)")
 	flag.Parse()
 
-	if err := run(*schemeName, *gamma, *traceFile, *blocksPerChan, *dramMB); err != nil {
+	if err := run(*schemeName, *gamma, *traceFile, *formatName, *blocksPerChan, *dramMB); err != nil {
 		fmt.Fprintf(os.Stderr, "leaftl-sim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName string, gamma int, traceFile string, blocksPerChan int, dramMB int64) error {
-	var in io.Reader = os.Stdin
-	if traceFile != "-" {
-		f, err := os.Open(traceFile)
-		if err != nil {
-			return err
+func run(schemeName string, gamma int, traceFile, formatName string, blocksPerChan int, dramMB int64) error {
+	var reqs []trace.Request
+	var err error
+	switch {
+	case traceFile != "-" && (formatName == "" || formatName == "auto"):
+		reqs, _, err = trace.Open(traceFile, trace.Options{})
+	default:
+		var in io.Reader = os.Stdin
+		if traceFile != "-" {
+			f, ferr := os.Open(traceFile)
+			if ferr != nil {
+				return ferr
+			}
+			defer f.Close()
+			in = f
 		}
-		defer f.Close()
-		in = f
+		format := trace.FormatNative
+		if formatName != "" && formatName != "auto" {
+			if format, err = trace.FormatByName(formatName); err != nil {
+				return err
+			}
+		}
+		reqs, err = trace.Decode(in, format, trace.Options{})
 	}
-	reqs, err := trace.Parse(in)
 	if err != nil {
 		return err
 	}
@@ -76,6 +92,10 @@ func run(schemeName string, gamma int, traceFile string, blocksPerChan int, dram
 
 	dev, err := ssd.New(cfg, scheme)
 	if err != nil {
+		return err
+	}
+	// Traces captured on larger drives fold into this device's space.
+	if reqs, err = trace.FitTo(reqs, dev.LogicalPages()); err != nil {
 		return err
 	}
 	if err := trace.Replay(dev, reqs); err != nil {

@@ -15,7 +15,6 @@ import (
 	"strings"
 	"time"
 
-	"leaftl/internal/addr"
 	"leaftl/internal/core"
 	"leaftl/internal/dftl"
 	"leaftl/internal/flash"
@@ -263,11 +262,8 @@ func (s *Suite) Run(cfgName string, p workload.Profile, scheme string, gamma int
 	// replay a slice of the trace to populate caches, then reset metrics.
 	logical := dev.LogicalPages()
 	fp := p.Footprint(logical)
-	const fill = 64
-	for lpa := 0; lpa+fill <= fp; lpa += fill {
-		if _, err := dev.Write(addr.LPA(lpa), fill); err != nil {
-			return nil, fmt.Errorf("run %v: warmup: %w", key, err)
-		}
+	if err := warmPages(dev, fp); err != nil {
+		return nil, fmt.Errorf("run %v: warmup: %w", key, err)
 	}
 	reqs := p.Generate(logical, s.Scale.Requests, s.Seed)
 	warm := len(reqs) / 5

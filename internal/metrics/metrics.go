@@ -109,6 +109,44 @@ func (h *Histogram) Percentile(p float64) float64 {
 	return h.max
 }
 
+// Max returns the largest sample in seconds (0 with no samples).
+func (h *Histogram) Max() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Summary is the tail-latency digest of a histogram: the percentiles
+// the paper's latency figures (18, 23) and the open-loop replay report.
+type Summary struct {
+	Count                     uint64
+	Mean                      time.Duration
+	P50, P95, P99, P999, Peak time.Duration
+}
+
+// Summary digests the histogram into p50/p95/p99/p999 plus mean and
+// peak latency.
+func (h *Histogram) Summary() Summary {
+	return Summary{
+		Count: h.total,
+		Mean:  h.MeanDuration(),
+		P50:   h.PercentileDuration(50),
+		P95:   h.PercentileDuration(95),
+		P99:   h.PercentileDuration(99),
+		P999:  h.PercentileDuration(99.9),
+		Peak:  time.Duration(h.Max() * float64(time.Second)),
+	}
+}
+
+// String renders the summary on one line ("n=... mean=... p50=... ...").
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v p999=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.P999.Round(time.Microsecond), s.Peak.Round(time.Microsecond))
+}
+
 // MeanDuration returns Mean as a time.Duration.
 func (h *Histogram) MeanDuration() time.Duration {
 	return time.Duration(h.Mean() * float64(time.Second))

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 )
@@ -114,5 +115,39 @@ func TestFormatBytes(t *testing.T) {
 		if got := FormatBytes(in); got != want {
 			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
 		}
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Summary()
+	if s.Count != 1000 {
+		t.Fatalf("count %d", s.Count)
+	}
+	// Log buckets are ~7.2% wide: accept 10% error at each percentile.
+	within := func(got time.Duration, wantUS float64) bool {
+		g := float64(got.Nanoseconds()) / 1e3
+		return g > wantUS*0.9 && g < wantUS*1.1
+	}
+	if !within(s.P50, 500) || !within(s.P95, 950) || !within(s.P99, 990) || !within(s.P999, 999) {
+		t.Errorf("summary %v", s)
+	}
+	if s.Peak != time.Millisecond {
+		t.Errorf("peak %v, want 1ms", s.Peak)
+	}
+	for _, want := range []string{"n=1000", "p50=", "p999="} {
+		if !strings.Contains(s.String(), want) {
+			t.Errorf("String() %q missing %q", s.String(), want)
+		}
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	s := NewHistogram().Summary()
+	if s.Count != 0 || s.Mean != 0 || s.P999 != 0 || s.Peak != 0 {
+		t.Errorf("empty summary %+v", s)
 	}
 }

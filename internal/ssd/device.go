@@ -139,6 +139,17 @@ func (d *Device) FlashStats() flash.Stats { return d.arr.Stats() }
 // Now returns the simulated clock (sum of host request latencies).
 func (d *Device) Now() time.Duration { return d.now }
 
+// AdvanceTo moves the virtual clock forward to t, modeling a host idle
+// gap (open-loop replay calls it between request arrivals). Background
+// flash work keeps its own completion horizon, so a flush issued before
+// the gap is simply found finished after it. Moving backward is a no-op:
+// the clock is monotonic.
+func (d *Device) AdvanceTo(t time.Duration) {
+	if t > d.now {
+		d.now = t
+	}
+}
+
 // ReadLatency returns the host read latency histogram.
 func (d *Device) ReadLatency() *metrics.Histogram { return d.readLat }
 

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// FIU/blkparse-style records (the FIU home/mail traces of §4.1 and the
+// IODedup releases distribute this shape; `blkparse` queue events
+// reformat into it, see docs/TRACES.md):
+//
+//	<ts_ns> <pid> <process> <sector> <nsectors> <R|W> <major> <minor> [hash]
+//	329131208190249 4892 syslogd 904265560 8 W 6 0 f3a...
+//
+// The timestamp is nanoseconds; sector and nsectors are 512-byte
+// sectors (Options.SectorSize). Trailing fields beyond the minor device
+// number (the dedup content hash) are ignored.
+
+func decodeFIU(r io.Reader, o Options) ([]Request, error) {
+	return decodeLines(r, "fiu", func(line string) (Request, bool, error) {
+		parts := strings.Fields(line)
+		if len(parts) < 6 {
+			return Request{}, false, fmt.Errorf("want at least 6 fields, got %d", len(parts))
+		}
+		ts, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return Request{}, false, fmt.Errorf("bad timestamp: %w", err)
+		}
+		sector, err := strconv.ParseInt(parts[3], 10, 64)
+		if err != nil {
+			return Request{}, false, fmt.Errorf("bad sector: %w", err)
+		}
+		nsectors, err := strconv.ParseInt(parts[4], 10, 64)
+		if err != nil {
+			return Request{}, false, fmt.Errorf("bad sector count: %w", err)
+		}
+		op, err := parseOpWord(parts[5])
+		if err != nil {
+			return Request{}, false, err
+		}
+		ss := int64(o.SectorSize)
+		req, err := byteRequest(op, sector*ss, nsectors*ss, o.PageSize)
+		if err != nil {
+			return Request{}, false, err
+		}
+		req.Arrival = time.Duration(ts) * time.Nanosecond
+		return req, true, nil
+	})
+}
+
+func encodeFIU(w io.Writer, reqs []Request, o Options) error {
+	bw := bufio.NewWriter(w)
+	perPage := int64(o.PageSize) / int64(o.SectorSize)
+	if perPage < 1 {
+		perPage = 1
+	}
+	for _, r := range reqs {
+		op := byte('W')
+		if r.Op == OpRead {
+			op = 'R'
+		}
+		if _, err := fmt.Fprintf(bw, "%d 0 leaftl %d %d %c 0 0\n",
+			r.Arrival.Nanoseconds(), int64(r.LPA)*perPage, int64(r.Pages)*perPage, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

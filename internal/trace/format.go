@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"leaftl/internal/addr"
+)
+
+// Format identifies a trace wire format.
+type Format int
+
+// Supported trace formats. See docs/TRACES.md for the field layout,
+// units, and provenance of each.
+const (
+	// FormatNative is the repo's line format:
+	// "R,<lpa>,<pages>[,<arrival_ns>]".
+	FormatNative Format = iota
+	// FormatMSR is the MSR Cambridge block-trace CSV the paper evaluates
+	// on (§4.1): timestamp,hostname,disk,type,offset,size,latency with
+	// byte offsets and Windows-filetime (100ns tick) timestamps.
+	FormatMSR
+	// FormatFIU is the FIU/blkparse-style whitespace record:
+	// ts_ns pid process sector nsectors op major minor [hash], with
+	// 512-byte sectors.
+	FormatFIU
+)
+
+// String returns the format's CLI name ("native", "msr", "fiu").
+func (f Format) String() string {
+	switch f {
+	case FormatMSR:
+		return "msr"
+	case FormatFIU:
+		return "fiu"
+	default:
+		return "native"
+	}
+}
+
+// FormatByName maps a CLI name to a Format ("native", "msr", "fiu";
+// case-insensitive).
+func FormatByName(name string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "native", "leaftl":
+		return FormatNative, nil
+	case "msr", "msr-cambridge", "csv":
+		return FormatMSR, nil
+	case "fiu", "blkparse":
+		return FormatFIU, nil
+	default:
+		return FormatNative, fmt.Errorf("trace: unknown format %q (want native, msr, or fiu)", name)
+	}
+}
+
+// Options controls how byte- and sector-granular formats are normalized
+// to page-granular requests. The zero value selects the defaults.
+type Options struct {
+	// PageSize is the flash page size requests are normalized to
+	// (default 4096, the simulator's page size).
+	PageSize int
+	// SectorSize is the block size of sector-addressed formats (FIU;
+	// default 512).
+	SectorSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = 4096
+	}
+	if o.SectorSize <= 0 {
+		o.SectorSize = 512
+	}
+	return o
+}
+
+// Decode reads a whole trace in the given format, normalizing every
+// record to page granularity and rebasing arrivals so the first request
+// arrives at t=0. Arrival timestamps are forced monotonically
+// non-decreasing: real traces carry small reordering jitter from
+// multi-CPU capture, and open-loop replay needs ordered arrivals, so a
+// record arriving before its predecessor is clamped to the
+// predecessor's arrival (the order of records is preserved).
+func Decode(r io.Reader, f Format, o Options) ([]Request, error) {
+	o = o.withDefaults()
+	var reqs []Request
+	var err error
+	switch f {
+	case FormatNative:
+		reqs, err = Parse(r)
+	case FormatMSR:
+		reqs, err = decodeMSR(r, o)
+	case FormatFIU:
+		reqs, err = decodeFIU(r, o)
+	default:
+		return nil, fmt.Errorf("trace: unknown format %d", f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	normalizeArrivals(reqs)
+	return reqs, nil
+}
+
+// Encode writes requests in the given format. Byte-granular formats
+// render LPAs and sizes using o.PageSize (and o.SectorSize for FIU), so
+// a Decode of the output with the same options round-trips to the same
+// requests.
+func Encode(w io.Writer, f Format, reqs []Request, o Options) error {
+	o = o.withDefaults()
+	switch f {
+	case FormatNative:
+		return encodeNative(w, reqs)
+	case FormatMSR:
+		return encodeMSR(w, reqs, o)
+	case FormatFIU:
+		return encodeFIU(w, reqs, o)
+	default:
+		return fmt.Errorf("trace: unknown format %d", f)
+	}
+}
+
+// encodeNative writes the timed four-field native form (arrival in
+// nanoseconds), the canonical output of tracegen -timestamps.
+func encodeNative(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		if _, err := fmt.Fprintf(bw, "%c,%d,%d,%d\n", r.Op, r.LPA, r.Pages, r.Arrival.Nanoseconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Detect guesses the format from a content sample (the first few lines
+// of the file). Native and MSR lines are comma-separated with 3–4 and 7
+// fields respectively; FIU records are whitespace-separated.
+func Detect(sample []byte) (Format, error) {
+	for _, line := range strings.Split(string(sample), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.Contains(line, ",") {
+			switch n := len(strings.Split(line, ",")); {
+			case n >= 6:
+				return FormatMSR, nil
+			case n == 3 || n == 4:
+				return FormatNative, nil
+			default:
+				return FormatNative, fmt.Errorf("trace: cannot detect format of %q", line)
+			}
+		}
+		if len(strings.Fields(line)) >= 6 {
+			return FormatFIU, nil
+		}
+		return FormatNative, fmt.Errorf("trace: cannot detect format of %q", line)
+	}
+	return FormatNative, fmt.Errorf("trace: cannot detect format of an empty trace")
+}
+
+// Open reads the trace at path, auto-detecting its format from the
+// extension (.csv → MSR) and the first lines of content, and returns
+// the normalized requests alongside the detected format.
+func Open(path string, o Options) ([]Request, Format, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, FormatNative, err
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	sample, _ := br.Peek(1 << 14)
+	format, err := Detect(sample)
+	if err != nil {
+		if strings.EqualFold(filepath.Ext(path), ".csv") {
+			format = FormatMSR
+		} else {
+			return nil, FormatNative, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	reqs, err := Decode(br, format, o)
+	if err != nil {
+		return nil, format, fmt.Errorf("%s: %w", path, err)
+	}
+	return reqs, format, nil
+}
+
+// normalizeArrivals rebases arrivals to start at zero and clamps any
+// backward jump to the previous request's arrival.
+func normalizeArrivals(reqs []Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	base := reqs[0].Arrival
+	prev := time.Duration(0)
+	for i := range reqs {
+		a := reqs[i].Arrival - base
+		if a < prev {
+			a = prev
+		}
+		reqs[i].Arrival = a
+		prev = a
+	}
+}
+
+// FitTo remaps a trace captured on a larger device into logicalPages of
+// logical space, folding each request's LPA modulo the capacity (the
+// standard down-scaling move for replaying production traces on a
+// smaller simulated drive: the access *pattern* — sequentiality,
+// strides, hot spots — survives; absolute placement does not). Requests
+// larger than the device are an error. The input is not modified.
+func FitTo(reqs []Request, logicalPages int) ([]Request, error) {
+	if logicalPages <= 0 {
+		return nil, fmt.Errorf("trace: cannot fit a trace into %d pages", logicalPages)
+	}
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		if r.Pages > logicalPages {
+			return nil, fmt.Errorf("trace: request %d (%s) larger than the %d-page device", i, r, logicalPages)
+		}
+		r.LPA = r.LPA % addr.LPA(logicalPages)
+		if int(r.LPA)+r.Pages > logicalPages {
+			r.LPA = addr.LPA(logicalPages - r.Pages)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// pageSpan converts a byte extent to its covering page extent: the LPA
+// of the first touched page and the number of pages touched.
+func pageSpan(offset, size int64, pageSize int) (lpa int64, pages int) {
+	lpa = offset / int64(pageSize)
+	end := offset + size
+	pages = int((end - lpa*int64(pageSize) + int64(pageSize) - 1) / int64(pageSize))
+	return lpa, pages
+}

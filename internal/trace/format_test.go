@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// golden is the expected decoding of each testdata file.
+var golden = map[Format]struct {
+	file string
+	want []Request
+}{
+	FormatNative: {"native.trace", []Request{
+		{Op: OpWrite, LPA: 0, Pages: 8, Arrival: 0},
+		{Op: OpRead, LPA: 42, Pages: 1, Arrival: time.Millisecond},
+		{Op: OpWrite, LPA: 1 << 20, Pages: 64, Arrival: 2500 * time.Microsecond},
+		{Op: OpRead, LPA: 96, Pages: 4, Arrival: 2500 * time.Microsecond},
+		{Op: OpWrite, LPA: 100, Pages: 1, Arrival: 7100 * time.Microsecond},
+	}},
+	FormatMSR: {"msr.csv", []Request{
+		{Op: OpRead, LPA: 93627, Pages: 8, Arrival: 0},
+		{Op: OpWrite, LPA: 719522, Pages: 2, Arrival: 50_980_400 * time.Nanosecond},
+		{Op: OpWrite, LPA: 719524, Pages: 1, Arrival: 93_837_100 * time.Nanosecond},
+		{Op: OpRead, LPA: 0, Pages: 4, Arrival: 103_837_100 * time.Nanosecond},
+	}},
+	FormatFIU: {"fiu.trace", []Request{
+		{Op: OpWrite, LPA: 113033195, Pages: 1, Arrival: 0},
+		{Op: OpWrite, LPA: 113033196, Pages: 2, Arrival: time.Second},
+		{Op: OpRead, LPA: 1600, Pages: 1, Arrival: 11 * time.Second},
+		{Op: OpRead, LPA: 1601, Pages: 3, Arrival: 21 * time.Second},
+	}},
+}
+
+func TestGoldenDecode(t *testing.T) {
+	for f, g := range golden {
+		data, err := os.ReadFile(filepath.Join("testdata", g.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(bytes.NewReader(data), f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if len(got) != len(g.want) {
+			t.Fatalf("%s: decoded %d requests, want %d", f, len(got), len(g.want))
+		}
+		for i := range got {
+			if got[i] != g.want[i] {
+				t.Errorf("%s: request %d: got %+v, want %+v", f, i, got[i], g.want[i])
+			}
+		}
+	}
+}
+
+// TestGoldenRoundTrip re-encodes each golden file in its own format and
+// decodes it back: the requests must survive unchanged, and a second
+// encode must be byte-identical to the first (the encoding is
+// canonical).
+func TestGoldenRoundTrip(t *testing.T) {
+	for f, g := range golden {
+		data, err := os.ReadFile(filepath.Join("testdata", g.file))
+		if err != nil {
+			t.Fatal(err)
+		}
+		first, err := Decode(bytes.NewReader(data), f, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		var enc1 bytes.Buffer
+		if err := Encode(&enc1, f, first, Options{}); err != nil {
+			t.Fatalf("%s: encode: %v", f, err)
+		}
+		second, err := Decode(bytes.NewReader(enc1.Bytes()), f, Options{})
+		if err != nil {
+			t.Fatalf("%s: re-decode: %v", f, err)
+		}
+		if len(second) != len(first) {
+			t.Fatalf("%s: round trip %d → %d requests", f, len(first), len(second))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Errorf("%s: request %d changed in round trip: %+v → %+v", f, i, first[i], second[i])
+			}
+		}
+		var enc2 bytes.Buffer
+		if err := Encode(&enc2, f, second, Options{}); err != nil {
+			t.Fatalf("%s: second encode: %v", f, err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Errorf("%s: encoding is not canonical", f)
+		}
+	}
+}
+
+func TestOpenAutoDetects(t *testing.T) {
+	for f, g := range golden {
+		reqs, detected, err := Open(filepath.Join("testdata", g.file), Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", g.file, err)
+		}
+		if detected != f {
+			t.Errorf("%s: detected %s, want %s", g.file, detected, f)
+		}
+		if len(reqs) != len(g.want) {
+			t.Errorf("%s: %d requests, want %d", g.file, len(reqs), len(g.want))
+		}
+	}
+	if _, _, err := Open(filepath.Join("testdata", "nonexistent.trace"), Options{}); err == nil {
+		t.Error("Open accepted a missing file")
+	}
+}
+
+func TestDetect(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Format
+		ok   bool
+	}{
+		{"R,1,2\n", FormatNative, true},
+		{"# comment\n\nW,1,2,3\n", FormatNative, true},
+		{"128166372003061629,hm,0,Read,383496192,32768,1331\n", FormatMSR, true},
+		{"Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n", FormatMSR, true},
+		{"329131208190249 4892 syslogd 904265560 8 W 6 0\n", FormatFIU, true},
+		{"", FormatNative, false},
+		{"one two three\n", FormatNative, false},
+		{"a,b\n", FormatNative, false},
+	}
+	for _, c := range cases {
+		got, err := Detect([]byte(c.in))
+		if c.ok && err != nil {
+			t.Errorf("Detect(%q): %v", c.in, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Detect(%q) accepted", c.in)
+		}
+		if c.ok && got != c.want {
+			t.Errorf("Detect(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatByName(t *testing.T) {
+	for name, want := range map[string]Format{
+		"native": FormatNative, "MSR": FormatMSR, "fiu": FormatFIU, "csv": FormatMSR, "blkparse": FormatFIU,
+	} {
+		got, err := FormatByName(name)
+		if err != nil || got != want {
+			t.Errorf("FormatByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := FormatByName("parquet"); err == nil {
+		t.Error("FormatByName accepted an unknown name")
+	}
+}
+
+// TestMalformedInputs covers the ingestion failure modes: truncated
+// lines, bad field values, and zero-size requests must error with the
+// offending line number; non-monotonic timestamps are clamped, not
+// errors.
+func TestMalformedInputs(t *testing.T) {
+	cases := []struct {
+		format Format
+		in     string
+	}{
+		{FormatMSR, "128166372003061629,hm,0,Read,383496192\n"},                   // truncated line
+		{FormatMSR, "abc,hm,0,Read,0,4096,0\n"},                                   // bad timestamp
+		{FormatMSR, "128166372003061629,hm,0,Erase,0,4096,0\n"},                   // bad op
+		{FormatMSR, "128166372003061629,hm,0,Read,0,0,0\n"},                       // zero-size request
+		{FormatMSR, "128166372003061629,hm,0,Read,-4096,4096,0\n"},                // negative offset
+		{FormatMSR, "128166372003061629,hm,0,Read,18446744073709551615,4096,0\n"}, // offset overflow
+		{FormatFIU, "329131208190249 4892 syslogd 904265560 8\n"},                 // truncated line
+		{FormatFIU, "ts 4892 syslogd 904265560 8 W 6 0\n"},                        // bad timestamp
+		{FormatFIU, "329131208190249 4892 syslogd 904265560 0 W 6 0\n"},           // zero-size request
+		{FormatFIU, "329131208190249 4892 syslogd x 8 W 6 0\n"},                   // bad sector
+		{FormatFIU, "329131208190249 4892 syslogd 904265560 8 T 6 0\n"},           // bad op
+		{FormatNative, "W,1\n"},                                                   // truncated line
+	}
+	for _, c := range cases {
+		if _, err := Decode(strings.NewReader(c.in), c.format, Options{}); err == nil {
+			t.Errorf("%s: Decode(%q) accepted", c.format, strings.TrimSpace(c.in))
+		} else if !strings.Contains(err.Error(), "line 1") {
+			t.Errorf("%s: Decode(%q) error %q does not name the line", c.format, strings.TrimSpace(c.in), err)
+		}
+	}
+}
+
+func TestNonMonotonicTimestampsClamped(t *testing.T) {
+	in := "W,0,1,5000\nW,1,1,3000\nW,2,1,9000\n"
+	got, err := Decode(strings.NewReader(in), FormatNative, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebased to the first arrival (5µs); the backward jump clamps to 0.
+	want := []time.Duration{0, 0, 4000}
+	for i, w := range want {
+		if got[i].Arrival != w {
+			t.Errorf("request %d: arrival %v, want %v", i, got[i].Arrival, w)
+		}
+	}
+	prev := time.Duration(-1)
+	for i, r := range got {
+		if r.Arrival < prev {
+			t.Errorf("request %d: arrival %v went backward", i, r.Arrival)
+		}
+		prev = r.Arrival
+	}
+}
+
+func TestFitTo(t *testing.T) {
+	in := []Request{
+		{Op: OpWrite, LPA: 10, Pages: 4},         // already fits
+		{Op: OpRead, LPA: 113_033_195, Pages: 2}, // folded modulo capacity
+		{Op: OpRead, LPA: 1023, Pages: 8},        // folds, then clamps to the end
+	}
+	got, err := FitTo(in, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Request{
+		{Op: OpWrite, LPA: 10, Pages: 4},
+		{Op: OpRead, LPA: 113_033_195 % 1024, Pages: 2},
+		{Op: OpRead, LPA: 1016, Pages: 8},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("request %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if in[2].LPA != 1023 {
+		t.Error("FitTo modified its input")
+	}
+	if _, err := FitTo([]Request{{Op: OpRead, LPA: 0, Pages: 2048}}, 1024); err == nil {
+		t.Error("oversized request accepted")
+	}
+	if _, err := FitTo(nil, 0); err == nil {
+		t.Error("zero-page device accepted")
+	}
+}
+
+func TestDecodeOptionsPageSize(t *testing.T) {
+	// 16KB pages: a 16384-byte extent at offset 16384 is one page at LPA 1.
+	in := "100,h,0,Read,16384,16384,0\n"
+	got, err := Decode(strings.NewReader(in), FormatMSR, Options{PageSize: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].LPA != 1 || got[0].Pages != 1 {
+		t.Errorf("got %+v", got)
+	}
+}

@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"leaftl/internal/addr"
+)
+
+// MSR Cambridge CSV (SNIA IOTTA block traces, the paper's §4.1
+// simulator workloads):
+//
+//	Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+//	128166372003061629,hm,0,Read,383496192,32768,1331
+//
+// Timestamp and ResponseTime are Windows filetime ticks (100ns);
+// Offset and Size are bytes. Requests are normalized to the pages the
+// byte extent covers; ResponseTime is the traced disk's service time,
+// not a property of the replayed device, and is dropped.
+
+// filetimeTick is the unit of MSR timestamps.
+const filetimeTick = 100 * time.Nanosecond
+
+// msrEpoch is the base timestamp encodeMSR writes (an arbitrary
+// filetime; Decode rebases to the first record, so only differences
+// matter).
+const msrEpoch = 128166372000000000
+
+func decodeMSR(r io.Reader, o Options) ([]Request, error) {
+	return decodeLines(r, "msr", func(line string) (Request, bool, error) {
+		parts := strings.Split(line, ",")
+		if len(parts) < 6 {
+			return Request{}, false, fmt.Errorf("want at least 6 fields, got %d", len(parts))
+		}
+		if strings.EqualFold(strings.TrimSpace(parts[0]), "timestamp") {
+			return Request{}, false, nil // column-name header
+		}
+		ts, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return Request{}, false, fmt.Errorf("bad timestamp: %w", err)
+		}
+		op, err := parseOpWord(parts[3])
+		if err != nil {
+			return Request{}, false, err
+		}
+		offset, err := strconv.ParseInt(strings.TrimSpace(parts[4]), 10, 64)
+		if err != nil {
+			return Request{}, false, fmt.Errorf("bad offset: %w", err)
+		}
+		size, err := strconv.ParseInt(strings.TrimSpace(parts[5]), 10, 64)
+		if err != nil {
+			return Request{}, false, fmt.Errorf("bad size: %w", err)
+		}
+		req, err := byteRequest(op, offset, size, o.PageSize)
+		if err != nil {
+			return Request{}, false, err
+		}
+		req.Arrival = time.Duration(ts) * filetimeTick
+		return req, true, nil
+	})
+}
+
+func encodeMSR(w io.Writer, reqs []Request, o Options) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime"); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		op := "Write"
+		if r.Op == OpRead {
+			op = "Read"
+		}
+		ts := uint64(msrEpoch) + uint64(r.Arrival/filetimeTick)
+		offset := int64(r.LPA) * int64(o.PageSize)
+		size := int64(r.Pages) * int64(o.PageSize)
+		if _, err := fmt.Fprintf(bw, "%d,leaftl,0,%s,%d,%d,0\n", ts, op, offset, size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// parseOpWord accepts the op spellings of the byte-granular formats:
+// "Read"/"Write" (MSR), "R"/"W" (FIU), case-insensitive.
+func parseOpWord(s string) (Op, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "read", "r":
+		return OpRead, nil
+	case "write", "w":
+		return OpWrite, nil
+	default:
+		return 0, fmt.Errorf("bad op %q", strings.TrimSpace(s))
+	}
+}
+
+// byteRequest normalizes a byte extent to a page-granular request,
+// rejecting empty and unrepresentable extents.
+func byteRequest(op Op, offset, size int64, pageSize int) (Request, error) {
+	if offset < 0 {
+		return Request{}, fmt.Errorf("negative offset %d", offset)
+	}
+	if size <= 0 {
+		return Request{}, fmt.Errorf("zero-size request (size %d)", size)
+	}
+	lpa, pages := pageSpan(offset, size, pageSize)
+	if lpa+int64(pages) > math.MaxUint32 {
+		return Request{}, fmt.Errorf("extent [%d,%d) beyond the 32-bit page address space", offset, offset+size)
+	}
+	return Request{Op: op, LPA: addr.LPA(lpa), Pages: pages}, nil
+}

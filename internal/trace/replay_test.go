@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"leaftl/internal/addr"
+)
+
+// clockedDev is a deterministic ClockedDevice: every request takes
+// `service` on a virtual clock that only moves via AdvanceTo and
+// request service.
+type clockedDev struct {
+	now     time.Duration
+	service time.Duration
+	ops     int
+}
+
+func (f *clockedDev) Read(lpa addr.LPA, pages int) (time.Duration, error) {
+	f.ops++
+	f.now += f.service
+	return f.service, nil
+}
+
+func (f *clockedDev) Write(lpa addr.LPA, pages int) (time.Duration, error) {
+	return f.Read(lpa, pages)
+}
+
+func (f *clockedDev) Now() time.Duration { return f.now }
+
+func (f *clockedDev) AdvanceTo(t time.Duration) {
+	if t > f.now {
+		f.now = t
+	}
+}
+
+func TestReplayOpenLoopSingleQueue(t *testing.T) {
+	d := &clockedDev{service: 10 * time.Microsecond}
+	reqs := []Request{
+		{Op: OpWrite, LPA: 0, Pages: 1, Arrival: 0},
+		{Op: OpRead, LPA: 1, Pages: 1, Arrival: 5 * time.Microsecond},
+		{Op: OpRead, LPA: 2, Pages: 1, Arrival: 100 * time.Microsecond},
+	}
+	res, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 3 || res.Reads != 2 || res.Writes != 1 {
+		t.Errorf("counts %d/%d/%d", res.Requests, res.Reads, res.Writes)
+	}
+	// Request 1 arrives at 5µs but queues behind request 0 (busy until
+	// 10µs): latency 15µs. Request 2 finds an idle device: 10µs.
+	if got := res.Latency.Summary().Peak; got != 15*time.Microsecond {
+		t.Errorf("max latency %v, want 15µs", got)
+	}
+	if res.Elapsed != 110*time.Microsecond {
+		t.Errorf("elapsed %v, want 110µs", res.Elapsed)
+	}
+	if got := res.QueueWait.Summary().Peak; got != 5*time.Microsecond {
+		t.Errorf("max queue wait %v, want 5µs", got)
+	}
+}
+
+func TestReplayOpenLoopMultiQueue(t *testing.T) {
+	d := &clockedDev{service: 10 * time.Microsecond}
+	reqs := []Request{
+		{Op: OpRead, LPA: 0, Pages: 1, Arrival: 0},
+		{Op: OpRead, LPA: 1, Pages: 1, Arrival: 5 * time.Microsecond},
+	}
+	res, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{Queues: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With its own queue, request 1 starts at its arrival: no queue wait.
+	if got := res.QueueWait.Summary().Peak; got != 0 {
+		t.Errorf("max queue wait %v, want 0", got)
+	}
+	if got := res.Latency.Summary().Peak; got != 10*time.Microsecond {
+		t.Errorf("max latency %v, want 10µs", got)
+	}
+}
+
+func TestReplayOpenLoopSpeedup(t *testing.T) {
+	d := &clockedDev{service: time.Microsecond}
+	reqs := []Request{
+		{Op: OpRead, LPA: 0, Pages: 1, Arrival: 0},
+		{Op: OpRead, LPA: 1, Pages: 1, Arrival: 100 * time.Microsecond},
+	}
+	res, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{Speedup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second arrival compresses to 50µs; it finds an idle queue.
+	if res.Elapsed != 51*time.Microsecond {
+		t.Errorf("elapsed %v, want 51µs", res.Elapsed)
+	}
+}
+
+func TestReplayOpenLoopInterarrival(t *testing.T) {
+	d := &clockedDev{service: time.Microsecond}
+	reqs := []Request{ // untimed trace
+		{Op: OpRead, LPA: 0, Pages: 1},
+		{Op: OpRead, LPA: 1, Pages: 1},
+		{Op: OpRead, LPA: 2, Pages: 1},
+	}
+	res, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{Interarrival: 20 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != 41*time.Microsecond {
+		t.Errorf("elapsed %v, want 41µs", res.Elapsed)
+	}
+	if got := res.IOPS(); got < 70_000 || got > 75_000 {
+		t.Errorf("IOPS %v, want ~73k", got)
+	}
+}
+
+func TestReplayOpenLoopAdvancesClock(t *testing.T) {
+	d := &clockedDev{service: time.Microsecond}
+	reqs := []Request{
+		{Op: OpRead, LPA: 0, Pages: 1, Arrival: 0},
+		{Op: OpRead, LPA: 1, Pages: 1, Arrival: time.Second},
+	}
+	if _, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	// The device idled through the 1s arrival gap.
+	if d.now != time.Second+time.Microsecond {
+		t.Errorf("device clock %v, want 1.000001s", d.now)
+	}
+}
+
+func TestReplayOpenLoopAdvancesWarmedClock(t *testing.T) {
+	// A device warmed before replay sits far along its own clock; the
+	// trace-relative idle gap must still advance it (offset from its
+	// position at replay start), not be swallowed by the comparison
+	// against absolute time.
+	d := &clockedDev{service: time.Microsecond, now: time.Hour}
+	reqs := []Request{
+		{Op: OpRead, LPA: 0, Pages: 1, Arrival: 0},
+		{Op: OpRead, LPA: 1, Pages: 1, Arrival: time.Second},
+	}
+	if _, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if d.now != time.Hour+time.Second+time.Microsecond {
+		t.Errorf("device clock %v, want 1h0m1.000001s", d.now)
+	}
+}
+
+func TestReplayOpenLoopInterarrivalSpeedup(t *testing.T) {
+	d := &clockedDev{service: time.Microsecond}
+	reqs := []Request{
+		{Op: OpRead, LPA: 0, Pages: 1},
+		{Op: OpRead, LPA: 1, Pages: 1},
+	}
+	res, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{Interarrival: 20 * time.Microsecond, Speedup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 20µs spacing compresses to 10µs.
+	if res.Elapsed != 11*time.Microsecond {
+		t.Errorf("elapsed %v, want 11µs", res.Elapsed)
+	}
+}
+
+func TestReplayOpenLoopPropagatesError(t *testing.T) {
+	d := &fakeDev{failAt: 2}
+	reqs := []Request{{Op: OpWrite, LPA: 0, Pages: 1}, {Op: OpRead, LPA: 0, Pages: 1}}
+	if _, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{}); err == nil {
+		t.Fatal("error swallowed")
+	}
+}

@@ -33,6 +33,23 @@ func TestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestParseTimedLines(t *testing.T) {
+	in := "W,0,8,0\nR,42,1,1000000\n"
+	got, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Arrival != 0 || got[1].Arrival != time.Millisecond {
+		t.Errorf("parsed %v", got)
+	}
+	if !Timed(got) {
+		t.Error("Timed = false for a timed trace")
+	}
+	if Span(got) != time.Millisecond {
+		t.Errorf("Span = %v, want 1ms", Span(got))
+	}
+}
+
 func TestParseCommentsAndBlanks(t *testing.T) {
 	in := "# header\n\nW,1,2\n  \nr, 3 , 4\n"
 	got, err := Parse(strings.NewReader(in))
@@ -46,12 +63,14 @@ func TestParseCommentsAndBlanks(t *testing.T) {
 
 func TestParseErrors(t *testing.T) {
 	for _, in := range []string{
-		"X,1,2",   // bad op
-		"R,abc,2", // bad lpa
-		"R,1",     // missing field
-		"R,1,0",   // zero pages
-		"R,1,-3",  // negative pages
-		"R,1,2,3", // extra field
+		"X,1,2",      // bad op
+		"R,abc,2",    // bad lpa
+		"R,1",        // missing field
+		"R,1,0",      // zero pages
+		"R,1,-3",     // negative pages
+		"R,1,2,3,4",  // extra field
+		"R,1,2,x",    // bad arrival
+		"R,1,2,-100", // negative arrival
 	} {
 		if _, err := Parse(strings.NewReader(in)); err == nil {
 			t.Errorf("Parse(%q) accepted", in)

@@ -1,0 +1,265 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/trace"
+)
+
+// ArrivalModel assigns arrival timestamps to a generated trace,
+// turning a request sequence into an open-loop workload. Arrivals are
+// Poisson at a mean rate of IOPS; BurstFactor > 1 makes the process
+// bursty (an on/off modulated Poisson: bursts arrive BurstFactor times
+// faster, idle stretches slower, preserving the overall mean rate).
+type ArrivalModel struct {
+	// IOPS is the mean arrival rate in requests per second (default
+	// 50_000, a mid-range datacenter SSD load).
+	IOPS float64
+	// BurstFactor is the ratio of the in-burst arrival rate to the mean
+	// (values ≤ 1 select a steady Poisson process).
+	BurstFactor float64
+	// BurstFrac is the fraction of requests issued inside bursts
+	// (default 0.5 when BurstFactor > 1).
+	BurstFrac float64
+	// BurstLen is the number of consecutive requests per burst
+	// (default 64).
+	BurstLen int
+}
+
+func (m ArrivalModel) withDefaults() ArrivalModel {
+	if m.IOPS <= 0 {
+		m.IOPS = 50_000
+	}
+	if m.BurstFrac <= 0 || m.BurstFrac >= 1 {
+		m.BurstFrac = 0.5
+	}
+	if m.BurstLen <= 0 {
+		m.BurstLen = 64
+	}
+	return m
+}
+
+// Stamp assigns arrival timestamps to reqs in place, deterministically
+// from seed.
+func (m ArrivalModel) Stamp(reqs []trace.Request, seed int64) {
+	m = m.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+
+	burstRate := m.IOPS
+	idleRate := m.IOPS
+	if m.BurstFactor > 1 {
+		burstRate = m.IOPS * m.BurstFactor
+		// Solve the off-phase rate so the blended mean stays at IOPS:
+		// BurstFrac of requests at burstRate, the rest at idleRate.
+		idleRate = m.IOPS * (1 - m.BurstFrac) / (1 - m.BurstFrac/m.BurstFactor)
+	}
+
+	var now float64 // seconds
+	inBurst := false
+	left := 0
+	for i := range reqs {
+		if left == 0 {
+			// Every phase is BurstLen requests, so the in-burst request
+			// fraction converges to the phase-choice probability.
+			inBurst = m.BurstFactor > 1 && rng.Float64() < m.BurstFrac
+			left = m.BurstLen
+		}
+		rate := idleRate
+		if inBurst {
+			rate = burstRate
+		}
+		now += rng.ExpFloat64() / rate
+		reqs[i].Arrival = time.Duration(now * float64(time.Second))
+		left--
+	}
+}
+
+// ZipfianProfile generates a Zipfian-hotspot workload: request
+// popularity follows a Zipf(S) law over the footprint, concentrating
+// traffic on a small set of hot pages — the cache-friendly,
+// learning-hostile skew pattern key-value stores exhibit (LFTL §V and
+// the LearnedFTL evaluation both lean on it).
+type ZipfianProfile struct {
+	// Name identifies the workload in reports.
+	Name string
+	// S is the Zipf exponent (> 1; larger = more skewed; default 1.2).
+	S float64
+	// ReadFrac is the fraction of requests that are reads.
+	ReadFrac float64
+	// MinPages/MaxPages bound request sizes (pages).
+	MinPages, MaxPages int
+	// FootprintFrac is the touched fraction of the logical space.
+	FootprintFrac float64
+	// Arrivals controls timestamp assignment.
+	Arrivals ArrivalModel
+}
+
+// Validate reports malformed profiles.
+func (z ZipfianProfile) Validate() error {
+	switch {
+	case z.S <= 1:
+		return fmt.Errorf("workload %s: Zipf exponent %v must be > 1", z.Name, z.S)
+	case z.ReadFrac < 0 || z.ReadFrac > 1:
+		return fmt.Errorf("workload %s: ReadFrac %v", z.Name, z.ReadFrac)
+	case z.MinPages < 1 || z.MaxPages < z.MinPages:
+		return fmt.Errorf("workload %s: request size [%d,%d]", z.Name, z.MinPages, z.MaxPages)
+	case z.FootprintFrac <= 0 || z.FootprintFrac > 1:
+		return fmt.Errorf("workload %s: FootprintFrac %v", z.Name, z.FootprintFrac)
+	}
+	return nil
+}
+
+// Generate produces n timestamped requests over a device with the given
+// logical page count, deterministically from seed.
+func (z ZipfianProfile) Generate(logicalPages, n int, seed int64) []trace.Request {
+	if err := z.Validate(); err != nil {
+		panic(err) // profiles are compile-time constants; fail loudly
+	}
+	rng := rand.New(rand.NewSource(seed))
+	footprint := clampFootprint(logicalPages, z.FootprintFrac)
+	zipf := rand.NewZipf(rng, z.S, 1, uint64(footprint-1))
+
+	reqs := make([]trace.Request, 0, n)
+	for len(reqs) < n {
+		op := trace.OpWrite
+		if rng.Float64() < z.ReadFrac {
+			op = trace.OpRead
+		}
+		sz := z.MinPages + rng.Intn(z.MaxPages-z.MinPages+1)
+		// Rank 0 is the hottest page; the hotspot occupies the low end
+		// of the footprint.
+		l := int(zipf.Uint64())
+		if l+sz > footprint {
+			l = footprint - sz
+		}
+		reqs = append(reqs, trace.Request{Op: op, LPA: addr.LPA(l), Pages: sz})
+	}
+	z.Arrivals.Stamp(reqs, seed)
+	return reqs
+}
+
+// MixedProfile generates a phase-alternating mixed workload: bulk
+// sequential read scans interleaved with bursts of small random
+// writes — the analytics-over-ingest pattern that stresses both the
+// learned table's long segments (scans) and its log-structured update
+// path (point writes).
+type MixedProfile struct {
+	// Name identifies the workload in reports.
+	Name string
+	// ScanReqs and UpdateReqs are the lengths (in requests) of the
+	// alternating read-scan and random-write phases.
+	ScanReqs, UpdateReqs int
+	// ScanPages is the request size of scan reads; update writes are
+	// 1..UpdateMaxPages pages.
+	ScanPages, UpdateMaxPages int
+	// HotFrac of update writes fall into the first HotSpace fraction of
+	// the footprint.
+	HotFrac, HotSpace float64
+	// FootprintFrac is the touched fraction of the logical space.
+	FootprintFrac float64
+	// Arrivals controls timestamp assignment.
+	Arrivals ArrivalModel
+}
+
+// Validate reports malformed profiles.
+func (m MixedProfile) Validate() error {
+	switch {
+	case m.ScanReqs < 1 || m.UpdateReqs < 1:
+		return fmt.Errorf("workload %s: phase lengths %d/%d", m.Name, m.ScanReqs, m.UpdateReqs)
+	case m.ScanPages < 1 || m.UpdateMaxPages < 1:
+		return fmt.Errorf("workload %s: request sizes %d/%d", m.Name, m.ScanPages, m.UpdateMaxPages)
+	case m.HotFrac < 0 || m.HotFrac > 1 || m.HotSpace <= 0 || m.HotSpace > 1:
+		return fmt.Errorf("workload %s: hot spot %v/%v", m.Name, m.HotFrac, m.HotSpace)
+	case m.FootprintFrac <= 0 || m.FootprintFrac > 1:
+		return fmt.Errorf("workload %s: FootprintFrac %v", m.Name, m.FootprintFrac)
+	}
+	return nil
+}
+
+// Generate produces n timestamped requests over a device with the given
+// logical page count, deterministically from seed.
+func (m MixedProfile) Generate(logicalPages, n int, seed int64) []trace.Request {
+	if err := m.Validate(); err != nil {
+		panic(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	footprint := clampFootprint(logicalPages, m.FootprintFrac)
+	hot := int(float64(footprint) * m.HotSpace)
+	if hot < 1 {
+		hot = 1
+	}
+	if hot >= footprint {
+		// Keep the cold region nonempty (HotSpace may legally be 1).
+		hot = footprint - 1
+	}
+
+	reqs := make([]trace.Request, 0, n)
+	scanCursor := 0
+	for len(reqs) < n {
+		// Read-scan phase: sequential full-size reads.
+		for i := 0; i < m.ScanReqs && len(reqs) < n; i++ {
+			if scanCursor+m.ScanPages > footprint {
+				scanCursor = 0
+			}
+			reqs = append(reqs, trace.Request{Op: trace.OpRead, LPA: addr.LPA(scanCursor), Pages: m.ScanPages})
+			scanCursor += m.ScanPages
+		}
+		// Update phase: small skewed random writes.
+		for i := 0; i < m.UpdateReqs && len(reqs) < n; i++ {
+			l := hot + rng.Intn(footprint-hot)
+			if rng.Float64() < m.HotFrac {
+				l = rng.Intn(hot)
+			}
+			sz := 1 + rng.Intn(m.UpdateMaxPages)
+			if l+sz > footprint {
+				l = footprint - sz
+			}
+			reqs = append(reqs, trace.Request{Op: trace.OpWrite, LPA: addr.LPA(l), Pages: sz})
+		}
+	}
+	reqs = reqs[:n]
+	m.Arrivals.Stamp(reqs, seed)
+	return reqs
+}
+
+// clampFootprint applies the shared footprint floor/ceiling (at least
+// 256 pages, at most the device).
+func clampFootprint(logicalPages int, frac float64) int {
+	f := int(float64(logicalPages) * frac)
+	if f < 256 {
+		f = 256
+	}
+	if f > logicalPages {
+		f = logicalPages
+	}
+	return f
+}
+
+// Generator is a workload that can emit a (possibly timestamped)
+// request trace; Profile, ZipfianProfile, and MixedProfile all satisfy
+// it.
+type Generator interface {
+	// Generate produces n requests over a device with the given logical
+	// page count, deterministically from seed.
+	Generate(logicalPages, n int, seed int64) []trace.Request
+}
+
+// TimedCatalog returns the open-loop workload generators: the Zipfian
+// hotspot and mixed scan/update profiles, each with a bursty arrival
+// process.
+func TimedCatalog() map[string]Generator {
+	return map[string]Generator{
+		"zipf-hot": ZipfianProfile{
+			Name: "zipf-hot", S: 1.2, ReadFrac: 0.7, MinPages: 1, MaxPages: 8,
+			FootprintFrac: 0.4, Arrivals: ArrivalModel{IOPS: 60_000, BurstFactor: 8},
+		},
+		"mixed-rw": MixedProfile{
+			Name: "mixed-rw", ScanReqs: 48, UpdateReqs: 96, ScanPages: 32, UpdateMaxPages: 4,
+			HotFrac: 0.8, HotSpace: 0.1, FootprintFrac: 0.5,
+			Arrivals: ArrivalModel{IOPS: 40_000, BurstFactor: 4},
+		},
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"leaftl/internal/dftl"
 	"leaftl/internal/ftl"
 	"leaftl/internal/leaftl"
+	"leaftl/internal/metrics"
 	"leaftl/internal/sftl"
 	"leaftl/internal/ssd"
 	"leaftl/internal/trace"
@@ -114,6 +115,38 @@ const (
 // Replay applies requests to a device in order (closed loop).
 func Replay(d *Device, reqs []Request) error { return trace.Replay(d, reqs) }
 
+// TraceFormat identifies a trace wire format (native, MSR CSV, FIU).
+type TraceFormat = trace.Format
+
+// Trace wire formats (see docs/TRACES.md).
+const (
+	TraceNative = trace.FormatNative
+	TraceMSR    = trace.FormatMSR
+	TraceFIU    = trace.FormatFIU
+)
+
+// OpenTrace reads a trace file, auto-detecting its format.
+func OpenTrace(path string) ([]Request, TraceFormat, error) {
+	return trace.Open(path, trace.Options{})
+}
+
+// OpenLoopConfig parameterizes ReplayOpenLoop; OpenLoopResult holds its
+// latency distributions.
+type (
+	OpenLoopConfig = trace.OpenLoopConfig
+	OpenLoopResult = trace.OpenLoopResult
+)
+
+// LatencySummary is a histogram tail digest (p50/p95/p99/p999).
+type LatencySummary = metrics.Summary
+
+// ReplayOpenLoop replays a trace open-loop: requests are submitted at
+// their recorded arrival times across host queues, so latency includes
+// queue wait (see trace.ReplayOpenLoop).
+func ReplayOpenLoop(d *Device, reqs []Request, cfg OpenLoopConfig) (*OpenLoopResult, error) {
+	return trace.ReplayOpenLoop(d, reqs, cfg)
+}
+
 // WorkloadProfile parameterizes a synthetic workload; Workloads and
 // AppWorkloads return the paper's two catalogs (§4.1, Table 2).
 type WorkloadProfile = workload.Profile
@@ -126,3 +159,11 @@ func AppWorkloads() []WorkloadProfile { return workload.AppCatalog() }
 
 // WorkloadByName finds a profile in either catalog.
 func WorkloadByName(name string) (WorkloadProfile, bool) { return workload.ByName(name) }
+
+// WorkloadGenerator is any workload that can emit a request trace
+// (profiles and the timed open-loop generators).
+type WorkloadGenerator = workload.Generator
+
+// TimedWorkloads returns the open-loop generators (zipf-hot, mixed-rw),
+// which emit traces with arrival timestamps.
+func TimedWorkloads() map[string]WorkloadGenerator { return workload.TimedCatalog() }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# openloop.sh — replay the checked-in sample traces open-loop against
+# LeaFTL/DFTL/SFTL and record the tail-latency results.
+#
+# Usage: scripts/openloop.sh [PR-number] [qd] [speedup]
+#   scripts/openloop.sh 2        → writes OPENLOOP_PR2.json (and prints tables)
+#   scripts/openloop.sh 2 8 2    → 8 host queues, 2x replay speed
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${1:-2}"
+QD="${2:-4}"
+SPEEDUP="${3:-1}"
+GAMMA="${GAMMA:-4}"
+
+echo "building..." >&2
+go build ./cmd/leaftl-bench
+
+out="OPENLOOP_PR${PR}.json"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+for trace in traces/msr-sample.csv traces/fiu-sample.trace traces/native-sample.trace; do
+  name=$(basename "$trace" | tr '.' '_')
+  echo "== replaying $trace (qd=$QD speedup=$SPEEDUP gamma=$GAMMA) ==" >&2
+  ./leaftl-bench -openloop -trace "$trace" -qd "$QD" -speedup "$SPEEDUP" -gamma "$GAMMA" \
+    -json "$tmp/$name.json"
+done
+
+# Stitch the per-trace results into one JSON array.
+{
+  echo '['
+  first=1
+  for f in "$tmp"/*.json; do
+    [ $first -eq 1 ] || echo ','
+    first=0
+    cat "$f"
+  done
+  echo ']'
+} > "$out"
+rm -f leaftl-bench
+
+echo "wrote $out" >&2
