@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"leaftl/internal/experiments"
+)
+
+// gcCompareJSON is the machine-readable form of one GC comparison
+// matrix (scripts/gc.sh stitches it into BENCH_PR<N>.json).
+type gcCompareJSON struct {
+	Mode    string      `json:"mode"`
+	Scale   string      `json:"scale"`
+	Queues  int         `json:"queues"`
+	Speedup float64     `json:"speedup"`
+	Gamma   int         `json:"gamma"`
+	Runs    []gcRunJSON `json:"runs"`
+}
+
+// gcRunJSON is one policy × streams × workload cell.
+type gcRunJSON struct {
+	Workload     string  `json:"workload"`
+	Policy       string  `json:"policy"`
+	Streams      int     `json:"streams"`
+	WAF          float64 `json:"waf"`
+	GCRuns       uint64  `json:"gc_runs"`
+	GCErases     uint64  `json:"gc_erases"`
+	GCPagesMoved uint64  `json:"gc_pages_moved"`
+	GCTimeUs     float64 `json:"gc_time_us"`
+	GCStallUs    float64 `json:"gc_stall_us"`
+	P50us        float64 `json:"p50_us"`
+	P99us        float64 `json:"p99_us"`
+	P999us       float64 `json:"p999_us"`
+	MeanUs       float64 `json:"mean_us"`
+	IOPS         float64 `json:"iops"`
+}
+
+// parseList splits a comma-separated flag value.
+func parseList(v string) []string {
+	var out []string
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// parseIntList splits a comma-separated list of integers.
+func parseIntList(v string) ([]int, error) {
+	var out []int
+	for _, s := range parseList(v) {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in %q", s, v)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// runGCCompare is the leaftl-bench GC comparison mode: sweep victim
+// policies × hot/cold stream counts over GC-heavy timed workloads and
+// report WAF, reclaim counters and tail latency per cell.
+func runGCCompare(scale experiments.Scale, policies, streams, workloads string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath string) error {
+	streamCounts, err := parseIntList(streams)
+	if err != nil {
+		return err
+	}
+	// Mirror GCCompare's defaulting up front so the recorded JSON
+	// parameters match the conditions the sweep actually ran under.
+	if qd < 1 {
+		qd = 4
+	}
+	if speedup <= 0 {
+		speedup = 1
+	}
+	spec := experiments.GCCompareSpec{
+		Policies:  parseList(policies),
+		Streams:   streamCounts,
+		Workloads: parseList(workloads),
+		Queues:    qd,
+		Speedup:   speedup,
+		Gamma:     gamma,
+	}
+	s := experiments.NewSuite(scale, seed)
+	runs, table, err := s.GCCompare(spec)
+	if err != nil {
+		return err
+	}
+	if markdown {
+		fmt.Println(table.Markdown())
+	} else {
+		fmt.Println(table.String())
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	out := gcCompareJSON{
+		Mode: "gc-compare", Scale: scale.Name,
+		Queues: spec.Queues, Speedup: spec.Speedup, Gamma: gamma,
+	}
+	for _, r := range runs {
+		sum := r.Result.Latency.Summary()
+		out.Runs = append(out.Runs, gcRunJSON{
+			Workload: r.Workload, Policy: r.Policy, Streams: r.Streams,
+			WAF:          r.WAF,
+			GCRuns:       r.Stats.GCRuns,
+			GCErases:     r.Stats.GCErases,
+			GCPagesMoved: r.Stats.GCPagesMoved,
+			GCTimeUs:     usF(r.Stats.GCTime),
+			GCStallUs:    usF(r.Stats.GCStall),
+			P50us:        usF(sum.P50), P99us: usF(sum.P99), P999us: usF(sum.P999),
+			MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(),
+		})
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(jsonPath, enc, 0o644)
+}

@@ -1,10 +1,13 @@
 // Command leaftl-bench regenerates the paper's evaluation tables and
 // figures on the simulated SSD (deliverable d). By default it runs at
 // quick scale; -full uses the larger scaled device of DESIGN.md §5.
-// Two replay modes skip the figures: -parallel hammers the sharded
-// translation core with concurrent host streams, and -openloop replays
+// Three replay modes skip the figures: -parallel hammers the sharded
+// translation core with concurrent host streams, -openloop replays
 // a trace file (native, MSR CSV, or FIU format) at its recorded arrival
-// times against all three schemes, reporting p50/p95/p99/p999 latency.
+// times against all three schemes, reporting p50/p95/p99/p999 latency,
+// and -gccompare sweeps GC victim policies × hot/cold stream counts
+// over GC-heavy workloads (-gc-policy/-gc-streams also apply a single
+// policy/stream count to the open-loop mode).
 package main
 
 import (
@@ -31,10 +34,25 @@ func main() {
 	traceFormat := flag.String("trace-format", "auto", "open-loop replay mode: trace format (auto, native, msr, fiu)")
 	qd := flag.Int("qd", 4, "open-loop replay mode: host submission queue count")
 	speedup := flag.Float64("speedup", 1, "open-loop replay mode: divide recorded inter-arrival times by this factor")
+	gcCompare := flag.Bool("gccompare", false, "GC comparison mode: sweep GC policies × streams over GC-heavy workloads (skips figures)")
+	gcPolicy := flag.String("gc-policy", "", "GC victim policy (greedy, cost-benefit, fifo); comma-separated list in -gccompare mode (default: all)")
+	gcStreams := flag.String("gc-streams", "", "hot/cold GC destination stream count; comma-separated list in -gccompare mode (default: 1,4)")
+	gcWorkloads := flag.String("gc-workloads", "", "-gccompare mode: comma-separated timed workloads (default: zipf-hot,mixed-rw)")
 	flag.Parse()
 
+	if *gcCompare {
+		scale := experiments.QuickScale()
+		if *full {
+			scale = experiments.FullScale()
+		}
+		if err := runGCCompare(scale, *gcPolicy, *gcStreams, *gcWorkloads, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: gccompare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *openloop {
-		if err := runOpenLoop(*tracePath, *traceFormat, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut); err != nil {
+		if err := runOpenLoop(*tracePath, *traceFormat, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut, *gcPolicy, *gcStreams); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: openloop: %v\n", err)
 			os.Exit(1)
 		}

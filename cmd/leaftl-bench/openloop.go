@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"leaftl/internal/experiments"
@@ -37,7 +39,19 @@ type schemeJSON struct {
 // runOpenLoop is the leaftl-bench open-loop replay mode: ingest a trace
 // in any supported format, replay it at recorded arrival times against
 // LeaFTL/DFTL/SFTL on identical devices, and report tail latency.
-func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath string) error {
+// gcPolicy and gcStreams configure every device's garbage collector
+// (single values here; the -gccompare mode sweeps lists).
+func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath, gcPolicy, gcStreams string) error {
+	streams := 0
+	if gcStreams != "" {
+		var err error
+		if streams, err = strconv.Atoi(gcStreams); err != nil {
+			return fmt.Errorf("-gc-streams %q: want a single integer in open-loop mode", gcStreams)
+		}
+	}
+	if strings.Contains(gcPolicy, ",") {
+		return fmt.Errorf("-gc-policy %q: want a single policy in open-loop mode", gcPolicy)
+	}
 	var (
 		reqs   []trace.Request
 		format trace.Format
@@ -62,7 +76,10 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 	fmt.Fprintf(os.Stderr, "leaftl-bench: %s: %d requests (%s format), recorded span %v\n",
 		path, len(reqs), format, trace.Span(reqs).Round(time.Millisecond))
 
-	spec := experiments.OpenLoopSpec{Queues: qd, Speedup: speedup, Gamma: gamma}
+	spec := experiments.OpenLoopSpec{
+		Queues: qd, Speedup: speedup, Gamma: gamma,
+		GCPolicy: gcPolicy, GCStreams: streams,
+	}
 	if !trace.Timed(reqs) {
 		// Untimed traces replay at a uniform 50k IOPS arrival rate.
 		spec.Interarrival = 20 * time.Microsecond

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"leaftl/internal/ssd"
+	"leaftl/internal/trace"
+	"leaftl/internal/workload"
+)
+
+// GCCompareSpec parameterizes the GC policy/stream comparison matrix.
+// Zero-valued fields select the defaults: every built-in policy, 1 and
+// 4 streams, both timed workloads, 4 host queues at recorded speed.
+type GCCompareSpec struct {
+	// Policies are ssd GC policy names ("greedy", "cost-benefit",
+	// "fifo").
+	Policies []string
+	// Streams are the Config.GCStreams values to sweep.
+	Streams []int
+	// Workloads name generators from workload.TimedCatalog
+	// ("zipf-hot", "mixed-rw").
+	Workloads []string
+	// Queues, Speedup and Gamma mirror OpenLoopSpec.
+	Queues  int
+	Speedup float64
+	Gamma   int
+}
+
+func (s GCCompareSpec) withDefaults() GCCompareSpec {
+	if len(s.Policies) == 0 {
+		s.Policies = ssd.GCPolicyNames()
+	}
+	if len(s.Streams) == 0 {
+		s.Streams = []int{1, 4}
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []string{"zipf-hot", "mixed-rw"}
+	}
+	if s.Queues < 1 {
+		s.Queues = 4
+	}
+	if s.Speedup <= 0 {
+		s.Speedup = 1
+	}
+	return s
+}
+
+// GCRun is one cell of the GC comparison matrix: one policy × stream
+// count × workload, replayed open-loop on a fully-aged LeaFTL device.
+type GCRun struct {
+	Workload string
+	Policy   string
+	Streams  int
+
+	// WAF is the steady-state write amplification (flash writes per
+	// host write) over the measured replay.
+	WAF float64
+	// Stats holds the device counters, including GCErases,
+	// GCPagesMoved, GCTime and GCStall.
+	Stats ssd.Stats
+	// Result is the open-loop latency outcome (p99/p999 include
+	// GC-induced stalls).
+	Result *trace.OpenLoopResult
+}
+
+// GCCompare sweeps GC victim policies × hot/cold stream counts over
+// GC-heavy timed workloads (the Figure 25 sensitivity axis this repo
+// opens up). Each cell ages an identical LeaFTL device to a fully
+// mapped state — so the free pool is tight and reclaim runs throughout
+// the measured window — resets metrics, then replays the workload
+// open-loop; WAF, GC erase counts and tail latencies are what separate
+// the policies.
+func (s *Suite) GCCompare(spec GCCompareSpec) ([]GCRun, Table, error) {
+	spec = spec.withDefaults()
+	gens := workload.TimedCatalog()
+
+	// Twice the suite's trace length, and watermarks in the §3.6
+	// mid-range (modern SSDs trigger at 15–40% free): on the aged
+	// device the free pool sits just above the trigger, so reclaim
+	// runs throughout the measured window instead of never tripping.
+	requests := 2 * s.Scale.Requests
+	gcConfig := func(policy string, streams int) ssd.Config {
+		cfg := s.simConfig("sim")
+		cfg.GCPolicy = policy
+		cfg.GCStreams = streams
+		cfg.GCLowWater = 0.15
+		cfg.GCHighWater = 0.25
+		return cfg
+	}
+
+	var runs []GCRun
+	for _, wl := range spec.Workloads {
+		gen, ok := gens[wl]
+		if !ok {
+			return nil, Table{}, fmt.Errorf("gccompare: unknown timed workload %q", wl)
+		}
+		reqs := gen.Generate(s.simConfig("sim").LogicalPages(), requests, s.Seed)
+		for _, policy := range spec.Policies {
+			for _, streams := range spec.Streams {
+				cfg := gcConfig(policy, streams)
+				sch := s.newScheme("LeaFTL", spec.Gamma, cfg)
+				dev, err := ssd.New(cfg, sch)
+				if err != nil {
+					return nil, Table{}, fmt.Errorf("gccompare %s/%s/%d: %w", wl, policy, streams, err)
+				}
+				// Age the drive: fill the whole logical space so every
+				// block holds data and reclaim is live during the
+				// measurement (§4.1 warms before measuring).
+				if err := warmPages(dev, dev.LogicalPages()); err != nil {
+					return nil, Table{}, fmt.Errorf("gccompare %s/%s/%d: warmup: %w", wl, policy, streams, err)
+				}
+				if err := dev.Flush(); err != nil {
+					return nil, Table{}, fmt.Errorf("gccompare %s/%s/%d: warmup flush: %w", wl, policy, streams, err)
+				}
+				dev.ResetMetrics()
+				res, err := trace.ReplayOpenLoop(dev, reqs, trace.OpenLoopConfig{
+					Queues: spec.Queues, Speedup: spec.Speedup,
+				})
+				if err != nil {
+					return nil, Table{}, fmt.Errorf("gccompare %s/%s/%d: %w", wl, policy, streams, err)
+				}
+				if err := dev.Flush(); err != nil {
+					return nil, Table{}, fmt.Errorf("gccompare %s/%s/%d: flush: %w", wl, policy, streams, err)
+				}
+				runs = append(runs, GCRun{
+					Workload: wl, Policy: policy, Streams: streams,
+					WAF: dev.WAF(), Stats: dev.Stats(), Result: res,
+				})
+			}
+		}
+	}
+
+	t := Table{
+		ID: "gccompare",
+		Title: fmt.Sprintf("GC policies × streams: %d requests/workload, %d queue(s), gamma=%d",
+			requests, spec.Queues, spec.Gamma),
+		Header: []string{"workload", "policy", "streams", "WAF", "GC erases", "moved", "GC stall", "p50", "p99", "p999"},
+		Notes:  "aged device (logical space fully mapped); latency = queue wait + service incl. GC stalls",
+	}
+	for _, r := range runs {
+		sum := r.Result.Latency.Summary()
+		t.Rows = append(t.Rows, []string{
+			r.Workload, r.Policy, fmt.Sprintf("%d", r.Streams),
+			f2(r.WAF),
+			fmt.Sprintf("%d", r.Stats.GCErases),
+			fmt.Sprintf("%d", r.Stats.GCPagesMoved),
+			ms(r.Stats.GCStall),
+			us(sum.P50), us(sum.P99), us(sum.P999),
+		})
+	}
+	return runs, t, nil
+}
+
+// ms renders a duration in milliseconds for table cells.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+}

@@ -22,6 +22,11 @@ type OpenLoopSpec struct {
 	// (how untimed traces replay open-loop); zero uses the trace's own
 	// arrivals.
 	Interarrival time.Duration
+	// GCPolicy and GCStreams configure every device's garbage
+	// collector (ssd.Config.GCPolicy / GCStreams); zero values keep
+	// the greedy single-stream default.
+	GCPolicy  string
+	GCStreams int
 }
 
 // OpenLoopRun is one scheme's open-loop replay outcome.
@@ -65,6 +70,8 @@ func (s *Suite) OpenLoopCompare(reqs []trace.Request, spec OpenLoopSpec) ([]Open
 	var runs []OpenLoopRun
 	for _, scheme := range []string{"LeaFTL", "DFTL", "SFTL"} {
 		cfg := s.simConfig(cfgName)
+		cfg.GCPolicy = spec.GCPolicy
+		cfg.GCStreams = spec.GCStreams
 		if scheme != "LeaFTL" {
 			cfg.Shards = 0 // the baselines have no sharded core
 		}

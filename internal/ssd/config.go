@@ -70,6 +70,19 @@ type Config struct {
 	// least-worn blocks that triggers a cold-block migration (§3.6).
 	WearDelta uint32
 
+	// GCPolicy selects the garbage-collection victim policy: "greedy"
+	// (the default, also selected by ""), "cost-benefit" (age-weighted
+	// utilization, the LFS formula), or "fifo" (oldest sealed block
+	// first). See GCPolicyByName.
+	GCPolicy string
+
+	// GCStreams is the number of hot/cold GC destination streams
+	// (0 or 1 = the single-destination historical behaviour). With N
+	// streams, relocated pages are split into N exponential
+	// update-recency bands, so hot rewrites stop polluting cold blocks.
+	// Each open stream pins one block out of the free pool.
+	GCStreams int
+
 	// Shards selects how many ways the translation scheme's mapping core
 	// is partitioned for concurrent translation (0 or 1 = unsharded).
 	// The closed-loop device serializes requests either way — sharding
@@ -127,6 +140,15 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ssd: CapFraction = %v out of range (0, 1]", c.CapFraction)
 	case c.Shards < 0 || c.Shards > 1024:
 		return fmt.Errorf("ssd: Shards = %d out of range [0, 1024]", c.Shards)
+	case c.GCStreams < 0 || c.GCStreams > 16:
+		return fmt.Errorf("ssd: GCStreams = %d out of range [0, 16]", c.GCStreams)
+	}
+	if _, err := GCPolicyByName(c.GCPolicy); err != nil {
+		return err
+	}
+	if streams := c.GCStreams; streams > 1 && streams >= c.Flash.Blocks()/4 {
+		return fmt.Errorf("ssd: GCStreams = %d would pin too much of the %d-block pool",
+			streams, c.Flash.Blocks())
 	}
 	if int64(c.BufferPages)*int64(c.Flash.PageSize) >= c.DRAMBytes {
 		return fmt.Errorf("ssd: write buffer (%d pages) does not fit in DRAM (%d bytes)",

@@ -48,11 +48,22 @@ type Device struct {
 	cache      *ftl.ByteLRU[addr.LPA, uint64]
 	mapBudget  int
 	writeStamp uint64
-	gc         gcState
+
+	// Garbage collection machinery: the victim policy over the
+	// incremental valid-count index, the hot/cold destination streams,
+	// and per-LPA update-recency stamps that classify relocated pages.
+	policy  GCPolicy
+	victims *VictimIndex
+	streams []gcStream
+	lpaHeat []uint64 // per-LPA writeStamp at last host write
+
 	// flushDone is when the last flush's slowest program completes; the
 	// next flush stalls behind it (write back-pressure: the host cannot
-	// outrun the flash's program bandwidth indefinitely).
+	// outrun the flash's program bandwidth indefinitely). gcHorizon is
+	// the same horizon for GC traffic, kept separate so stalls can be
+	// attributed to GC in the stats.
 	flushDone time.Duration
+	gcHorizon time.Duration
 
 	now   time.Duration
 	stats Stats
@@ -80,6 +91,14 @@ func New(cfg Config, scheme ftl.Scheme) (*Device, error) {
 		return nil, fmt.Errorf("ssd: gamma %d needs %d OOB entries, flash provides %d (§3.5)",
 			gamma, 2*gamma+1, cfg.Flash.OOBEntries())
 	}
+	policy, err := GCPolicyByName(cfg.GCPolicy)
+	if err != nil {
+		return nil, err
+	}
+	streams := cfg.GCStreams
+	if streams < 1 {
+		streams = 1
+	}
 
 	d := &Device{
 		cfg:          cfg,
@@ -94,6 +113,10 @@ func New(cfg Config, scheme ftl.Scheme) (*Device, error) {
 		isFree:       make([]bool, cfg.Flash.Blocks()),
 		blockSeq:     make([]uint64, cfg.Flash.Blocks()),
 		buffer:       make(map[addr.LPA]uint64, cfg.BufferPages),
+		policy:       policy,
+		victims:      newVictimIndex(cfg.Flash.Blocks(), cfg.Flash.PagesPerBlock),
+		streams:      make([]gcStream, streams),
+		lpaHeat:      make([]uint64, cfg.LogicalPages()),
 		readLat:      metrics.NewHistogram(),
 		writeLat:     metrics.NewHistogram(),
 	}
@@ -330,6 +353,7 @@ func (d *Device) Write(lpa addr.LPA, n int) (time.Duration, error) {
 		l := lpa + addr.LPA(i)
 		d.stats.HostPagesWrite++
 		d.writeStamp++
+		d.lpaHeat[l] = d.writeStamp
 		tok := uint64(l)<<24 ^ d.writeStamp
 		d.buffer[l] = tok
 		d.token[l] = tok
@@ -379,11 +403,19 @@ func (d *Device) flush(t time.Duration) (time.Duration, error) {
 }
 
 func (d *Device) flushChunks(t time.Duration, includePartial bool) (time.Duration, error) {
-	var stall time.Duration
-	if d.flushDone > t {
-		stall = d.flushDone - t
-		t = d.flushDone
+	wait := t
+	if d.flushDone > wait {
+		wait = d.flushDone
 	}
+	if d.gcHorizon > wait {
+		// The flush is gated on in-flight GC, not on its own program
+		// backlog; the extra wait is the GC-induced share of the stall
+		// (what surfaces as p99/p999 spikes in open-loop replay).
+		d.stats.GCStall += d.gcHorizon - wait
+		wait = d.gcHorizon
+	}
+	stall := wait - t
+	t = wait
 	lpas := make([]addr.LPA, 0, len(d.buffer))
 	for l := range d.buffer {
 		lpas = append(lpas, l)
@@ -444,24 +476,31 @@ func (d *Device) writeChunk(chunk []addr.LPA, t time.Duration) (time.Duration, e
 	cost := d.scheme.Commit(pairs)
 	d.chargeMeta(cost, t)
 	d.stats.FlushedBlocks++
+	// The chunk's block is sealed — no further programs land in it — so
+	// it becomes a GC candidate at its current valid count.
+	d.victims.add(b, d.bvc[b], d.blockSeq[b], d.writeStamp)
 	return done, nil
 }
 
-// invalidate clears the PVT/BVC state of lpa's previous page.
+// invalidate clears the PVT/BVC state of lpa's previous page and keeps
+// the GC victim index in step (bucket move + age touch).
 func (d *Device) invalidate(lpa addr.LPA) {
 	old := d.truth[lpa]
 	if old == addr.InvalidPPA || !d.valid[old] {
 		return
 	}
 	d.valid[old] = false
-	d.bvc[d.cfg.Flash.BlockOf(old)]--
+	b := d.cfg.Flash.BlockOf(old)
+	d.bvc[b]--
+	d.victims.update(b, d.bvc[b])
+	d.victims.note(b, d.writeStamp)
 }
 
 // allocBlock takes a free block, garbage-collecting first if the pool is
 // empty.
 func (d *Device) allocBlock(t time.Duration) (flash.BlockID, error) {
 	if len(d.free) == 0 {
-		if err := d.runGC(t, 1); err != nil {
+		if err := d.runGC(t, 1, false); err != nil {
 			return 0, err
 		}
 	}

@@ -9,9 +9,11 @@ import (
 	"leaftl/internal/flash"
 )
 
-// gcState tracks the open destination block GC packs valid pages into
-// across runs.
-type gcState struct {
+// gcStream is one open GC destination block. The device keeps
+// Config.GCStreams of them, keyed by update recency, so hot rewrites
+// are packed together instead of polluting cold blocks (the stream
+// separation knob behind Figure 25's write-amplification sensitivity).
+type gcStream struct {
 	open  bool
 	block flash.BlockID
 	next  int
@@ -27,120 +29,172 @@ func (d *Device) maybeGC(t time.Duration) error {
 	if len(d.free) >= low {
 		return d.maybeWearLevel(t)
 	}
-	if err := d.runGC(t, high); err != nil {
+	// Watermark-driven reclaim is best-effort: when the policy refuses
+	// (every candidate fully valid), the drive simply runs below its
+	// high watermark until churn invalidates pages — only allocation
+	// with an empty pool is a hard failure (allocBlock's runGC call).
+	if err := d.runGC(t, high, true); err != nil {
 		return err
 	}
 	return d.maybeWearLevel(t)
 }
 
-// runGC reclaims blocks until at least minFree are free. Victims are the
-// blocks with the fewest valid pages (greedy policy, §3.6); their valid
-// pages are read, re-sorted by LPA, packed into the GC destination block
-// and re-learned by the scheme.
-func (d *Device) runGC(t time.Duration, minFree int) error {
+// runGC reclaims blocks until at least minFree are free (stopping
+// quietly instead when bestEffort is set and the policy refuses,
+// i.e. nothing would free net space). Victims come
+// from the configured GCPolicy over the incremental valid-count index;
+// their valid pages are read, re-sorted by LPA, packed into the
+// per-stream destination blocks and re-learned by the scheme.
+//
+// GC's flash traffic completes at d.gcHorizon; the next flush stalls
+// behind it (and behind its own program backlog), which is how GC time
+// surfaces in per-request service time instead of vanishing.
+func (d *Device) runGC(t time.Duration, minFree int, bestEffort bool) error {
 	d.stats.GCRuns++
+	start := t
 	for len(d.free) < minFree {
 		victim, ok := d.pickVictim()
 		if !ok {
-			return fmt.Errorf("ssd: GC found no victim (free=%d)", len(d.free))
+			if bestEffort {
+				break
+			}
+			return fmt.Errorf("ssd: GC policy %s found no victim that frees space (free=%d)",
+				d.policy.Name(), len(d.free))
 		}
-		if err := d.moveBlock(victim, t); err != nil {
+		done, err := d.moveBlock(victim, t)
+		if err != nil {
 			return err
 		}
+		t = done
 	}
+	if t > d.gcHorizon {
+		d.gcHorizon = t
+	}
+	d.stats.GCTime += t - start
 	return nil
 }
 
-// pickVictim returns the allocated block with the fewest valid pages,
-// excluding the open GC destination.
+// pickVictim asks the configured policy for the next victim.
 func (d *Device) pickVictim() (flash.BlockID, bool) {
-	best := flash.BlockID(0)
-	bestValid := -1
-	for b := 0; b < d.cfg.Flash.Blocks(); b++ {
-		id := flash.BlockID(b)
-		if d.isFree[b] || d.blockSeq[b] == 0 {
-			continue
-		}
-		if d.gc.open && id == d.gc.block {
-			continue
-		}
-		if bestValid == -1 || d.bvc[b] < bestValid {
-			best, bestValid = id, d.bvc[b]
-		}
-	}
-	// A victim with every page valid frees nothing net of the moves;
-	// refuse so the caller can error instead of looping.
-	if bestValid == -1 || bestValid >= d.cfg.Flash.PagesPerBlock {
-		return 0, false
-	}
-	return best, true
+	return d.policy.PickVictim(d.victims, d.writeStamp)
 }
 
-// moveBlock relocates a block's valid pages and erases it.
-func (d *Device) moveBlock(victim flash.BlockID, t time.Duration) error {
+// moveBlock relocates a block's valid pages and erases it, returning
+// when the erase completes. Relocation is charged like any other flash
+// traffic: the copy-out reads occupy their channels, the copy-in
+// programs start only once the last read has returned (the pages must
+// be in the controller's DRAM before they can be written back), and the
+// erase follows the last program.
+func (d *Device) moveBlock(victim flash.BlockID, t time.Duration) (time.Duration, error) {
+	d.victims.remove(victim)
 	first := d.cfg.Flash.FirstPPA(victim)
 	type moved struct {
-		lpa addr.LPA
-		tok uint64
+		lpa    addr.LPA
+		tok    uint64
+		stream int
 	}
 	var pages []moved
+	readsDone := t
 	for i := 0; i < d.cfg.Flash.PagesPerBlock; i++ {
 		ppa := first + addr.PPA(i)
 		if !d.valid[ppa] {
 			continue
 		}
 		tok, lpa, done := d.arr.Read(ppa, t)
-		_ = done
-		pages = append(pages, moved{lpa: lpa, tok: tok})
+		if done > readsDone {
+			readsDone = done
+		}
+		pages = append(pages, moved{lpa: lpa, tok: tok, stream: d.streamOf(lpa)})
 	}
 	// Sort by LPA so relocated runs stay learnable (§3.6: "place these
 	// valid pages into the DRAM buffer, sort them by their LPAs, and
 	// learn a new index segment").
 	sort.Slice(pages, func(i, j int) bool { return pages[i].lpa < pages[j].lpa })
 
+	writeT := readsDone
+	lastDone := readsDone
 	var pairs []addr.Mapping
 	flushPairs := func() {
 		if len(pairs) == 0 {
 			return
 		}
 		cost := d.scheme.Commit(pairs)
-		d.chargeMeta(cost, t)
+		d.chargeMeta(cost, writeT)
 		pairs = nil
 	}
-	for _, pg := range pages {
-		ppa, fresh, err := d.gcDest(t)
-		if err != nil {
-			return err
+	// One pass per stream keeps each stream's pages in LPA order, so
+	// every committed batch is an ascending LPA run onto ascending PPAs
+	// (the scheme contract) even when pages interleave across streams.
+	for s := range d.streams {
+		for _, pg := range pages {
+			if pg.stream != s {
+				continue
+			}
+			ppa, fresh, err := d.gcDest(s)
+			if err != nil {
+				return 0, err
+			}
+			if fresh {
+				// Destination block changed: PPAs would jump backwards or
+				// across blocks, so commit the accumulated ascending run.
+				flushPairs()
+			}
+			if done := d.arr.Write(ppa, pg.lpa, pg.tok, writeT); done > lastDone {
+				lastDone = done
+			}
+			d.invalidate(pg.lpa)
+			d.truth[pg.lpa] = ppa
+			d.valid[ppa] = true
+			db := d.cfg.Flash.BlockOf(ppa)
+			d.bvc[db]++
+			d.victims.note(db, d.writeStamp)
+			pairs = append(pairs, addr.Mapping{LPA: pg.lpa, PPA: ppa})
+			d.stats.GCPagesMoved++
+			d.sealIfFull(s)
 		}
-		if fresh {
-			// Destination block changed: PPAs would jump backwards or
-			// across blocks, so commit the accumulated ascending run.
-			flushPairs()
-		}
-		d.arr.Write(ppa, pg.lpa, pg.tok, t)
-		d.invalidate(pg.lpa)
-		d.truth[pg.lpa] = ppa
-		d.valid[ppa] = true
-		d.bvc[d.cfg.Flash.BlockOf(ppa)]++
-		pairs = append(pairs, addr.Mapping{LPA: pg.lpa, PPA: ppa})
-		d.stats.GCPagesMoved++
+		flushPairs()
 	}
-	flushPairs()
 
-	d.arr.Erase(victim, t)
+	eraseDone := d.arr.Erase(victim, lastDone)
 	d.bvc[victim] = 0
 	d.blockSeq[victim] = 0
 	d.free = append(d.free, victim)
 	d.isFree[victim] = true
 	d.stats.GCErases++
-	return nil
+	return eraseDone, nil
 }
 
-// gcDest returns the next destination PPA for a GC move, opening a new
-// block when the current one fills. fresh reports a block switch.
-func (d *Device) gcDest(t time.Duration) (addr.PPA, bool, error) {
+// streamOf classifies an LPA into a GC destination stream by update
+// recency: age is how many host page writes ago the LPA was last
+// rewritten, and the N streams cover factor-of-4 exponential age bands
+// with boundaries logicalPages/4^(N−1), …, logicalPages/4 — stream 0
+// holds pages rewritten within the last logicalPages/4^(N−1) writes
+// (the hottest), stream N−1 everything at least logicalPages/4 old.
+func (d *Device) streamOf(lpa addr.LPA) int {
+	n := len(d.streams)
+	if n == 1 {
+		return 0
+	}
+	age := d.writeStamp - d.lpaHeat[lpa]
+	bound := uint64(d.logicalPages) >> uint(2*(n-1))
+	if bound == 0 {
+		bound = 1
+	}
+	s := 0
+	for s < n-1 && age >= bound {
+		s++
+		bound <<= 2
+	}
+	return s
+}
+
+// gcDest returns the next destination PPA for a GC move on the given
+// stream, opening a new block when the stream has none. fresh reports a
+// block switch.
+func (d *Device) gcDest(stream int) (addr.PPA, bool, error) {
+	st := &d.streams[stream]
 	fresh := false
-	if !d.gc.open || d.gc.next >= d.cfg.Flash.PagesPerBlock {
+	if !st.open {
 		if len(d.free) == 0 {
 			return 0, false, fmt.Errorf("ssd: GC needs a destination block but none are free")
 		}
@@ -149,12 +203,34 @@ func (d *Device) gcDest(t time.Duration) (addr.PPA, bool, error) {
 		d.isFree[b] = false
 		d.nextSeq++
 		d.blockSeq[b] = d.nextSeq
-		d.gc = gcState{open: true, block: b, next: 0}
+		*st = gcStream{open: true, block: b}
 		fresh = true
 	}
-	ppa := d.cfg.Flash.FirstPPA(d.gc.block) + addr.PPA(d.gc.next)
-	d.gc.next++
+	ppa := d.cfg.Flash.FirstPPA(st.block) + addr.PPA(st.next)
+	st.next++
 	return ppa, fresh, nil
+}
+
+// sealIfFull closes a destination stream whose block just filled,
+// entering it into the victim index (it is from now on fair game for
+// reclaim, like any flushed block).
+func (d *Device) sealIfFull(stream int) {
+	st := &d.streams[stream]
+	if !st.open || st.next < d.cfg.Flash.PagesPerBlock {
+		return
+	}
+	d.victims.add(st.block, d.bvc[st.block], d.blockSeq[st.block], d.writeStamp)
+	st.open = false
+}
+
+// isStreamBlock reports whether b is an open GC destination.
+func (d *Device) isStreamBlock(b flash.BlockID) bool {
+	for i := range d.streams {
+		if d.streams[i].open && d.streams[i].block == b {
+			return true
+		}
+	}
+	return false
 }
 
 // maybeWearLevel migrates the coldest block when the erase-count spread
@@ -184,7 +260,7 @@ func (d *Device) maybeWearLevel(t time.Duration) error {
 		}
 		// Cold candidate: allocated, holds data, low erase count.
 		if !d.isFree[b] && d.blockSeq[b] != 0 && d.bvc[b] > 0 &&
-			(!d.gc.open || flash.BlockID(b) != d.gc.block) {
+			!d.isStreamBlock(flash.BlockID(b)) {
 			if !haveCold || e < d.arr.EraseCount(coldest) {
 				coldest = flash.BlockID(b)
 				haveCold = true
@@ -198,5 +274,16 @@ func (d *Device) maybeWearLevel(t time.Duration) error {
 		return nil // defer; GC will free space first
 	}
 	d.stats.WearMoves++
-	return d.moveBlock(coldest, t)
+	done, err := d.moveBlock(coldest, t)
+	if err != nil {
+		return err
+	}
+	if done > d.gcHorizon {
+		d.gcHorizon = done
+	}
+	// Wear moves ride the same relocation machinery and the same stall
+	// horizon, so their time accrues to GCTime too — keeping
+	// GCStall ≤ GCTime whichever background move caused the wait.
+	d.stats.GCTime += done - t
+	return nil
 }

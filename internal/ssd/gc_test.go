@@ -126,11 +126,15 @@ func TestGCVictimSelectionPrefersInvalid(t *testing.T) {
 
 func TestGCDestinationContinuesAcrossRuns(t *testing.T) {
 	cfg := testConfig()
+	cfg.GCStreams = 2
 	d := newTestDevice(t, cfg, leaftl.New(0, cfg.Flash.PageSize))
 	fillAndChurn(t, d, 60000)
-	// The open GC destination block must never be selected as a victim.
-	if d.gc.open {
-		if v, ok := d.pickVictim(); ok && v == d.gc.block {
+	// An open GC destination block must never be selected as a victim.
+	for _, st := range d.streams {
+		if !st.open {
+			continue
+		}
+		if v, ok := d.pickVictim(); ok && v == st.block {
 			t.Error("GC destination chosen as victim")
 		}
 	}

@@ -1,0 +1,143 @@
+package ssd
+
+import (
+	"fmt"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/flash"
+)
+
+// CheckInvariants audits the device's bookkeeping against the simulator
+// ground truth and returns the first violation found. It is an O(pages)
+// sweep meant for tests (property and differential suites call it
+// between workload phases); it performs no flash traffic and charges no
+// simulated time.
+//
+// Checked invariants:
+//   - PVT ↔ truth bijection: a valid page's OOB reverse mapping points
+//     at an LPA whose truth entry points back, every mapped LPA's page
+//     is valid and programmed, and no LPA owns two valid pages.
+//   - BVC: each block's valid counter equals its PVT popcount.
+//   - Free pool: the free list and isFree bitmap agree, free blocks
+//     hold no valid pages, no allocation sequence, and appear once.
+//   - Victim index: exactly the sealed allocated blocks are candidates,
+//     each bucketed at its current valid count; open GC destination
+//     streams and free blocks are absent.
+//   - GC streams: open destinations are allocated, partially programmed
+//     blocks.
+//   - Write buffer: never exceeds its configured capacity.
+func (d *Device) CheckInvariants() error {
+	cfg := d.cfg.Flash
+
+	// PVT ↔ ground truth.
+	validPages := 0
+	for p := 0; p < cfg.TotalPages(); p++ {
+		ppa := addr.PPA(p)
+		if !d.valid[ppa] {
+			continue
+		}
+		validPages++
+		if !d.arr.Written(ppa) {
+			return fmt.Errorf("invariant: PPA %d valid but not programmed", ppa)
+		}
+		lpa := d.arr.Reverse(ppa)
+		if lpa == addr.InvalidLPA {
+			return fmt.Errorf("invariant: valid PPA %d has no OOB reverse mapping", ppa)
+		}
+		if int(lpa) >= d.logicalPages {
+			return fmt.Errorf("invariant: valid PPA %d maps to out-of-range LPA %d", ppa, lpa)
+		}
+		if d.truth[lpa] != ppa {
+			return fmt.Errorf("invariant: valid PPA %d claims LPA %d, but truth[%d] = %d (two valid PPAs for one LPA)",
+				ppa, lpa, lpa, d.truth[lpa])
+		}
+	}
+	mapped := 0
+	for lpa, ppa := range d.truth {
+		if ppa == addr.InvalidPPA {
+			continue
+		}
+		mapped++
+		if !d.valid[ppa] {
+			return fmt.Errorf("invariant: LPA %d maps to PPA %d, which is not valid", lpa, ppa)
+		}
+	}
+	if validPages != mapped {
+		return fmt.Errorf("invariant: %d valid pages != %d mapped LPAs", validPages, mapped)
+	}
+
+	// BVC matches the PVT, block by block.
+	for b := 0; b < cfg.Blocks(); b++ {
+		count := 0
+		first := cfg.FirstPPA(flash.BlockID(b))
+		for i := 0; i < cfg.PagesPerBlock; i++ {
+			if d.valid[first+addr.PPA(i)] {
+				count++
+			}
+		}
+		if count != d.bvc[b] {
+			return fmt.Errorf("invariant: block %d BVC = %d, PVT count = %d", b, d.bvc[b], count)
+		}
+	}
+
+	// Free pool bookkeeping.
+	onList := make([]bool, cfg.Blocks())
+	for _, b := range d.free {
+		if onList[b] {
+			return fmt.Errorf("invariant: block %d appears twice on the free list", b)
+		}
+		onList[b] = true
+		if !d.isFree[b] {
+			return fmt.Errorf("invariant: free-listed block %d not marked isFree", b)
+		}
+		if d.bvc[b] != 0 {
+			return fmt.Errorf("invariant: free block %d holds %d valid pages", b, d.bvc[b])
+		}
+		if d.blockSeq[b] != 0 {
+			return fmt.Errorf("invariant: free block %d has allocation sequence %d", b, d.blockSeq[b])
+		}
+	}
+	for b := 0; b < cfg.Blocks(); b++ {
+		if d.isFree[b] != onList[b] {
+			return fmt.Errorf("invariant: block %d isFree=%v but free-listed=%v", b, d.isFree[b], onList[b])
+		}
+	}
+
+	// GC streams: open destinations are allocated and mid-block.
+	for s, st := range d.streams {
+		if !st.open {
+			continue
+		}
+		switch {
+		case d.isFree[st.block]:
+			return fmt.Errorf("invariant: stream %d destination block %d is on the free list", s, st.block)
+		case d.blockSeq[st.block] == 0:
+			return fmt.Errorf("invariant: stream %d destination block %d has no allocation sequence", s, st.block)
+		case st.next <= 0 || st.next >= cfg.PagesPerBlock:
+			return fmt.Errorf("invariant: stream %d destination block %d open at page %d of %d",
+				s, st.block, st.next, cfg.PagesPerBlock)
+		}
+	}
+
+	// Victim index ↔ device state: candidates are exactly the sealed
+	// allocated blocks, at their live valid counts.
+	for b := 0; b < cfg.Blocks(); b++ {
+		id := flash.BlockID(b)
+		sealed := !d.isFree[b] && d.blockSeq[b] != 0 && !d.isStreamBlock(id)
+		switch {
+		case sealed && !d.victims.Has(id):
+			return fmt.Errorf("invariant: sealed block %d missing from the victim index", b)
+		case !sealed && d.victims.Has(id):
+			return fmt.Errorf("invariant: block %d in the victim index but free or open (isFree=%v seq=%d)",
+				b, d.isFree[b], d.blockSeq[b])
+		case sealed && d.victims.Valid(id) != d.bvc[b]:
+			return fmt.Errorf("invariant: victim index holds block %d at %d valid pages, BVC says %d",
+				b, d.victims.Valid(id), d.bvc[b])
+		}
+	}
+
+	if len(d.buffer) > d.cfg.BufferPages {
+		return fmt.Errorf("invariant: write buffer holds %d pages, capacity %d", len(d.buffer), d.cfg.BufferPages)
+	}
+	return nil
+}

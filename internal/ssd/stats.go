@@ -1,5 +1,7 @@
 package ssd
 
+import "time"
+
 // Stats aggregates everything the evaluation reports about one run.
 type Stats struct {
 	// Host-visible traffic.
@@ -27,6 +29,15 @@ type Stats struct {
 	GCPagesMoved  uint64
 	GCErases      uint64
 	WearMoves     uint64
+
+	// GC timing. GCTime is total simulated time spent relocating blocks
+	// in the background (GC reclaim and wear-leveling moves, copy-out
+	// reads through the victim erase); GCStall is the share of
+	// host-visible flush stalls attributable to waiting on that
+	// in-flight work — the quantity behind GC-induced p99/p999 spikes
+	// in open-loop replay. GCStall never exceeds GCTime.
+	GCTime  time.Duration
+	GCStall time.Duration
 }
 
 // WAF returns the write amplification factor given the raw flash page

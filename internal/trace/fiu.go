@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -21,6 +22,11 @@ import (
 // number (the dedup content hash) are ignored.
 
 func decodeFIU(r io.Reader, o Options) ([]Request, error) {
+	// Arrivals are rebased against the first record before the
+	// nanosecond conversion, mirroring decodeMSR: raw uint64 stamps can
+	// exceed int64 and must not wrap through time.Duration.
+	var base uint64
+	haveBase := false
 	return decodeLines(r, "fiu", func(line string) (Request, bool, error) {
 		parts := strings.Fields(line)
 		if len(parts) < 6 {
@@ -47,7 +53,17 @@ func decodeFIU(r io.Reader, o Options) ([]Request, error) {
 		if err != nil {
 			return Request{}, false, err
 		}
-		req.Arrival = time.Duration(ts) * time.Nanosecond
+		if !haveBase {
+			base, haveBase = ts, true
+		}
+		var delta uint64
+		if ts > base {
+			delta = ts - base // backward jitter clamps to the base
+		}
+		if delta > math.MaxInt64 {
+			return Request{}, false, fmt.Errorf("timestamp %d is %dns past the trace start; span unrepresentable", ts, delta)
+		}
+		req.Arrival = time.Duration(delta)
 		return req, true, nil
 	})
 }

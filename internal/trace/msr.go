@@ -32,6 +32,12 @@ const filetimeTick = 100 * time.Nanosecond
 const msrEpoch = 128166372000000000
 
 func decodeMSR(r io.Reader, o Options) ([]Request, error) {
+	// Arrivals are rebased against the first record in tick space:
+	// converting a raw filetime (~1.28e17 ticks for the 2007 captures)
+	// straight to time.Duration would overflow int64 nanoseconds, and
+	// records wrapping by different amounts would corrupt their spacing.
+	var base uint64
+	haveBase := false
 	return decodeLines(r, "msr", func(line string) (Request, bool, error) {
 		parts := strings.Split(line, ",")
 		if len(parts) < 6 {
@@ -60,7 +66,17 @@ func decodeMSR(r io.Reader, o Options) ([]Request, error) {
 		if err != nil {
 			return Request{}, false, err
 		}
-		req.Arrival = time.Duration(ts) * filetimeTick
+		if !haveBase {
+			base, haveBase = ts, true
+		}
+		var delta uint64
+		if ts > base {
+			delta = ts - base // backward jitter clamps to the base
+		}
+		if delta > uint64(math.MaxInt64)/uint64(filetimeTick) {
+			return Request{}, false, fmt.Errorf("timestamp %d is %d ticks past the trace start; span unrepresentable", ts, delta)
+		}
+		req.Arrival = time.Duration(delta) * filetimeTick
 		return req, true, nil
 	})
 }

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# gc.sh — sweep GC victim policies × hot/cold stream counts over the
+# GC-heavy timed workloads and record WAF / reclaim counters / tail
+# latency per cell.
+#
+# Usage: scripts/gc.sh [PR-number] [qd] [speedup]
+#   scripts/gc.sh 3        → writes BENCH_PR3.json (and prints the table)
+#   scripts/gc.sh 3 8 2    → 8 host queues, 2x replay speed
+#
+# Env knobs:
+#   GAMMA      LeaFTL error bound            (default 4)
+#   POLICIES   comma list of victim policies (default greedy,cost-benefit,fifo)
+#   STREAMS    comma list of stream counts   (default 1,4)
+#   WORKLOADS  comma list of timed workloads (default zipf-hot,mixed-rw)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${1:-3}"
+QD="${2:-4}"
+SPEEDUP="${3:-1}"
+GAMMA="${GAMMA:-4}"
+POLICIES="${POLICIES:-greedy,cost-benefit,fifo}"
+STREAMS="${STREAMS:-1,4}"
+WORKLOADS="${WORKLOADS:-zipf-hot,mixed-rw}"
+
+echo "building..." >&2
+go build ./cmd/leaftl-bench
+
+out="BENCH_PR${PR}.json"
+echo "== GC compare (policies=$POLICIES streams=$STREAMS workloads=$WORKLOADS qd=$QD speedup=$SPEEDUP gamma=$GAMMA) ==" >&2
+./leaftl-bench -gccompare \
+  -gc-policy "$POLICIES" -gc-streams "$STREAMS" -gc-workloads "$WORKLOADS" \
+  -qd "$QD" -speedup "$SPEEDUP" -gamma "$GAMMA" \
+  -json "$out"
+rm -f leaftl-bench
+
+echo "wrote $out" >&2
