@@ -27,6 +27,8 @@ type gcRunJSON struct {
 	Policy       string  `json:"policy"`
 	Streams      int     `json:"streams"`
 	WAF          float64 `json:"waf"`
+	MetaReads    uint64  `json:"meta_reads"`
+	MetaWrites   uint64  `json:"meta_writes"`
 	GCRuns       uint64  `json:"gc_runs"`
 	GCErases     uint64  `json:"gc_erases"`
 	GCPagesMoved uint64  `json:"gc_pages_moved"`
@@ -110,6 +112,8 @@ func runGCCompare(scale experiments.Scale, policies, streams, workloads string, 
 		out.Runs = append(out.Runs, gcRunJSON{
 			Workload: r.Workload, Policy: r.Policy, Streams: r.Streams,
 			WAF:          r.WAF,
+			MetaReads:    r.Stats.MetaReads,
+			MetaWrites:   r.Stats.MetaWrites,
 			GCRuns:       r.Stats.GCRuns,
 			GCErases:     r.Stats.GCErases,
 			GCPagesMoved: r.Stats.GCPagesMoved,

@@ -1,13 +1,17 @@
 // Command leaftl-bench regenerates the paper's evaluation tables and
 // figures on the simulated SSD (deliverable d). By default it runs at
-// quick scale; -full uses the larger scaled device of DESIGN.md §5.
-// Three replay modes skip the figures: -parallel hammers the sharded
+// quick scale; -full uses the larger scaled device of DESIGN.md §5 and
+// -micro the fastest CI-smoke scale.
+// Four replay modes skip the figures: -parallel hammers the sharded
 // translation core with concurrent host streams, -openloop replays
 // a trace file (native, MSR CSV, or FIU format) at its recorded arrival
 // times against all three schemes, reporting p50/p95/p99/p999 latency,
-// and -gccompare sweeps GC victim policies × hot/cold stream counts
+// -gccompare sweeps GC victim policies × hot/cold stream counts
 // over GC-heavy workloads (-gc-policy/-gc-streams also apply a single
-// policy/stream count to the open-loop mode).
+// policy/stream count to the open-loop mode), and -memsweep caps every
+// scheme's mapping DRAM at a sweep of budgets (-mapping-budget) so
+// LeaFTL's demand-paged learned table competes against DFTL/SFTL under
+// the same memory pressure.
 package main
 
 import (
@@ -38,14 +42,33 @@ func main() {
 	gcPolicy := flag.String("gc-policy", "", "GC victim policy (greedy, cost-benefit, fifo); comma-separated list in -gccompare mode (default: all)")
 	gcStreams := flag.String("gc-streams", "", "hot/cold GC destination stream count; comma-separated list in -gccompare mode (default: 1,4)")
 	gcWorkloads := flag.String("gc-workloads", "", "-gccompare mode: comma-separated timed workloads (default: zipf-hot,mixed-rw)")
+	micro := flag.Bool("micro", false, "run at micro (fastest, CI smoke) scale")
+	memSweep := flag.Bool("memsweep", false, "memory sweep mode: cap mapping DRAM at -mapping-budget and compare schemes under demand paging (skips figures)")
+	mappingBudget := flag.String("mapping-budget", "", "-memsweep mode: comma-separated budgets; values ≤ 8 are fractions of each scheme's full mapping size, larger values absolute bytes (default: 0.125,0.25,0.5,1)")
+	memSchemes := flag.String("mem-schemes", "", "-memsweep mode: comma-separated schemes (default: LeaFTL,DFTL,SFTL)")
+	memWorkloads := flag.String("mem-workloads", "", "-memsweep mode: comma-separated timed workloads (default: zipf-hot,mixed-rw)")
 	flag.Parse()
 
-	if *gcCompare {
-		scale := experiments.QuickScale()
-		if *full {
-			scale = experiments.FullScale()
+	scaleOf := func() experiments.Scale {
+		switch {
+		case *full:
+			return experiments.FullScale()
+		case *micro:
+			return experiments.MicroScale()
+		default:
+			return experiments.QuickScale()
 		}
-		if err := runGCCompare(scale, *gcPolicy, *gcStreams, *gcWorkloads, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut); err != nil {
+	}
+
+	if *memSweep {
+		if err := runMemSweep(scaleOf(), *mappingBudget, *memSchemes, *memWorkloads, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: memsweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *gcCompare {
+		if err := runGCCompare(scaleOf(), *gcPolicy, *gcStreams, *gcWorkloads, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: gccompare: %v\n", err)
 			os.Exit(1)
 		}
@@ -66,10 +89,7 @@ func main() {
 		return
 	}
 
-	scale := experiments.QuickScale()
-	if *full {
-		scale = experiments.FullScale()
-	}
+	scale := scaleOf()
 	s := experiments.NewSuite(scale, *seed)
 
 	want := map[string]bool{}

@@ -26,14 +26,19 @@ type openLoopJSON struct {
 
 // schemeJSON is one scheme's row in the open-loop JSON output.
 type schemeJSON struct {
-	Scheme   string  `json:"scheme"`
-	P50us    float64 `json:"p50_us"`
-	P95us    float64 `json:"p95_us"`
-	P99us    float64 `json:"p99_us"`
-	P999us   float64 `json:"p999_us"`
-	MeanUs   float64 `json:"mean_us"`
-	IOPS     float64 `json:"iops"`
-	MapBytes int     `json:"mapping_bytes"`
+	Scheme        string  `json:"scheme"`
+	P50us         float64 `json:"p50_us"`
+	P95us         float64 `json:"p95_us"`
+	P99us         float64 `json:"p99_us"`
+	P999us        float64 `json:"p999_us"`
+	MeanUs        float64 `json:"mean_us"`
+	IOPS          float64 `json:"iops"`
+	MapBytes      int     `json:"mapping_bytes"`
+	ResidentBytes int     `json:"resident_bytes"`
+	MetaReads     uint64  `json:"meta_reads"`
+	MetaWrites    uint64  `json:"meta_writes"`
+	MissPerOp     float64 `json:"miss_per_op"`
+	MetaWAF       float64 `json:"meta_waf"`
 }
 
 // runOpenLoop is the leaftl-bench open-loop replay mode: ingest a trace
@@ -106,7 +111,10 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 			out.Schemes = append(out.Schemes, schemeJSON{
 				Scheme: r.Scheme,
 				P50us:  usF(sum.P50), P95us: usF(sum.P95), P99us: usF(sum.P99), P999us: usF(sum.P999),
-				MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(), MapBytes: r.MapBytes,
+				MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(),
+				MapBytes: r.MapBytes, ResidentBytes: r.ResidentBytes,
+				MetaReads: r.Stats.MetaReads, MetaWrites: r.Stats.MetaWrites,
+				MissPerOp: r.Stats.MetaReadRatio(), MetaWAF: r.Stats.MetaWAF(),
 			})
 		}
 		enc, err := json.MarshalIndent(out, "", "  ")

@@ -1,0 +1,494 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"leaftl/internal/addr"
+)
+
+// Demand paging of the learned mapping table (paper §3.8): segment groups
+// not backed by DRAM live as serialized records in flash translation
+// pages, tracked by a Global Mapping Directory (GMD). The Pager is the
+// machinery behind a scheme's SetBudget: it decides which groups stay
+// resident (a CLOCK second-chance policy — a one-bit LRU — over the
+// resident set), demand-loads evicted groups on access, and reports every
+// transfer as counts of translation-page flash operations so the SSD can
+// charge them on its flash timelines.
+//
+// The Pager is deliberately oblivious to where group state lives: it
+// drives a groupStore, implemented by both Table and ShardedTable, so the
+// plain and sharded schemes share one GMD and make identical paging
+// decisions for identical operation sequences (the sharded-invisible
+// contract the experiment suite pins).
+//
+// A Pager is not safe for concurrent use; callers that translate from
+// multiple goroutines (leaftl.Sharded) serialize paging behind their own
+// lock and keep a lock-free fast path for the no-pressure case.
+
+// groupStore is the residency surface the Pager drives.
+type groupStore interface {
+	hasGroup(addr.GroupID) bool
+	groupFootprint(addr.GroupID) int
+	residentGroups() []addr.GroupID
+	marshalGroup(addr.GroupID) ([]byte, error)
+	installGroup([]byte) (addr.GroupID, error)
+	dropGroup(addr.GroupID) (int, bool)
+	residentBytes() int
+}
+
+// PageCost counts translation-page flash operations a paging action
+// induced: reads for demand loads, writes for dirty evictions and
+// persistence.
+type PageCost struct {
+	MetaReads  int
+	MetaWrites int
+}
+
+// Add accumulates o into c.
+func (c *PageCost) Add(o PageCost) {
+	c.MetaReads += o.MetaReads
+	c.MetaWrites += o.MetaWrites
+}
+
+// PagerStats counts paging events since the pager was created.
+type PagerStats struct {
+	// Faults counts demand loads of evicted groups.
+	Faults uint64
+	// Evictions counts groups dropped from DRAM.
+	Evictions uint64
+	// DirtyWritebacks counts translation-page image rewrites (dirty
+	// evictions plus periodic persistence).
+	DirtyWritebacks uint64
+}
+
+// gmdEntry is one Global Mapping Directory slot: where a group's
+// translation-page image lives, whether a DRAM copy exists, and whether
+// that copy has diverged from the image.
+type gmdEntry struct {
+	ppa       uint32 // virtual translation-page address of the current image
+	image     []byte // serialized group record (nil: never persisted)
+	dramBytes int    // decoded footprint at last eviction (FullSizeBytes accounting)
+	resident  bool
+	dirty     bool // DRAM copy differs from image
+	ref       bool // CLOCK reference bit
+}
+
+// Pager demand-pages a table's segment groups against a byte budget.
+type Pager struct {
+	store    groupStore
+	pageSize int
+	budget   int // ≤ 0: unlimited (loads still happen for evicted groups)
+
+	gmd  map[addr.GroupID]*gmdEntry
+	ring []addr.GroupID // CLOCK ring over resident groups, insertion order
+	hand int
+
+	evicted      int // non-resident GMD entries
+	evictedBytes int // Σ dramBytes over non-resident entries
+	flashPages   int // Σ image pages over entries holding an image
+	nextPPA      uint32
+	fast         bool // cached FastPath value, refreshed on mutation
+	stats        PagerStats
+}
+
+// NewPager returns an inactive pager (no budget, empty GMD) over store.
+// pageSize is the flash page size translation-page costs are counted in.
+func NewPager(store groupStore, pageSize int) *Pager {
+	if pageSize < 1 {
+		pageSize = 1
+	}
+	return &Pager{
+		store:    store,
+		pageSize: pageSize,
+		gmd:      make(map[addr.GroupID]*gmdEntry),
+		fast:     true,
+	}
+}
+
+// imagePages returns the flash pages an n-byte image occupies.
+func (p *Pager) imagePages(n int) int {
+	pages := (n + p.pageSize - 1) / p.pageSize
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// SetBudget sets the resident-set byte budget (≤ 0 disables the cap) and
+// adopts any groups already resident in the store so their dirtiness is
+// tracked from here on. It does not evict; the next Enforce does.
+func (p *Pager) SetBudget(bytes int) {
+	p.budget = bytes
+	if p.Active() {
+		p.adoptResident()
+	}
+	p.refresh()
+}
+
+// Budget returns the configured byte budget.
+func (p *Pager) Budget() int { return p.budget }
+
+// Active reports whether the pager is tracking group state: a budget is
+// set, or the GMD already holds entries (e.g. restored from recovery).
+// When inactive, the scheme bypasses the pager entirely.
+func (p *Pager) Active() bool { return p.budget > 0 || len(p.gmd) > 0 }
+
+// FastPath reports that every known group is resident and within budget,
+// so lookups may skip the pager (no fault is possible; reference bits are
+// skipped, which only costs CLOCK precision once pressure appears).
+func (p *Pager) FastPath() bool { return p.fast }
+
+// Paging reports that the budget has actually bound at least once:
+// groups are (or have been) backed by flash images. Until then the
+// scheme behaves — and charges — exactly like the unbudgeted table,
+// and holds no serialized images.
+func (p *Pager) Paging() bool { return p.evicted > 0 || p.flashPages > 0 }
+
+// Stats returns the paging event counters.
+func (p *Pager) Stats() PagerStats { return p.stats }
+
+// EvictedGroups returns how many groups are currently paged out.
+func (p *Pager) EvictedGroups() int { return p.evicted }
+
+// TranslationPages returns the flash pages currently occupied by group
+// images (the translation-block footprint charged against
+// over-provisioned capacity).
+func (p *Pager) TranslationPages() int { return p.flashPages }
+
+// FullSizeBytes returns the complete mapping size, resident or not.
+// Groups restored from images that were never decoded count 0 until
+// first loaded.
+func (p *Pager) FullSizeBytes() int { return p.store.residentBytes() + p.evictedBytes }
+
+// refresh recomputes the cached FastPath bit. Size only changes under
+// mutation, so lookups can trust the cache without touching the store.
+func (p *Pager) refresh() {
+	p.fast = p.evicted == 0 && (p.budget <= 0 || p.store.residentBytes() <= p.budget)
+}
+
+// adoptResident creates GMD entries for store-resident groups the pager
+// has not seen (budget enabled after traffic, or a snapshot restore).
+// Adopted groups are dirty: no image exists yet.
+func (p *Pager) adoptResident() {
+	for _, id := range p.store.residentGroups() {
+		if p.gmd[id] == nil {
+			p.gmd[id] = &gmdEntry{resident: true, dirty: true, ref: true}
+			p.ring = append(p.ring, id)
+		}
+	}
+}
+
+// EnsureRead makes gid resident for a lookup. known is false when the
+// group has no state anywhere (never written); the caller treats the
+// LPA as unmapped without touching the store.
+func (p *Pager) EnsureRead(gid addr.GroupID) (cost PageCost, known bool) {
+	e := p.gmd[gid]
+	if e == nil {
+		if !p.store.hasGroup(gid) {
+			return cost, false
+		}
+		// Self-heal: a resident group the GMD missed (defensive; the
+		// commit path registers every group it creates).
+		p.gmd[gid] = &gmdEntry{resident: true, dirty: true, ref: true}
+		p.ring = append(p.ring, gid)
+		return cost, true
+	}
+	if e.resident {
+		e.ref = true
+		return cost, true
+	}
+	cost = p.load(gid, e)
+	return cost, true
+}
+
+// EnsureWrite makes gid resident for a commit, creating the GMD entry
+// for a brand-new group, and marks it dirty.
+func (p *Pager) EnsureWrite(gid addr.GroupID) PageCost {
+	var cost PageCost
+	e := p.gmd[gid]
+	if e == nil {
+		e = &gmdEntry{resident: true}
+		p.gmd[gid] = e
+		p.ring = append(p.ring, gid)
+	} else if !e.resident {
+		cost = p.load(gid, e)
+	}
+	e.ref = true
+	e.dirty = true
+	return cost
+}
+
+// load demand-loads an evicted group's image back into the store.
+func (p *Pager) load(gid addr.GroupID, e *gmdEntry) PageCost {
+	if _, err := p.store.installGroup(e.image); err != nil {
+		panic(fmt.Sprintf("core: GMD image for group %d does not install: %v", gid, err))
+	}
+	e.resident = true
+	e.dirty = false
+	e.ref = true
+	p.ring = append(p.ring, gid)
+	p.evicted--
+	p.evictedBytes -= e.dramBytes
+	p.stats.Faults++
+	p.fast = false // a fault implies pressure; Enforce will re-evaluate
+	return PageCost{MetaReads: p.imagePages(len(e.image))}
+}
+
+// Enforce evicts CLOCK victims until the resident set fits the budget.
+// Call it after any operation that may have grown the table or loaded a
+// group; the just-used groups carry fresh reference bits and get a
+// second chance.
+func (p *Pager) Enforce() PageCost {
+	var cost PageCost
+	if p.budget > 0 {
+		for p.store.residentBytes() > p.budget && len(p.ring) > 0 {
+			cost.Add(p.evictOne())
+		}
+	}
+	p.refresh()
+	return cost
+}
+
+// evictOne runs the CLOCK sweep and evicts the first unreferenced group.
+func (p *Pager) evictOne() PageCost {
+	for sweep := 0; sweep <= 2*len(p.ring); sweep++ {
+		if p.hand >= len(p.ring) {
+			p.hand = 0
+		}
+		gid := p.ring[p.hand]
+		e := p.gmd[gid]
+		if e.ref {
+			e.ref = false
+			p.hand++
+			continue
+		}
+		return p.evict(gid, e)
+	}
+	panic("core: CLOCK sweep found no victim in a non-empty ring")
+}
+
+// evict pages one group out: rewrite its image if the DRAM copy
+// diverged, then drop the DRAM copy.
+func (p *Pager) evict(gid addr.GroupID, e *gmdEntry) PageCost {
+	var cost PageCost
+	if !p.store.hasGroup(gid) {
+		// Phantom entry (group registered but never materialized);
+		// forget it.
+		delete(p.gmd, gid)
+		p.unring(gid)
+		return cost
+	}
+	if e.dirty || e.image == nil {
+		cost.Add(p.writeback(gid, e))
+	}
+	freed, _ := p.store.dropGroup(gid)
+	e.dramBytes = freed
+	e.resident = false
+	e.dirty = false
+	p.evicted++
+	p.evictedBytes += freed
+	p.stats.Evictions++
+	p.unring(gid)
+	return cost
+}
+
+// writeback serializes the group's current state into a fresh
+// translation-page image (log-structured: a new virtual PPA each write).
+func (p *Pager) writeback(gid addr.GroupID, e *gmdEntry) PageCost {
+	img, err := p.store.marshalGroup(gid)
+	if err != nil {
+		panic(fmt.Sprintf("core: group %d does not marshal: %v", gid, err))
+	}
+	if e.image != nil {
+		p.flashPages -= p.imagePages(len(e.image))
+	}
+	e.image = img
+	p.nextPPA++
+	e.ppa = p.nextPPA
+	p.flashPages += p.imagePages(len(img))
+	e.dirty = false
+	p.stats.DirtyWritebacks++
+	return PageCost{MetaWrites: p.imagePages(len(img))}
+}
+
+// unring removes gid from the CLOCK ring, keeping the hand on the
+// element that followed it.
+func (p *Pager) unring(gid addr.GroupID) {
+	for i, id := range p.ring {
+		if id == gid {
+			copy(p.ring[i:], p.ring[i+1:])
+			p.ring = p.ring[:len(p.ring)-1]
+			if p.hand > i {
+				p.hand--
+			}
+			return
+		}
+	}
+}
+
+// MarkDirty flags one resident group dirty (compaction reshaped it in
+// place, so its image must be rewritten at the next FlushDirty).
+func (p *Pager) MarkDirty(gid addr.GroupID) {
+	if e := p.gmd[gid]; e != nil && e.resident {
+		e.dirty = true
+	}
+}
+
+// FlushDirty persists every dirty resident group (the periodic §3.8
+// table persistence, now group-granular: clean groups cost nothing).
+func (p *Pager) FlushDirty() PageCost {
+	var cost PageCost
+	p.adoptResident() // groups created outside the budgeted path, if any
+	for _, gid := range p.ring {
+		e := p.gmd[gid]
+		if e.dirty && p.store.hasGroup(gid) {
+			cost.Add(p.writeback(gid, e))
+		}
+	}
+	p.refresh()
+	return cost
+}
+
+// EvictedImages returns the current image of every paged-out group, for
+// full-table snapshots (resident groups serialize fresh from DRAM). The
+// returned slices are the live images; callers must not mutate them.
+func (p *Pager) EvictedImages() map[addr.GroupID][]byte {
+	out := make(map[addr.GroupID][]byte, p.evicted)
+	for gid, e := range p.gmd {
+		if !e.resident {
+			out[gid] = e.image
+		}
+	}
+	return out
+}
+
+// Reset forgets all GMD and cache state (a snapshot restore replaced the
+// table wholesale) and re-adopts whatever is now resident under the
+// existing budget.
+func (p *Pager) Reset() {
+	p.gmd = make(map[addr.GroupID]*gmdEntry)
+	p.ring = p.ring[:0]
+	p.hand = 0
+	p.evicted, p.evictedBytes, p.flashPages = 0, 0, 0
+	if p.Active() {
+		p.adoptResident()
+	}
+	p.refresh()
+}
+
+// PersistedGroups returns the translation-page images that are current
+// (the flash copies a crash cannot lose): every evicted group, plus
+// resident groups whose image matches DRAM. Dirty resident groups are
+// absent — their latest state exists only in DRAM. The returned slices
+// are the live images; callers must not mutate them.
+func (p *Pager) PersistedGroups() map[addr.GroupID][]byte {
+	out := make(map[addr.GroupID][]byte)
+	for gid, e := range p.gmd {
+		if e.image != nil && !e.dirty {
+			out[gid] = e.image
+		}
+	}
+	return out
+}
+
+// RestoreGroups seeds an empty pager's GMD with persisted images
+// (recovery): groups start paged out and demand-load on first access,
+// so restoring costs no DRAM up front. FullSizeBytes undercounts these
+// groups until they are first loaded.
+func (p *Pager) RestoreGroups(images map[addr.GroupID][]byte) error {
+	gids := make([]addr.GroupID, 0, len(images))
+	for gid := range images {
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+	for _, gid := range gids {
+		img := images[gid]
+		if len(img) == 0 {
+			return fmt.Errorf("core: empty image for group %d", gid)
+		}
+		if e := p.gmd[gid]; e != nil {
+			return fmt.Errorf("core: group %d already in the GMD", gid)
+		}
+		if p.store.hasGroup(gid) {
+			return fmt.Errorf("core: group %d already resident; restore wants an empty table", gid)
+		}
+		p.nextPPA++
+		p.gmd[gid] = &gmdEntry{ppa: p.nextPPA, image: img}
+		p.evicted++
+		p.flashPages += p.imagePages(len(img))
+	}
+	p.refresh()
+	return nil
+}
+
+// Check audits the GMD against the store: residency bits, ring
+// membership, flash-page accounting, and the budget cap. It is the
+// mapping-side leg of the device's CheckInvariants.
+func (p *Pager) Check() error {
+	if !p.Active() {
+		return nil
+	}
+	onRing := make(map[addr.GroupID]bool, len(p.ring))
+	for _, gid := range p.ring {
+		if onRing[gid] {
+			return fmt.Errorf("gmd: group %d appears twice on the CLOCK ring", gid)
+		}
+		onRing[gid] = true
+	}
+	evicted, evictedBytes, flashPages := 0, 0, 0
+	for gid, e := range p.gmd {
+		if e.image != nil {
+			flashPages += p.imagePages(len(e.image))
+		}
+		switch {
+		case e.resident && !onRing[gid]:
+			return fmt.Errorf("gmd: resident group %d missing from the CLOCK ring", gid)
+		case !e.resident && onRing[gid]:
+			return fmt.Errorf("gmd: evicted group %d still on the CLOCK ring", gid)
+		case e.resident && !p.store.hasGroup(gid):
+			return fmt.Errorf("gmd: group %d marked resident but absent from the table", gid)
+		case !e.resident && p.store.hasGroup(gid):
+			return fmt.Errorf("gmd: group %d marked evicted but present in the table", gid)
+		case !e.resident && e.image == nil:
+			return fmt.Errorf("gmd: evicted group %d has no translation-page image", gid)
+		case !e.resident && e.dirty:
+			return fmt.Errorf("gmd: evicted group %d is dirty (evictions write back)", gid)
+		}
+		if !e.resident {
+			evicted++
+			evictedBytes += e.dramBytes
+		}
+	}
+	for _, gid := range p.store.residentGroups() {
+		if e := p.gmd[gid]; e == nil {
+			return fmt.Errorf("gmd: table group %d has no GMD entry", gid)
+		}
+	}
+	switch {
+	case evicted != p.evicted:
+		return fmt.Errorf("gmd: %d evicted entries, counter says %d", evicted, p.evicted)
+	case evictedBytes != p.evictedBytes:
+		return fmt.Errorf("gmd: %d evicted bytes, counter says %d", evictedBytes, p.evictedBytes)
+	case flashPages != p.flashPages:
+		return fmt.Errorf("gmd: %d image pages, counter says %d", flashPages, p.flashPages)
+	}
+	if p.budget > 0 && p.store.residentBytes() > p.budget {
+		return fmt.Errorf("gmd: resident set %dB exceeds budget %dB", p.store.residentBytes(), p.budget)
+	}
+	return nil
+}
+
+// groupStore adapters. Table's lowercase methods simply forward;
+// ShardedTable's take the owning shard's lock per call, so one shared
+// Pager makes identical decisions over either flavor.
+
+func (t *Table) hasGroup(id addr.GroupID) bool                { return t.HasGroup(id) }
+func (t *Table) groupFootprint(id addr.GroupID) int           { return t.GroupFootprint(id) }
+func (t *Table) residentGroups() []addr.GroupID               { return t.ResidentGroups() }
+func (t *Table) marshalGroup(id addr.GroupID) ([]byte, error) { return t.MarshalGroup(id) }
+func (t *Table) installGroup(b []byte) (addr.GroupID, error)  { return t.InstallGroup(b) }
+func (t *Table) dropGroup(id addr.GroupID) (int, bool)        { return t.DropGroup(id) }
+func (t *Table) residentBytes() int                           { return t.SizeBytes() }
+
+var _ groupStore = (*Table)(nil)

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"leaftl/internal/addr"
 )
@@ -22,47 +23,153 @@ import (
 // All integers are little-endian. The encoding is exactly the DRAM
 // footprint the paper counts (8 bytes per segment plus CRB bytes) plus
 // small per-group headers.
+//
+// The per-group record (everything after the snapshot header and count)
+// is also the unit the demand-paging machinery moves to and from flash
+// translation pages: MarshalGroup/InstallGroup speak exactly this record,
+// so a full snapshot is a header plus the concatenated translation-page
+// payloads of every group.
 
 const (
 	persistMagic   = "LFTL"
 	persistVersion = 1
 )
 
+// appendGroupRecord serializes one group in the snapshot's per-group
+// record format.
+func appendGroupRecord(buf []byte, id addr.GroupID, g *group) ([]byte, error) {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.levels)))
+	for li := range g.levels {
+		segs := g.levels[li].segs
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(segs)))
+		for i := range segs {
+			enc := segs[i].Encode()
+			buf = append(buf, enc[:]...)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.crb.entries)))
+	for _, e := range g.crb.entries {
+		if len(e.lpas) > addr.GroupSize {
+			return nil, fmt.Errorf("core: CRB entry with %d LPAs", len(e.lpas))
+		}
+		buf = append(buf, uint8(len(e.lpas)))
+		buf = append(buf, e.lpas...)
+	}
+	return buf, nil
+}
+
+// readGroupRecord decodes one per-group record. The returned group's CRB
+// is normalized (owner index rebuilt, entries sorted) so the group is
+// ready to serve lookups.
+func readGroupRecord(r *reader) (addr.GroupID, *group, error) {
+	gid, err := r.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	// A 32-bit LPA space holds at most 2^24 groups of 256 pages;
+	// validating keeps a corrupt record from forcing a huge dense-slice
+	// allocation in the caller.
+	if gid >= 1<<24 {
+		return 0, nil, fmt.Errorf("core: group id %d implausible", gid)
+	}
+	nLevels, err := r.u16()
+	if err != nil {
+		return 0, nil, err
+	}
+	g := &group{}
+	for l := uint16(0); l < nLevels; l++ {
+		nSegs, err := r.u16()
+		if err != nil {
+			return 0, nil, err
+		}
+		lvl := level{
+			keys: make([]uint8, 0, nSegs),
+			segs: make([]Segment, 0, nSegs),
+		}
+		for s := uint16(0); s < nSegs; s++ {
+			raw, err := r.bytes(SegmentBytes)
+			if err != nil {
+				return 0, nil, err
+			}
+			var enc [SegmentBytes]byte
+			copy(enc[:], raw)
+			seg := DecodeSegment(enc, addr.GroupID(gid))
+			lvl.keys = append(lvl.keys, seg.Start())
+			lvl.segs = append(lvl.segs, seg)
+		}
+		g.levels = append(g.levels, lvl)
+	}
+	nEntries, err := r.u16()
+	if err != nil {
+		return 0, nil, err
+	}
+	for e := uint16(0); e < nEntries; e++ {
+		n, err := r.u8()
+		if err != nil {
+			return 0, nil, err
+		}
+		lpas, err := r.bytes(int(n))
+		if err != nil {
+			return 0, nil, err
+		}
+		if n == 0 {
+			return 0, nil, fmt.Errorf("core: empty CRB entry in snapshot")
+		}
+		g.crb.entries = append(g.crb.entries, crbEntry{lpas: append([]uint8(nil), lpas...)})
+	}
+	// Sort the entries, then rebuild the owner acceleration index and the
+	// flat byte footprint — the decoded group must be fully servable on
+	// its own (the demand-paging path installs it without the full-table
+	// recomputeStats sweep).
+	g.crb.normalize()
+	g.crb.recompute()
+	return addr.GroupID(gid), g, nil
+}
+
 // MarshalBinary serializes the table. The dense group slice is already in
 // ascending group-ID order.
 func (t *Table) MarshalBinary() ([]byte, error) {
+	return t.SnapshotWith(nil)
+}
+
+// SnapshotWith serializes the table plus the given evicted-group images
+// into one full snapshot: resident groups marshal fresh from DRAM,
+// paged-out groups contribute their translation-page records verbatim,
+// merged in ascending group-ID order. A group that is both resident and
+// imaged is an error (the pager guarantees disjointness).
+func (t *Table) SnapshotWith(images map[addr.GroupID][]byte) ([]byte, error) {
+	gids := make([]addr.GroupID, 0, len(images))
+	for gid := range images {
+		if t.HasGroup(gid) {
+			return nil, fmt.Errorf("core: group %d is both resident and imaged", gid)
+		}
+		gids = append(gids, gid)
+	}
+	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
+
 	buf := make([]byte, 0, 64+t.SizeBytes())
 	buf = append(buf, persistMagic...)
 	buf = append(buf, persistVersion, uint8(t.gamma))
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.nGroups))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.nGroups+len(images)))
 
 	var ferr error
+	k := 0
 	t.eachGroup(func(id addr.GroupID, g *group) {
 		if ferr != nil {
 			return
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.levels)))
-		for li := range g.levels {
-			segs := g.levels[li].segs
-			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(segs)))
-			for i := range segs {
-				enc := segs[i].Encode()
-				buf = append(buf, enc[:]...)
-			}
+		for k < len(gids) && gids[k] < id {
+			buf = append(buf, images[gids[k]]...)
+			k++
 		}
-		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.crb.entries)))
-		for _, e := range g.crb.entries {
-			if len(e.lpas) > addr.GroupSize {
-				ferr = fmt.Errorf("core: CRB entry with %d LPAs", len(e.lpas))
-				return
-			}
-			buf = append(buf, uint8(len(e.lpas)))
-			buf = append(buf, e.lpas...)
-		}
+		buf, ferr = appendGroupRecord(buf, id, g)
 	})
 	if ferr != nil {
 		return nil, ferr
+	}
+	for ; k < len(gids); k++ {
+		buf = append(buf, images[gids[k]]...)
 	}
 	return buf, nil
 }
@@ -91,64 +198,16 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 	var groups []*group
 	lastGid := int64(-1)
 	for i := uint32(0); i < nGroups; i++ {
-		gid, err := r.u32()
+		gid, g, err := readGroupRecord(&r)
 		if err != nil {
 			return err
 		}
-		// Marshal writes groups in strictly ascending gid order, and a
-		// 32-bit LPA space holds at most 2^24 groups of 256 pages.
-		// Validating both keeps a corrupt snapshot from forcing a huge
-		// dense-slice allocation below.
-		if int64(gid) <= lastGid || gid >= 1<<24 {
-			return fmt.Errorf("core: snapshot group id %d out of order or implausible", gid)
+		// Marshal writes groups in strictly ascending gid order; a corrupt
+		// snapshot must not repeat or reorder them.
+		if int64(gid) <= lastGid {
+			return fmt.Errorf("core: snapshot group id %d out of order", gid)
 		}
 		lastGid = int64(gid)
-		nLevels, err := r.u16()
-		if err != nil {
-			return err
-		}
-		g := &group{}
-		for l := uint16(0); l < nLevels; l++ {
-			nSegs, err := r.u16()
-			if err != nil {
-				return err
-			}
-			lvl := level{
-				keys: make([]uint8, 0, nSegs),
-				segs: make([]Segment, 0, nSegs),
-			}
-			for s := uint16(0); s < nSegs; s++ {
-				raw, err := r.bytes(SegmentBytes)
-				if err != nil {
-					return err
-				}
-				var enc [SegmentBytes]byte
-				copy(enc[:], raw)
-				seg := DecodeSegment(enc, addr.GroupID(gid))
-				lvl.keys = append(lvl.keys, seg.Start())
-				lvl.segs = append(lvl.segs, seg)
-			}
-			g.levels = append(g.levels, lvl)
-		}
-		nEntries, err := r.u16()
-		if err != nil {
-			return err
-		}
-		for e := uint16(0); e < nEntries; e++ {
-			n, err := r.u8()
-			if err != nil {
-				return err
-			}
-			lpas, err := r.bytes(int(n))
-			if err != nil {
-				return err
-			}
-			if n == 0 {
-				return fmt.Errorf("core: empty CRB entry in snapshot")
-			}
-			g.crb.entries = append(g.crb.entries, crbEntry{lpas: append([]uint8(nil), lpas...)})
-		}
-		g.crb.normalize()
 		for len(groups) <= int(gid) {
 			groups = append(groups, nil)
 		}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"encoding/binary"
+	"fmt"
+	"sort"
 	"sync"
 
 	"leaftl/internal/addr"
@@ -99,19 +102,7 @@ func (s *ShardedTable) Insert(ls Learned) {
 
 // Compact compacts every shard, in parallel (paper §3.7; compaction is
 // the natural point to spend all cores, it runs off the host path).
-func (s *ShardedTable) Compact() {
-	var wg sync.WaitGroup
-	for _, sh := range s.shards {
-		wg.Add(1)
-		go func(sh *tableShard) {
-			defer wg.Done()
-			sh.mu.Lock()
-			sh.tab.Compact()
-			sh.mu.Unlock()
-		}(sh)
-	}
-	wg.Wait()
-}
+func (s *ShardedTable) Compact() { s.CompactChanged() }
 
 // SizeBytes sums the shards' DRAM footprints. O(shards).
 func (s *ShardedTable) SizeBytes() int {
@@ -178,19 +169,10 @@ func (s *ShardedTable) SegmentLengths() []int {
 	return out
 }
 
-// MarshalBinary serializes the union of the shards in the plain Table
-// snapshot format: a sharded and an unsharded table restore from each
-// other's snapshots. All shard read locks are held for the duration.
-func (s *ShardedTable) MarshalBinary() ([]byte, error) {
-	for _, sh := range s.shards {
-		sh.mu.RLock()
-	}
-	defer func() {
-		for _, sh := range s.shards {
-			sh.mu.RUnlock()
-		}
-	}()
-
+// mergedView builds a plain-Table view over the shards' groups (shared,
+// not copied). Callers must hold every shard's read lock for the
+// duration of any use of the returned table.
+func (s *ShardedTable) mergedView() *Table {
 	merged := NewTable(s.gamma)
 	for _, sh := range s.shards {
 		sh.tab.eachGroup(func(id addr.GroupID, g *group) {
@@ -205,8 +187,122 @@ func (s *ShardedTable) MarshalBinary() ([]byte, error) {
 		merged.nSegments += sh.tab.nSegments
 		merged.crbBytes += sh.tab.crbBytes
 	}
-	return merged.MarshalBinary()
+	return merged
 }
+
+// rlockAll takes every shard's read lock and returns the paired unlock.
+func (s *ShardedTable) rlockAll() func() {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	return func() {
+		for _, sh := range s.shards {
+			sh.mu.RUnlock()
+		}
+	}
+}
+
+// MarshalBinary serializes the union of the shards in the plain Table
+// snapshot format: a sharded and an unsharded table restore from each
+// other's snapshots. All shard read locks are held for the duration.
+func (s *ShardedTable) MarshalBinary() ([]byte, error) {
+	defer s.rlockAll()()
+	return s.mergedView().MarshalBinary()
+}
+
+// SnapshotWith serializes the union of the shards plus evicted-group
+// images (see Table.SnapshotWith).
+func (s *ShardedTable) SnapshotWith(images map[addr.GroupID][]byte) ([]byte, error) {
+	defer s.rlockAll()()
+	return s.mergedView().SnapshotWith(images)
+}
+
+// CompactChanged compacts every shard in parallel (like Compact) and
+// returns the restructured group IDs in ascending order.
+func (s *ShardedTable) CompactChanged() []addr.GroupID {
+	var wg sync.WaitGroup
+	changed := make([][]addr.GroupID, len(s.shards))
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *tableShard) {
+			defer wg.Done()
+			sh.mu.Lock()
+			changed[i] = sh.tab.CompactChanged()
+			sh.mu.Unlock()
+		}(i, sh)
+	}
+	wg.Wait()
+	var out []addr.GroupID
+	for _, c := range changed {
+		out = append(out, c...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// groupStore implementation: the sharded table is pageable through the
+// same surface as the plain table, locking the owning shard per call.
+// A Pager drives exactly one of these methods at a time (paging is
+// serialized by the scheme), so cross-shard aggregate reads like
+// residentBytes need no global lock.
+
+func (s *ShardedTable) hasGroup(id addr.GroupID) bool {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tab.HasGroup(id)
+}
+
+func (s *ShardedTable) groupFootprint(id addr.GroupID) int {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tab.GroupFootprint(id)
+}
+
+// residentGroups returns all shards' groups in ascending order — the
+// same enumeration a plain Table produces, so pager adoption order (and
+// with it every later CLOCK decision) is shard-count independent.
+func (s *ShardedTable) residentGroups() []addr.GroupID {
+	var out []addr.GroupID
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		out = append(out, sh.tab.ResidentGroups()...)
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (s *ShardedTable) marshalGroup(id addr.GroupID) ([]byte, error) {
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.tab.MarshalGroup(id)
+}
+
+func (s *ShardedTable) installGroup(data []byte) (addr.GroupID, error) {
+	if len(data) < 4 {
+		return 0, fmt.Errorf("core: group record too short")
+	}
+	// The record leads with its group id; peek it to pick the shard.
+	gid := addr.GroupID(binary.LittleEndian.Uint32(data))
+	sh := s.shardFor(gid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tab.InstallGroup(data)
+}
+
+func (s *ShardedTable) dropGroup(id addr.GroupID) (int, bool) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.tab.DropGroup(id)
+}
+
+func (s *ShardedTable) residentBytes() int { return s.SizeBytes() }
+
+var _ groupStore = (*ShardedTable)(nil)
 
 // UnmarshalBinary replaces the shards' contents with a snapshot written
 // by either table flavor. The shard count is preserved.

@@ -572,12 +572,21 @@ func (t *Table) Lookup(lpa addr.LPA) (addr.PPA, LookupResult, bool) {
 // (paper §3.7 "Segment Compaction", Algorithm 1 seg_compact). Upper-level
 // segments are re-inserted into the level below, trimming or removing the
 // stale segments they shadow.
-func (t *Table) Compact() {
-	for _, g := range t.groups {
-		if g != nil {
-			t.compactGroup(g)
+func (t *Table) Compact() { t.CompactChanged() }
+
+// CompactChanged compacts like Compact and returns the IDs of the groups
+// it restructured (those that entered with more than one level), in
+// ascending order. The demand-paging scheme marks exactly these groups
+// dirty so periodic persistence rewrites only reshaped translation pages.
+func (t *Table) CompactChanged() []addr.GroupID {
+	var out []addr.GroupID
+	t.eachGroup(func(id addr.GroupID, g *group) {
+		if len(g.levels) > 1 {
+			out = append(out, id)
 		}
-	}
+		t.compactGroup(g)
+	})
+	return out
 }
 
 func (t *Table) compactGroup(g *group) {

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+
+	"leaftl/internal/core"
+	"leaftl/internal/metrics"
+	"leaftl/internal/ssd"
+	"leaftl/internal/trace"
+	"leaftl/internal/workload"
+)
+
+// MemorySweepSpec parameterizes the DRAM-budget sweep. Zero-valued
+// fields select the defaults: budgets at 1/8, 1/4, 1/2 and 1x of each
+// scheme's full mapping size, all three schemes, both timed workloads,
+// 4 host queues at recorded speed.
+type MemorySweepSpec struct {
+	// Budgets are mapping DRAM caps. Values ≤ 8 are fractions of the
+	// scheme's own full mapping size measured after warmup (0.25 caps
+	// LeaFTL at a quarter of its learned table and DFTL at a quarter of
+	// its page table — each scheme squeezed equally hard); values > 8
+	// are absolute bytes.
+	Budgets []float64
+	// Schemes are translation schemes ("LeaFTL", "DFTL", "SFTL").
+	Schemes []string
+	// Workloads name generators from workload.TimedCatalog
+	// ("zipf-hot", "mixed-rw").
+	Workloads []string
+	// Queues, Speedup and Gamma mirror OpenLoopSpec.
+	Queues  int
+	Speedup float64
+	Gamma   int
+}
+
+func (s MemorySweepSpec) withDefaults() MemorySweepSpec {
+	if len(s.Budgets) == 0 {
+		s.Budgets = []float64{0.125, 0.25, 0.5, 1}
+	}
+	if len(s.Schemes) == 0 {
+		s.Schemes = []string{"LeaFTL", "DFTL", "SFTL"}
+	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []string{"zipf-hot", "mixed-rw"}
+	}
+	if s.Queues < 1 {
+		s.Queues = 4
+	}
+	if s.Speedup <= 0 {
+		s.Speedup = 1
+	}
+	return s
+}
+
+// MemoryRun is one cell of the memory sweep: one scheme × budget ×
+// workload, replayed open-loop on a warmed device whose mapping DRAM was
+// capped after warmup.
+type MemoryRun struct {
+	Workload string
+	Scheme   string
+	// BudgetSpec is the requested budget (fraction or bytes, as given).
+	BudgetSpec float64
+	// BudgetBytes is the applied cap in bytes.
+	BudgetBytes int
+	// FullBytes is the scheme's complete mapping size after the run;
+	// ResidentBytes is what actually sat in DRAM at the end.
+	FullBytes     int
+	ResidentBytes int
+	// Faults and Evictions are LeaFTL's group-cache counters (zero for
+	// the baselines, whose misses surface only as MetaReads).
+	Faults    uint64
+	Evictions uint64
+	// Stats holds the device counters; MetaReads/MetaWrites are the
+	// mapping-miss loads and dirty-eviction/persistence writes.
+	Stats ssd.Stats
+	// WAF is the steady-state write amplification over the measurement.
+	WAF float64
+	// Result is the open-loop latency outcome (misses charged in
+	// service time).
+	Result *trace.OpenLoopResult
+}
+
+// MemorySweep sweeps mapping-DRAM budgets × schemes × workloads — the
+// Figure 15/16 memory-constrained axis, now honest: LeaFTL pages its
+// learned table exactly like DFTL pages its CMT, so every scheme's
+// misses are charged as translation-page flash traffic. Each cell warms
+// an identical device to a fully mapped state, caps the mapping DRAM at
+// the requested budget, then replays the workload open-loop; throughput,
+// tail latency, miss ratio and meta-WAF separate the schemes.
+func (s *Suite) MemorySweep(spec MemorySweepSpec) ([]MemoryRun, Table, error) {
+	spec = spec.withDefaults()
+	gens := workload.TimedCatalog()
+
+	var runs []MemoryRun
+	for _, wl := range spec.Workloads {
+		gen, ok := gens[wl]
+		if !ok {
+			return nil, Table{}, fmt.Errorf("memsweep: unknown timed workload %q", wl)
+		}
+		reqs := gen.Generate(s.simConfig("sim").LogicalPages(), s.Scale.Requests, s.Seed)
+		for _, scheme := range spec.Schemes {
+			for _, budget := range spec.Budgets {
+				run, err := s.memoryCell(wl, scheme, budget, reqs, spec)
+				if err != nil {
+					return nil, Table{}, fmt.Errorf("memsweep %s/%s/%v: %w", wl, scheme, budget, err)
+				}
+				runs = append(runs, *run)
+			}
+		}
+	}
+
+	t := Table{
+		ID: "memsweep",
+		Title: fmt.Sprintf("mapping-DRAM budget sweep: %d requests/workload, %d queue(s), gamma=%d",
+			s.Scale.Requests, spec.Queues, spec.Gamma),
+		Header: []string{"workload", "scheme", "budget", "resident", "full", "kIOPS",
+			"p50", "p99", "p999", "miss/op", "metaWAF", "WAF"},
+		Notes: "budget applied after warmup; miss/op = translation-page reads per host page, metaWAF = translation-page writes per host page written",
+	}
+	for _, r := range runs {
+		sum := r.Result.Latency.Summary()
+		t.Rows = append(t.Rows, []string{
+			r.Workload, r.Scheme, bytesCell(r.BudgetBytes), bytesCell(r.ResidentBytes), bytesCell(r.FullBytes),
+			fmt.Sprintf("%.1f", r.Result.IOPS()/1e3),
+			us(sum.P50), us(sum.P99), us(sum.P999),
+			fmt.Sprintf("%.4f", r.Stats.MetaReadRatio()),
+			fmt.Sprintf("%.4f", r.Stats.MetaWAF()),
+			f2(r.WAF),
+		})
+	}
+	return runs, t, nil
+}
+
+// memoryCell runs one sweep cell.
+func (s *Suite) memoryCell(wl, scheme string, budget float64, reqs []trace.Request, spec MemorySweepSpec) (*MemoryRun, error) {
+	cfg := s.simConfig("sim")
+	sch := s.newScheme(scheme, spec.Gamma, cfg)
+	dev, err := ssd.New(cfg, sch)
+	if err != nil {
+		return nil, err
+	}
+	// Age the drive to a fully mapped state (§4.1 warms before
+	// measuring): the mapping structures reach their full size, which is
+	// what fractional budgets are measured against.
+	if err := warmPages(dev, dev.LogicalPages()); err != nil {
+		return nil, fmt.Errorf("warmup: %w", err)
+	}
+	if err := dev.Flush(); err != nil {
+		return nil, fmt.Errorf("warmup flush: %w", err)
+	}
+	bytes := int(budget)
+	if budget <= 8 {
+		bytes = int(budget * float64(sch.FullSizeBytes()))
+	}
+	if bytes < 1 {
+		bytes = 1
+	}
+	dev.SetMappingBudget(bytes)
+	dev.ResetMetrics()
+
+	res, err := trace.ReplayOpenLoop(dev, reqs, trace.OpenLoopConfig{
+		Queues: spec.Queues, Speedup: spec.Speedup,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := dev.Flush(); err != nil {
+		return nil, fmt.Errorf("flush: %w", err)
+	}
+	if err := dev.CheckInvariants(); err != nil {
+		return nil, err
+	}
+
+	run := &MemoryRun{
+		Workload: wl, Scheme: sch.Name(),
+		BudgetSpec: budget, BudgetBytes: bytes,
+		FullBytes: sch.FullSizeBytes(), ResidentBytes: sch.MemoryBytes(),
+		Stats: dev.Stats(), WAF: dev.WAF(), Result: res,
+	}
+	if ps, ok := sch.(interface{ PagingStats() core.PagerStats }); ok {
+		st := ps.PagingStats()
+		run.Faults, run.Evictions = st.Faults, st.Evictions
+	}
+	return run, nil
+}
+
+// bytesCell renders a byte count compactly for table cells.
+func bytesCell(n int) string { return metrics.FormatBytes(int64(n)) }

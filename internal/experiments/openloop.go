@@ -35,8 +35,14 @@ type OpenLoopRun struct {
 	Scheme string
 	// Result holds the latency distributions and makespan.
 	Result *trace.OpenLoopResult
-	// MapBytes is the scheme's full mapping-structure size afterward.
-	MapBytes int
+	// MapBytes is the scheme's full mapping-structure size afterward;
+	// ResidentBytes is the DRAM-resident share.
+	MapBytes      int
+	ResidentBytes int
+	// Stats holds the device counters, including the MetaReads
+	// (mapping-miss loads) and MetaWrites (dirty evictions/persistence)
+	// that make miss-ratio curves plottable.
+	Stats ssd.Stats
 }
 
 // OpenLoopCompare replays one trace open-loop against three identical
@@ -89,7 +95,11 @@ func (s *Suite) OpenLoopCompare(reqs []trace.Request, spec OpenLoopSpec) ([]Open
 		if err != nil {
 			return nil, Table{}, fmt.Errorf("openloop %s: %w", scheme, err)
 		}
-		runs = append(runs, OpenLoopRun{Scheme: sch.Name(), Result: res, MapBytes: sch.FullSizeBytes()})
+		runs = append(runs, OpenLoopRun{
+			Scheme: sch.Name(), Result: res,
+			MapBytes: sch.FullSizeBytes(), ResidentBytes: sch.MemoryBytes(),
+			Stats: dev.Stats(),
+		})
 	}
 
 	t := Table{

@@ -54,7 +54,10 @@ type Scheme interface {
 	Commit(pairs []addr.Mapping) Cost
 
 	// SetBudget caps the scheme's DRAM usage for cached mapping state.
-	// Schemes whose structures are fully resident (LeaFTL) may ignore it.
+	// Every scheme honors it: DFTL/SFTL size their cached-mapping tables
+	// to it, and LeaFTL demand-pages segment groups to flash translation
+	// pages once the learned table outgrows it (a budget ≤ 0 leaves the
+	// learned table unconstrained).
 	SetBudget(bytes int)
 
 	// MemoryBytes reports current DRAM consumption of mapping state.
@@ -73,6 +76,35 @@ type Scheme interface {
 // Gamma is implemented by schemes with a configurable error bound.
 type Gamma interface {
 	Gamma() int
+}
+
+// GroupPaged is implemented by schemes that page 256-LPA segment groups
+// between DRAM and flash translation pages under a Global Mapping
+// Directory (paper §3.8). The device uses it to account translation
+// blocks against over-provisioned capacity, audit GMD consistency in
+// CheckInvariants, and restore persisted groups during crash recovery
+// instead of re-learning the whole mapping.
+type GroupPaged interface {
+	Scheme
+
+	// TranslationPages reports the flash pages currently occupied by
+	// persisted group images.
+	TranslationPages() int
+
+	// PersistedGroups returns the serialized group images that are
+	// current on flash (what survives a crash); dirty resident groups
+	// are absent. The images are shared, not copied — callers must not
+	// mutate them.
+	PersistedGroups() map[addr.GroupID][]byte
+
+	// RestoreGroups seeds a fresh scheme's directory with persisted
+	// images; the groups demand-load on first access.
+	RestoreGroups(images map[addr.GroupID][]byte) error
+
+	// CheckMapping audits the scheme's directory/cache bookkeeping and
+	// returns the first inconsistency (the mapping-side leg of the
+	// device's CheckInvariants).
+	CheckMapping() error
 }
 
 // Concurrent is implemented by schemes whose Translate method is safe for

@@ -2,12 +2,21 @@
 // ftl.Scheme interface the SSD device drives (paper §3.8 "Put It All
 // Together").
 //
-// The learned table is fully DRAM-resident — its whole point is being
-// small (Figures 15/19) — so translations cost no flash accesses. The
-// scheme's periodic maintenance performs segment compaction (every
+// The learned table's whole point is being small (Figures 15/19), so it
+// usually stays fully DRAM-resident and translations cost no flash
+// accesses. When a real byte budget is set (SetBudget > 0), the scheme
+// demand-pages 256-LPA segment groups to flash translation pages through
+// a Global Mapping Directory (core.Pager): lookups and commits touching a
+// non-resident group charge translation-page reads, dirty evictions and
+// periodic persistence charge translation-page writes, exactly like
+// DFTL's cached mapping table — which makes DRAM-budget comparisons
+// between the schemes honest.
+//
+// The scheme's periodic maintenance performs segment compaction (every
 // CompactEvery host page writes, §3.7) and persists the table to flash
 // translation blocks for recovery (§3.8), charging the corresponding
-// translation-page writes.
+// translation-page writes; under a budget only the groups whose images
+// went stale are rewritten.
 package leaftl
 
 import (
@@ -35,6 +44,7 @@ func WithoutSortedFlush() Option {
 type Scheme struct {
 	name         string
 	table        *core.Table
+	pager        *core.Pager
 	pageSize     int
 	compactEvery uint64
 	lastCompact  uint64
@@ -50,9 +60,11 @@ type Scheme struct {
 // New returns a LeaFTL scheme with error bound gamma (pages) on a device
 // with the given flash page size.
 func New(gamma, pageSize int, opts ...Option) *Scheme {
+	table := core.NewTable(gamma)
 	s := &Scheme{
 		name:         "LeaFTL",
-		table:        core.NewTable(gamma),
+		table:        table,
+		pager:        core.NewPager(table, pageSize),
 		pageSize:     pageSize,
 		compactEvery: 1_000_000,
 		levelsHist:   make(map[int]uint64),
@@ -70,45 +82,119 @@ func (s *Scheme) Name() string { return s.name }
 func (s *Scheme) Gamma() int { return s.table.Gamma() }
 
 // Table exposes the underlying learned table for structure-level
-// experiments (Figures 5, 10, 12, 20).
+// experiments (Figures 5, 10, 12, 20). Under a binding budget it holds
+// only the resident groups.
 func (s *Scheme) Table() *core.Table { return s.table }
 
-// Translate implements ftl.Scheme.
+// pageCost converts pager flash-operation counts into an ftl.Cost.
+func pageCost(pc core.PageCost) ftl.Cost {
+	return ftl.Cost{MetaReads: pc.MetaReads, MetaWrites: pc.MetaWrites}
+}
+
+// commitPaged learns a sorted batch group-run by group-run through the
+// pager: each run's group is made resident and dirtied before its
+// update, and the byte cap is re-enforced after, so one oversized batch
+// cannot blow past the budget. Shared by the plain and sharded schemes
+// (update is Table.Update or ShardedTable.Update); the group-run
+// boundaries match learnBuf.learn's internal splitting, so per-run
+// updates learn identically to one whole-batch update.
+func commitPaged(p *core.Pager, update func([]addr.Mapping) int, pairs []addr.Mapping) (int, core.PageCost) {
+	var pc core.PageCost
+	n := 0
+	for i := 0; i < len(pairs); {
+		gid := addr.Group(pairs[i].LPA)
+		j := i + 1
+		for j < len(pairs) && addr.Group(pairs[j].LPA) == gid {
+			j++
+		}
+		pc.Add(p.EnsureWrite(gid))
+		n += update(pairs[i:j])
+		pc.Add(p.Enforce())
+		i = j
+	}
+	return n, pc
+}
+
+// Translate implements ftl.Scheme. Under a binding budget, a lookup in a
+// paged-out group first demand-loads its translation page (MetaReads),
+// possibly evicting colder groups (MetaWrites when dirty).
 func (s *Scheme) Translate(lpa addr.LPA) (ftl.Translation, bool) {
+	var cost ftl.Cost
+	if s.pager.Active() && !s.pager.FastPath() {
+		pc, known := s.pager.EnsureRead(addr.Group(lpa))
+		if !known {
+			return ftl.Translation{}, false
+		}
+		ppa, res, ok := s.table.Lookup(lpa)
+		pc.Add(s.pager.Enforce())
+		cost = pageCost(pc)
+		if !ok {
+			return ftl.Translation{Cost: cost}, false
+		}
+		s.noteLookup(res)
+		return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx}, true
+	}
 	ppa, res, ok := s.table.Lookup(lpa)
 	if !ok {
 		return ftl.Translation{}, false
 	}
+	s.noteLookup(res)
+	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx}, true
+}
+
+func (s *Scheme) noteLookup(res core.LookupResult) {
 	s.lookups++
 	s.levelsSum += uint64(res.Levels)
 	s.levelsHist[res.Levels]++
-	return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx}, true
 }
 
 // Commit implements ftl.Scheme: learns index segments over the flushed
 // batch and inserts them at the top level. Learning runs on the
 // controller CPU (Table 3 measures it at ~10µs per 256 mappings) and
-// costs no flash operations.
+// costs no flash operations; under a budget, committing into paged-out
+// groups demand-loads them and the byte cap is re-enforced after every
+// group's update.
 func (s *Scheme) Commit(pairs []addr.Mapping) ftl.Cost {
+	if s.pager.Active() {
+		n, pc := commitPaged(s.pager, s.table.Update, pairs)
+		s.segLearned += uint64(n)
+		s.batchCount++
+		return pageCost(pc)
+	}
 	n := s.table.Update(pairs)
 	s.segLearned += uint64(n)
 	s.batchCount++
 	return ftl.Cost{}
 }
 
-// SetBudget implements ftl.Scheme. The learned table is always resident;
-// the budget is accepted for interface symmetry.
-func (s *Scheme) SetBudget(int) {}
+// SetBudget implements ftl.Scheme: a positive budget caps the resident
+// learned table, paging segment groups to flash translation pages on
+// demand; ≤ 0 leaves the table unconstrained. Shrinking below the
+// current table evicts immediately so MemoryBytes honors the cap from
+// here on; like DFTL's CMT resize, those writebacks happen between
+// runs and are not charged to any host request.
+func (s *Scheme) SetBudget(bytes int) {
+	s.pager.SetBudget(bytes)
+	s.pager.Enforce()
+}
 
-// MemoryBytes implements ftl.Scheme.
+// MemoryBytes implements ftl.Scheme: the DRAM-resident mapping state.
 func (s *Scheme) MemoryBytes() int { return s.table.SizeBytes() }
 
-// FullSizeBytes implements ftl.Scheme.
-func (s *Scheme) FullSizeBytes() int { return s.table.SizeBytes() }
+// FullSizeBytes implements ftl.Scheme: the complete learned table,
+// resident or paged out.
+func (s *Scheme) FullSizeBytes() int {
+	if s.pager.Active() {
+		return s.pager.FullSizeBytes()
+	}
+	return s.table.SizeBytes()
+}
 
 // Maintain implements ftl.Scheme: every compactEvery host page writes,
 // compact the log-structured table (§3.7) and persist it to translation
-// blocks (§3.8), charging ⌈table/pageSize⌉ translation-page writes.
+// blocks (§3.8). Unbudgeted, persistence charges ⌈table/pageSize⌉
+// translation-page writes; under a budget, only dirty groups (updated or
+// reshaped since their last image) are rewritten.
 func (s *Scheme) Maintain(hostPageWrites uint64) ftl.Cost {
 	if hostPageWrites < s.lastCompact {
 		// The device's host counters were reset (warmup/steady-state
@@ -119,18 +205,66 @@ func (s *Scheme) Maintain(hostPageWrites uint64) ftl.Cost {
 		return ftl.Cost{}
 	}
 	s.lastCompact = hostPageWrites
+	if s.pager.Paging() {
+		for _, gid := range s.table.CompactChanged() {
+			s.pager.MarkDirty(gid)
+		}
+		pc := s.pager.FlushDirty()
+		pc.Add(s.pager.Enforce())
+		return pageCost(pc)
+	}
+	// The budget has never bound: persist the whole table in one sweep
+	// (the pre-paging model — packed translation pages, no per-group
+	// rounding) and keep no images around.
 	s.table.Compact()
 	pages := (s.table.SizeBytes() + s.pageSize - 1) / s.pageSize
 	return ftl.Cost{MetaWrites: pages}
 }
 
-// Snapshot serializes the learned table (the translation-page image of
-// §3.8). With battery-backed DRAM this is persisted on power failure and
-// recovery is one Restore instead of an OOB scan.
-func (s *Scheme) Snapshot() ([]byte, error) { return s.table.MarshalBinary() }
+// TranslationPages implements ftl.GroupPaged.
+func (s *Scheme) TranslationPages() int { return s.pager.TranslationPages() }
 
-// Restore replaces the learned table with a Snapshot image.
-func (s *Scheme) Restore(data []byte) error { return s.table.UnmarshalBinary(data) }
+// PersistedGroups implements ftl.GroupPaged.
+func (s *Scheme) PersistedGroups() map[addr.GroupID][]byte {
+	return s.pager.PersistedGroups()
+}
+
+// RestoreGroups implements ftl.GroupPaged: recovery seeds the GMD with
+// the images that survived on flash; the groups demand-load later.
+func (s *Scheme) RestoreGroups(images map[addr.GroupID][]byte) error {
+	return s.pager.RestoreGroups(images)
+}
+
+// CheckMapping implements ftl.GroupPaged.
+func (s *Scheme) CheckMapping() error { return s.pager.Check() }
+
+// PagingStats exposes the pager's fault/eviction counters (the
+// MemorySweep miss-ratio source).
+func (s *Scheme) PagingStats() core.PagerStats { return s.pager.Stats() }
+
+// Snapshot serializes the full learned table — resident groups fresh
+// from DRAM, paged-out groups from their translation-page images (the
+// §3.8 flash layout). With battery-backed DRAM this is persisted on
+// power failure and recovery is one Restore instead of an OOB scan.
+func (s *Scheme) Snapshot() ([]byte, error) {
+	if s.pager.Active() {
+		return s.table.SnapshotWith(s.pager.EvictedImages())
+	}
+	return s.table.MarshalBinary()
+}
+
+// Restore replaces the learned table with a Snapshot image. The restored
+// table starts fully resident; an active budget re-evicts on the spot
+// (the writebacks are part of re-seeding the translation blocks and are
+// not charged to any host request).
+func (s *Scheme) Restore(data []byte) error {
+	if err := s.table.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	s.pager.Reset()
+	s.pager.Enforce()
+	return nil
+}
 
 // LookupLevels reports the average levels visited per lookup and the
 // histogram of level counts (Figure 23a).
@@ -150,4 +284,7 @@ func (s *Scheme) SegmentsPerBatch() float64 {
 	return float64(s.segLearned) / float64(s.batchCount)
 }
 
-var _ ftl.Scheme = (*Scheme)(nil)
+var (
+	_ ftl.Scheme     = (*Scheme)(nil)
+	_ ftl.GroupPaged = (*Scheme)(nil)
+)

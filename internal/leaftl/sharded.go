@@ -1,6 +1,7 @@
 package leaftl
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"leaftl/internal/addr"
@@ -13,12 +14,28 @@ import (
 // concurrently (ftl.Concurrent). Commit and Maintain keep the device's
 // serialized contract; Translate is safe from any number of goroutines,
 // with the evaluation counters kept on atomics.
+//
+// Demand paging (SetBudget > 0) uses one pager shared across the shards
+// — the DRAM budget is a device-wide quantity, and a shared directory
+// makes the sharded scheme's paging decisions bit-identical to the plain
+// scheme's (the sharded-invisible contract the experiment suite pins).
+// While every known group is resident and within budget, lookups keep
+// the lock-free sharded fast path; once groups page out, translations
+// serialize behind the pager mutex, exactly like a real CMT.
 type Sharded struct {
 	name         string
 	table        *core.ShardedTable
 	pageSize     int
 	compactEvery uint64
 	lastCompact  uint64
+
+	// pmu guards pager state; paging mirrors !pager.FastPath() so the
+	// lock-free Translate path can skip it without touching the pager.
+	// Fast-path misses re-check under the read side of pmu (evictors
+	// hold the write side), so unmapped-LPA lookups stay concurrent.
+	pmu    sync.RWMutex
+	pager  *core.Pager
+	paging atomic.Bool
 
 	lookups    atomic.Uint64
 	levelsSum  atomic.Uint64
@@ -41,9 +58,11 @@ func NewSharded(gamma, pageSize, shards int, opts ...Option) *Sharded {
 	for _, o := range opts {
 		o(cfg)
 	}
+	table := core.NewShardedTable(gamma, shards)
 	return &Sharded{
 		name:         cfg.name + "-sharded",
-		table:        core.NewShardedTable(gamma, shards),
+		table:        table,
+		pager:        core.NewPager(table, pageSize),
 		pageSize:     pageSize,
 		compactEvery: cfg.compactEvery,
 	}
@@ -62,12 +81,70 @@ func (s *Sharded) TranslateShards() int { return s.table.Shards() }
 // experiments.
 func (s *Sharded) Table() *core.ShardedTable { return s.table }
 
+// syncPaging refreshes the lock-free paging indicator; callers hold pmu
+// (or run on the device's serialized mutation path).
+func (s *Sharded) syncPaging() {
+	s.paging.Store(s.pager.Active() && !s.pager.FastPath())
+}
+
 // Translate implements ftl.Scheme and is safe for concurrent use.
 func (s *Sharded) Translate(lpa addr.LPA) (ftl.Translation, bool) {
+	if s.paging.Load() {
+		return s.translatePaged(lpa)
+	}
 	ppa, res, ok := s.table.Lookup(lpa)
 	if !ok {
-		return ftl.Translation{}, false
+		// A lock-free miss is not final: a concurrent commit may have
+		// evicted this group between the paging-flag check and the
+		// lookup. Retry under the pager mutex, where an evicted group
+		// demand-loads; genuinely unmapped LPAs still return false.
+		return s.translatePaged(lpa)
 	}
+	s.noteLookup(res)
+	return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx}, true
+}
+
+// translatePaged is the slow lookup: with no paging pressure it settles
+// fast-path misses under pmu's read side (evictions hold the write
+// side, so the re-lookup is final and misses stay concurrent); under
+// pressure it takes the write side, where a paged-out group's
+// translation page is demand-loaded before the sharded lookup runs.
+func (s *Sharded) translatePaged(lpa addr.LPA) (ftl.Translation, bool) {
+	s.pmu.RLock()
+	if !s.pager.Active() || s.pager.FastPath() {
+		ppa, res, ok := s.table.Lookup(lpa)
+		s.pmu.RUnlock()
+		if !ok {
+			return ftl.Translation{}, false
+		}
+		s.noteLookup(res)
+		return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx}, true
+	}
+	s.pmu.RUnlock()
+	s.pmu.Lock()
+	// State may have shifted while upgrading the lock; EnsureRead is
+	// cheap for groups that are (again) resident.
+	pc, known := s.pager.EnsureRead(addr.Group(lpa))
+	var (
+		ppa addr.PPA
+		res core.LookupResult
+		ok  bool
+	)
+	if known {
+		ppa, res, ok = s.table.Lookup(lpa)
+	}
+	pc.Add(s.pager.Enforce())
+	s.syncPaging()
+	s.pmu.Unlock()
+	cost := pageCost(pc)
+	if !known || !ok {
+		return ftl.Translation{Cost: cost}, false
+	}
+	s.noteLookup(res)
+	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx}, true
+}
+
+func (s *Sharded) noteLookup(res core.LookupResult) {
 	s.lookups.Add(1)
 	s.levelsSum.Add(uint64(res.Levels))
 	b := res.Levels
@@ -75,25 +152,47 @@ func (s *Sharded) Translate(lpa addr.LPA) (ftl.Translation, bool) {
 		b = maxLevelBuckets - 1
 	}
 	s.levelsHist[b].Add(1)
-	return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx}, true
 }
 
 // Commit implements ftl.Scheme (serialized by the device, like Scheme).
 func (s *Sharded) Commit(pairs []addr.Mapping) ftl.Cost {
-	n := s.table.Update(pairs)
+	s.pmu.Lock()
+	if !s.pager.Active() {
+		s.pmu.Unlock()
+		n := s.table.Update(pairs)
+		s.segLearned.Add(uint64(n))
+		s.batchCount.Add(1)
+		return ftl.Cost{}
+	}
+	n, pc := commitPaged(s.pager, s.table.Update, pairs)
+	s.syncPaging()
+	s.pmu.Unlock()
 	s.segLearned.Add(uint64(n))
 	s.batchCount.Add(1)
-	return ftl.Cost{}
+	return pageCost(pc)
 }
 
-// SetBudget implements ftl.Scheme; the learned table is always resident.
-func (s *Sharded) SetBudget(int) {}
+// SetBudget implements ftl.Scheme (see Scheme.SetBudget).
+func (s *Sharded) SetBudget(bytes int) {
+	s.pmu.Lock()
+	s.pager.SetBudget(bytes)
+	s.pager.Enforce()
+	s.syncPaging()
+	s.pmu.Unlock()
+}
 
-// MemoryBytes implements ftl.Scheme.
+// MemoryBytes implements ftl.Scheme: the DRAM-resident mapping state.
 func (s *Sharded) MemoryBytes() int { return s.table.SizeBytes() }
 
 // FullSizeBytes implements ftl.Scheme.
-func (s *Sharded) FullSizeBytes() int { return s.table.SizeBytes() }
+func (s *Sharded) FullSizeBytes() int {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.pager.Active() {
+		return s.pager.FullSizeBytes()
+	}
+	return s.table.SizeBytes()
+}
 
 // Maintain implements ftl.Scheme: periodic compaction (parallel across
 // shards) and table persistence, as in Scheme.Maintain.
@@ -105,17 +204,85 @@ func (s *Sharded) Maintain(hostPageWrites uint64) ftl.Cost {
 		return ftl.Cost{}
 	}
 	s.lastCompact = hostPageWrites
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.pager.Paging() {
+		for _, gid := range s.table.CompactChanged() {
+			s.pager.MarkDirty(gid)
+		}
+		pc := s.pager.FlushDirty()
+		pc.Add(s.pager.Enforce())
+		s.syncPaging()
+		return pageCost(pc)
+	}
+	// Budget never bound: whole-table persistence, as in Scheme.Maintain.
 	s.table.Compact()
 	pages := (s.table.SizeBytes() + s.pageSize - 1) / s.pageSize
 	return ftl.Cost{MetaWrites: pages}
 }
 
-// Snapshot serializes the learned table (plain-Table snapshot format;
-// shard count is a runtime choice, not persistent state).
-func (s *Sharded) Snapshot() ([]byte, error) { return s.table.MarshalBinary() }
+// TranslationPages implements ftl.GroupPaged.
+func (s *Sharded) TranslationPages() int {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.pager.TranslationPages()
+}
 
-// Restore replaces the learned table with a Snapshot image.
-func (s *Sharded) Restore(data []byte) error { return s.table.UnmarshalBinary(data) }
+// PersistedGroups implements ftl.GroupPaged.
+func (s *Sharded) PersistedGroups() map[addr.GroupID][]byte {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.pager.PersistedGroups()
+}
+
+// RestoreGroups implements ftl.GroupPaged.
+func (s *Sharded) RestoreGroups(images map[addr.GroupID][]byte) error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	err := s.pager.RestoreGroups(images)
+	s.syncPaging()
+	return err
+}
+
+// CheckMapping implements ftl.GroupPaged.
+func (s *Sharded) CheckMapping() error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.pager.Check()
+}
+
+// PagingStats exposes the pager's fault/eviction counters.
+func (s *Sharded) PagingStats() core.PagerStats {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return s.pager.Stats()
+}
+
+// Snapshot serializes the full learned table (plain-Table snapshot
+// format; shard count is a runtime choice, not persistent state),
+// including paged-out groups from their translation-page images.
+func (s *Sharded) Snapshot() ([]byte, error) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.pager.Active() {
+		return s.table.SnapshotWith(s.pager.EvictedImages())
+	}
+	return s.table.MarshalBinary()
+}
+
+// Restore replaces the learned table with a Snapshot image (see
+// Scheme.Restore).
+func (s *Sharded) Restore(data []byte) error {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if err := s.table.UnmarshalBinary(data); err != nil {
+		return err
+	}
+	s.pager.Reset()
+	s.pager.Enforce()
+	s.syncPaging()
+	return nil
+}
 
 // LookupLevels reports the average levels visited per lookup and the
 // histogram of level counts (Figure 23a).
@@ -147,4 +314,5 @@ var (
 	_ ftl.Scheme     = (*Sharded)(nil)
 	_ ftl.Concurrent = (*Sharded)(nil)
 	_ ftl.Gamma      = (*Sharded)(nil)
+	_ ftl.GroupPaged = (*Sharded)(nil)
 )

@@ -198,8 +198,24 @@ func (d *Device) ResetMetrics() {
 // LogicalPages returns the host-visible capacity in pages.
 func (d *Device) LogicalPages() int { return d.logicalPages }
 
+// SetMappingBudget re-caps the scheme's mapping DRAM mid-run (the
+// memory-sweep experiments tighten it after warmup) and rebalances the
+// data cache. Budget-change evictions inside the scheme are not charged
+// to any host request, mirroring DFTL's between-runs resize.
+func (d *Device) SetMappingBudget(bytes int) {
+	d.mapBudget = bytes
+	d.scheme.SetBudget(bytes)
+	d.resizeCache()
+}
+
+// MappingBudget returns the scheme's current mapping DRAM cap.
+func (d *Device) MappingBudget() int { return d.mapBudget }
+
 // resizeCache gives the data cache whatever DRAM the mapping is not
-// using (recomputed after every flush as the mapping grows).
+// using. It is recomputed after every flush and every read: demand-paged
+// schemes grow and shrink their resident mapping state on both paths, and
+// the data cache must track the scheme's actual MemoryBytes over time
+// rather than its size at construction.
 func (d *Device) resizeCache() {
 	used := d.scheme.MemoryBytes()
 	budget := int(d.cfg.DRAMBytes-d.cfg.BufferBytes()) - used
@@ -217,6 +233,7 @@ func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
 		return 0, err
 	}
 	d.stats.HostReadReqs++
+	metaBefore := d.stats.MetaReads + d.stats.MetaWrites
 	start := d.now
 	end := start + d.cfg.CacheHitLatency
 	for i := 0; i < n; i++ {
@@ -231,6 +248,12 @@ func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
 	lat := end - start
 	d.now = end
 	d.readLat.Observe(lat)
+	// A translation that charged meta traffic loaded or evicted mapping
+	// state; give the data cache whatever DRAM that freed or took.
+	// Meta-free reads change nothing, so the hot path skips the resize.
+	if d.stats.MetaReads+d.stats.MetaWrites != metaBefore {
+		d.resizeCache()
+	}
 	return lat, nil
 }
 

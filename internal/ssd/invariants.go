@@ -5,6 +5,7 @@ import (
 
 	"leaftl/internal/addr"
 	"leaftl/internal/flash"
+	"leaftl/internal/ftl"
 )
 
 // CheckInvariants audits the device's bookkeeping against the simulator
@@ -26,8 +27,25 @@ import (
 //   - GC streams: open destinations are allocated, partially programmed
 //     blocks.
 //   - Write buffer: never exceeds its configured capacity.
+//   - Demand-paged mapping: the scheme's GMD bookkeeping is internally
+//     consistent, its resident state fits the mapping budget, and its
+//     translation-block footprint fits the over-provisioned capacity.
 func (d *Device) CheckInvariants() error {
 	cfg := d.cfg.Flash
+
+	if gp, ok := d.scheme.(ftl.GroupPaged); ok {
+		if err := gp.CheckMapping(); err != nil {
+			return fmt.Errorf("invariant: %w", err)
+		}
+		op := cfg.TotalPages() - d.logicalPages
+		if tp := gp.TranslationPages(); tp > op {
+			return fmt.Errorf("invariant: %d translation pages exceed the %d-page over-provisioned capacity", tp, op)
+		}
+		if d.mapBudget > 0 && d.scheme.MemoryBytes() > d.mapBudget {
+			return fmt.Errorf("invariant: mapping state %dB exceeds its %dB budget",
+				d.scheme.MemoryBytes(), d.mapBudget)
+		}
+	}
 
 	// PVT ↔ ground truth.
 	validPages := 0

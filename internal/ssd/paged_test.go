@@ -1,0 +1,242 @@
+package ssd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/ftl"
+	"leaftl/internal/leaftl"
+)
+
+// TestDifferentialBudgetedLeaFTL replays one randomized GC-heavy
+// workload through a mapping-budgeted LeaFTL device and an unlimited
+// LeaFTL device per (policy, streams) combination and asserts the two
+// stay bit-identical in host-visible data: demand paging the learned
+// table may cost translation-page traffic, but must never change a
+// translation. Invariants (including GMD consistency and the byte
+// budget) are audited mid-run, and the budgeted device must actually
+// fault and evict groups for the comparison to mean anything.
+func TestDifferentialBudgetedLeaFTL(t *testing.T) {
+	for _, policy := range GCPolicyNames() {
+		for _, streams := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/streams%d", policy, streams), func(t *testing.T) {
+				cfg := testConfig()
+				cfg.GCPolicy = policy
+				cfg.GCStreams = streams
+				newScheme := func() *leaftl.Scheme {
+					return leaftl.New(4, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000))
+				}
+				devA := newTestDevice(t, cfg, newScheme()) // budgeted below
+				devB := newTestDevice(t, cfg, newScheme()) // unlimited
+				devs := []*Device{devA, devB}
+
+				rng := rand.New(rand.NewSource(int64(len(policy)*100 + streams)))
+				logical := devA.LogicalPages()
+
+				// Warm phase: map a good chunk of the space so the learned
+				// table has substance, then cap A at a quarter of it.
+				for lpa := 0; lpa+8 <= logical/2; lpa += 8 {
+					for _, d := range devs {
+						if _, err := d.Write(addr.LPA(lpa), 8); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				budget := devA.Scheme().FullSizeBytes() / 4
+				devA.SetMappingBudget(budget)
+
+				hot := logical / 5
+				written := make(map[int]bool)
+				for lpa := 0; lpa < logical/2; lpa++ {
+					written[lpa] = true
+				}
+				for op := 0; op < 18000; op++ {
+					lpa := rng.Intn(logical - 8)
+					if rng.Intn(100) < 70 {
+						lpa = rng.Intn(hot)
+					}
+					n := 1 + rng.Intn(8)
+					if rng.Intn(100) < 60 {
+						for _, d := range devs {
+							if _, err := d.Write(addr.LPA(lpa), n); err != nil {
+								t.Fatalf("op %d: write: %v", op, err)
+							}
+						}
+						for j := 0; j < n; j++ {
+							written[lpa+j] = true
+						}
+					} else if written[lpa] {
+						for _, d := range devs {
+							if _, err := d.Read(addr.LPA(lpa), 1); err != nil {
+								t.Fatalf("op %d: read: %v", op, err)
+							}
+						}
+					}
+					if op%4000 == 3999 {
+						for _, d := range devs {
+							if err := d.CheckInvariants(); err != nil {
+								t.Fatalf("op %d: %v", op, err)
+							}
+						}
+						if m := devA.Scheme().MemoryBytes(); m > budget {
+							t.Fatalf("op %d: budgeted mapping %dB exceeds %dB", op, m, budget)
+						}
+					}
+				}
+				for _, d := range devs {
+					if err := d.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					if err := d.CheckInvariants(); err != nil {
+						t.Fatal(err)
+					}
+					if d.Stats().GCErases == 0 {
+						t.Fatal("workload did not exercise GC")
+					}
+				}
+				if devA.Stats().MetaReads == 0 {
+					t.Fatal("budgeted device never demand-loaded a group")
+				}
+				if devB.Stats().MetaReads != 0 {
+					t.Fatalf("unlimited device charged %d mapping-miss reads", devB.Stats().MetaReads)
+				}
+
+				// Bit-identical host-visible data.
+				for lpa := 0; lpa < logical; lpa++ {
+					if devA.token[lpa] != devB.token[lpa] {
+						t.Fatalf("LPA %d: budgeted token %#x != unlimited token %#x",
+							lpa, devA.token[lpa], devB.token[lpa])
+					}
+				}
+				for lpa := range written {
+					for _, d := range devs {
+						if _, err := d.Read(addr.LPA(lpa), 1); err != nil {
+							t.Fatalf("final read %d: %v", lpa, err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPagedRecoveryRestoresGMD crashes a budgeted LeaFTL device whose
+// maintenance has persisted translation pages and asserts recovery
+// revives persisted groups straight from their GMD images — re-learning
+// only the groups whose state was dirty at the crash — with every read
+// verifying afterwards.
+func TestPagedRecoveryRestoresGMD(t *testing.T) {
+	cfg := testConfig()
+	mk := func() *leaftl.Scheme {
+		return leaftl.New(4, cfg.Flash.PageSize, leaftl.WithCompactEvery(500))
+	}
+	d := newTestDevice(t, cfg, mk())
+	logical := d.LogicalPages()
+	for lpa := 0; lpa+8 <= logical/2; lpa += 8 {
+		if _, err := d.Write(addr.LPA(lpa), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.SetMappingBudget(d.Scheme().FullSizeBytes() / 4)
+	rng := rand.New(rand.NewSource(21))
+	for op := 0; op < 6000; op++ {
+		if _, err := d.Write(addr.LPA(rng.Intn(logical/2)), 1+rng.Intn(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gp := d.Scheme().(ftl.GroupPaged)
+	if len(gp.PersistedGroups()) == 0 {
+		t.Fatal("no persisted groups before the crash; the test needs maintenance ticks")
+	}
+
+	rep, err := d.Recover(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GroupsRestored == 0 || rep.MappingsRestored == 0 {
+		t.Fatalf("recovery restored nothing: %+v", rep)
+	}
+	if rep.TransPagesRestored == 0 {
+		t.Fatalf("restored GMD references no translation pages: %+v", rep)
+	}
+	if rep.MappingsRebuilt+rep.MappingsRestored == 0 {
+		t.Fatalf("empty recovery: %+v", rep)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for lpa := 0; lpa < logical/2; lpa += 7 {
+		if _, err := d.Read(addr.LPA(lpa), 1); err != nil {
+			t.Fatalf("post-recovery read %d: %v", lpa, err)
+		}
+	}
+	// The recovered scheme still honors the budget it inherited.
+	if m := d.Scheme().MemoryBytes(); d.MappingBudget() > 0 && m > d.MappingBudget() {
+		t.Fatalf("recovered mapping %dB exceeds budget %dB", m, d.MappingBudget())
+	}
+}
+
+// TestBudgetedShardedRunMatchesPlain extends the sharded-invisible
+// contract to demand paging: a budgeted sharded LeaFTL device must
+// produce the same translations, meta traffic and final data as the
+// budgeted plain device for the same serialized workload.
+func TestBudgetedShardedRunMatchesPlain(t *testing.T) {
+	cfg := testConfig()
+	devP := newTestDevice(t, cfg, leaftl.New(4, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000)))
+	devS := newTestDevice(t, cfg, leaftl.NewSharded(4, cfg.Flash.PageSize, 8, leaftl.WithCompactEvery(2000)))
+	devs := []*Device{devP, devS}
+	logical := devP.LogicalPages()
+	for lpa := 0; lpa+8 <= logical/2; lpa += 8 {
+		for _, d := range devs {
+			if _, err := d.Write(addr.LPA(lpa), 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	budget := devP.Scheme().FullSizeBytes() / 4
+	devP.SetMappingBudget(budget)
+	devS.SetMappingBudget(budget)
+
+	rng := rand.New(rand.NewSource(5))
+	for op := 0; op < 12000; op++ {
+		lpa := rng.Intn(logical / 2)
+		if rng.Intn(100) < 55 {
+			for _, d := range devs {
+				if _, err := d.Write(addr.LPA(lpa), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			for _, d := range devs {
+				if _, err := d.Read(addr.LPA(lpa), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	for _, d := range devs {
+		if err := d.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sp, ss := devP.Stats(), devS.Stats()
+	if sp != ss {
+		t.Fatalf("budgeted sharded stats diverge from plain:\nplain   %+v\nsharded %+v", sp, ss)
+	}
+	if sp.MetaReads == 0 {
+		t.Fatal("budget never bound; the comparison is vacuous")
+	}
+	for lpa := 0; lpa < logical; lpa++ {
+		if devP.token[lpa] != devS.token[lpa] {
+			t.Fatalf("LPA %d: plain token %#x != sharded token %#x", lpa, devP.token[lpa], devS.token[lpa])
+		}
+	}
+}

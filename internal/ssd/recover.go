@@ -11,24 +11,43 @@ import (
 
 // RecoveryReport summarizes a crash-recovery scan (§3.8, §5).
 type RecoveryReport struct {
-	// ScanTime is the simulated wall time of the OOB scan, bounded by
-	// the busiest channel (the paper scans channels in parallel).
+	// ScanTime is the simulated wall time of the recovery flash traffic
+	// (OOB scan plus translation-page reads), bounded by the busiest
+	// channel (the paper scans channels in parallel).
 	ScanTime time.Duration
 	// PagesScanned counts OOB reads performed.
 	PagesScanned uint64
 	// BlocksScanned counts allocated blocks visited.
 	BlocksScanned int
-	// MappingsRebuilt counts live LPA→PPA pairs re-learned.
+	// MappingsRebuilt counts live LPA→PPA pairs re-learned from the OOB
+	// scan (pairs in groups the GMD could not restore).
 	MappingsRebuilt int
+	// GroupsRestored counts segment groups restored directly from their
+	// flash translation-page images via the GMD, skipping re-learning.
+	GroupsRestored int
+	// MappingsRestored counts live LPAs covered by restored groups.
+	MappingsRestored int
+	// TransPagesRestored counts the flash translation pages the restored
+	// GMD references. They are not read during recovery — restored
+	// groups demand-load on first access, where the reads are charged as
+	// MetaReads — so restart is O(directory), not O(mapping).
+	TransPagesRestored int
 }
 
 // Recover simulates a power failure without battery-backed DRAM (§3.8):
 // the write buffer, data cache and all DRAM mapping state are lost, and
-// the mapping is rebuilt by scanning every allocated block's OOB at
-// channel parallelism. Each page's OOB carries its reverse LPA and a
-// write sequence number, so the newest copy of every LPA wins regardless
-// of which block GC packed it into. The rebuilt mappings are committed
-// to the given fresh scheme, which replaces the device's scheme.
+// the mapping is rebuilt into the given fresh scheme, which replaces the
+// device's scheme.
+//
+// When both schemes page groups through a Global Mapping Directory
+// (ftl.GroupPaged), recovery first restores the GMD: every group whose
+// translation-page image was current at the crash (clean — evictions and
+// periodic persistence write back before dropping DRAM state) is revived
+// verbatim from flash, bit-identical to its pre-crash state. Only groups
+// whose latest state existed solely in DRAM (dirty at the crash, or
+// never persisted) are re-learned from the OOB scan. Each page's OOB
+// carries its reverse LPA and a write sequence number, so the newest
+// copy of every LPA wins regardless of which block GC packed it into.
 //
 // Buffered-but-unflushed writes are lost, exactly as on a real drive
 // without power-loss protection; the device's ground truth rolls back so
@@ -48,7 +67,26 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 	}
 	d.cache.Resize(0)
 
-	// Channel-parallel OOB scan of all allocated blocks.
+	// GMD restore: surviving translation-page images short-circuit the
+	// rebuild for their groups.
+	var restored map[addr.GroupID][]byte
+	if oldGP, ok := d.scheme.(ftl.GroupPaged); ok {
+		if freshGP, ok := fresh.(ftl.GroupPaged); ok {
+			images := oldGP.PersistedGroups()
+			if len(images) > 0 {
+				if err := freshGP.RestoreGroups(images); err != nil {
+					return rep, err
+				}
+				restored = images
+				rep.GroupsRestored = len(images)
+				rep.TransPagesRestored = freshGP.TranslationPages()
+			}
+		}
+	}
+
+	// Channel-parallel OOB scan of all allocated blocks. Pages belonging
+	// to restored groups still cost their OOB read (the scan cannot know
+	// an LPA before reading it) but skip the re-learn bookkeeping.
 	chanBusy := make([]time.Duration, d.cfg.Flash.Channels)
 	type copyRef struct {
 		ppa addr.PPA
@@ -72,6 +110,9 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 			lpa := d.arr.Reverse(ppa)
 			if lpa == addr.InvalidLPA {
 				continue
+			}
+			if _, ok := restored[addr.Group(lpa)]; ok {
+				continue // the GMD already covers this group exactly
 			}
 			seq := d.arr.WriteSeq(ppa)
 			if cur, ok := newest[lpa]; !ok || seq > cur.seq {
@@ -100,6 +141,16 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 		}
 	}
 	rep.MappingsRebuilt = len(pairs)
+	if len(restored) > 0 {
+		for lpa, ppa := range d.truth {
+			if ppa == addr.InvalidPPA {
+				continue
+			}
+			if _, ok := restored[addr.Group(addr.LPA(lpa))]; ok {
+				rep.MappingsRestored++
+			}
+		}
+	}
 
 	fresh.SetBudget(d.mapBudget)
 	d.scheme = fresh

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# memsweep.sh — cap every translation scheme's mapping DRAM at a sweep of
+# budgets and record throughput / tail latency / mapping-miss ratio /
+# meta-WAF per cell. LeaFTL demand-pages its learned segment groups under
+# the cap exactly like DFTL pages its CMT, so the comparison is honest.
+#
+# Usage: scripts/memsweep.sh [PR-number] [qd] [speedup]
+#   scripts/memsweep.sh 4        → writes BENCH_PR4.json (and prints the table)
+#   scripts/memsweep.sh 4 8 2    → 8 host queues, 2x replay speed
+#
+# Env knobs:
+#   GAMMA      LeaFTL error bound                  (default 4)
+#   BUDGETS    comma list; ≤ 8 = fraction of each scheme's full mapping
+#              size, larger = absolute bytes       (default 0.125,0.25,0.5,1)
+#   SCHEMES    comma list of schemes               (default LeaFTL,DFTL,SFTL)
+#   WORKLOADS  comma list of timed workloads       (default zipf-hot,mixed-rw)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${1:-4}"
+QD="${2:-4}"
+SPEEDUP="${3:-1}"
+GAMMA="${GAMMA:-4}"
+BUDGETS="${BUDGETS:-0.125,0.25,0.5,1}"
+SCHEMES="${SCHEMES:-LeaFTL,DFTL,SFTL}"
+WORKLOADS="${WORKLOADS:-zipf-hot,mixed-rw}"
+
+echo "building..." >&2
+go build ./cmd/leaftl-bench
+
+out="BENCH_PR${PR}.json"
+echo "== memory sweep (budgets=$BUDGETS schemes=$SCHEMES workloads=$WORKLOADS qd=$QD speedup=$SPEEDUP gamma=$GAMMA) ==" >&2
+./leaftl-bench -memsweep \
+  -mapping-budget "$BUDGETS" -mem-schemes "$SCHEMES" -mem-workloads "$WORKLOADS" \
+  -qd "$QD" -speedup "$SPEEDUP" -gamma "$GAMMA" \
+  -json "$out"
+rm -f leaftl-bench
+
+echo "wrote $out" >&2
