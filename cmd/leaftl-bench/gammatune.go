@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"leaftl/internal/core"
+	"leaftl/internal/experiments"
+	"leaftl/internal/trace"
+)
+
+// gammaTuneJSON is the machine-readable form of one adaptive-γ sweep
+// (scripts/gammatune.sh stitches it into BENCH_PR<N>.json).
+type gammaTuneJSON struct {
+	Mode      string          `json:"mode"`
+	Scale     string          `json:"scale"`
+	Queues    int             `json:"queues"`
+	Speedup   float64         `json:"speedup"`
+	Target    float64         `json:"gamma_target"`
+	AutoGamma int             `json:"auto_gamma"`
+	Runs      []gammaRunJSON  `json:"runs"`
+	Dominance []dominanceJSON `json:"dominance"`
+}
+
+// gammaRunJSON is one workload × γ-policy cell.
+type gammaRunJSON struct {
+	Workload      string      `json:"workload"`
+	Policy        string      `json:"policy"`
+	Gamma         int         `json:"gamma"`
+	AutoTune      bool        `json:"autotune"`
+	TableBytes    int         `json:"table_bytes"`
+	ResidentBytes int         `json:"resident_bytes"`
+	MissPerOp     float64     `json:"miss_per_op"`
+	DoubleReadOp  float64     `json:"double_read_per_op"`
+	Mispredicts   uint64      `json:"mispredictions"`
+	HintResolved  uint64      `json:"miss_hint_resolved"`
+	Fallbacks     uint64      `json:"miss_fallbacks"`
+	ApproxReads   uint64      `json:"approx_reads"`
+	MetaReads     uint64      `json:"meta_reads"`
+	MetaWrites    uint64      `json:"meta_writes"`
+	GammaHist     map[int]int `json:"gamma_hist"`
+	P50us         float64     `json:"p50_us"`
+	P99us         float64     `json:"p99_us"`
+	P999us        float64     `json:"p999_us"`
+	MeanUs        float64     `json:"mean_us"`
+	IOPS          float64     `json:"iops"`
+	WAF           float64     `json:"waf"`
+}
+
+// dominanceJSON records, per workload, which static-γ points the
+// autotuned run dominates (lower double-read-per-op at equal-or-smaller
+// table bytes) — the sweep's acceptance check, made machine-checkable.
+type dominanceJSON struct {
+	Workload  string `json:"workload"`
+	Dominated []int  `json:"dominated_static_gammas"`
+}
+
+// runGammaTune is the leaftl-bench adaptive-γ sweep mode: a static-γ
+// grid against the per-group autotune controller, per workload.
+func runGammaTune(scale experiments.Scale, gammas string, autoGamma int, target float64,
+	workloads, tracePath string, qd int, speedup float64, seed int64, markdown bool, jsonPath string) error {
+	grid, err := parseIntList(gammas)
+	if err != nil {
+		return err
+	}
+	spec := experiments.GammaTuneSpec{
+		Gammas:    grid,
+		AutoGamma: autoGamma,
+		Target:    target,
+		Workloads: parseList(workloads),
+		Queues:    qd,
+		Speedup:   speedup,
+	}
+	for _, wl := range spec.Workloads {
+		if wl == "msr-replay" {
+			reqs, format, err := trace.Open(tracePath, trace.Options{})
+			if err != nil {
+				return fmt.Errorf("msr-replay trace %s: %w", tracePath, err)
+			}
+			fmt.Fprintf(os.Stderr, "leaftl-bench: %s: %d requests (%s format)\n", tracePath, len(reqs), format)
+			spec.Trace = reqs
+		}
+	}
+	spec = spec.WithDefaults()
+	s := experiments.NewSuite(scale, seed)
+	runs, table, err := s.GammaTuneSweep(spec)
+	if err != nil {
+		return err
+	}
+	if markdown {
+		fmt.Println(table.Markdown())
+	} else {
+		fmt.Println(table.String())
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	resolvedTarget := core.TuneConfig{TargetMissRatio: spec.Target}.WithDefaults().TargetMissRatio
+	out := gammaTuneJSON{
+		Mode: "gammatune", Scale: scale.Name,
+		Queues: spec.Queues, Speedup: spec.Speedup,
+		Target: resolvedTarget, AutoGamma: spec.AutoGamma,
+	}
+	byWorkload := map[string]*experiments.GammaTuneRun{}
+	var wlOrder []string
+	for i := range runs {
+		r := &runs[i]
+		if len(wlOrder) == 0 || wlOrder[len(wlOrder)-1] != r.Workload {
+			wlOrder = append(wlOrder, r.Workload)
+		}
+		sum := r.Result.Latency.Summary()
+		out.Runs = append(out.Runs, gammaRunJSON{
+			Workload: r.Workload, Policy: r.Label, Gamma: r.Gamma, AutoTune: r.AutoTune,
+			TableBytes: r.TableBytes, ResidentBytes: r.ResidentBytes,
+			MissPerOp: r.MissPerOp, DoubleReadOp: r.DoubleReadPerOp,
+			Mispredicts:  r.Stats.Mispredictions,
+			HintResolved: r.Stats.MissHintResolved, Fallbacks: r.Stats.MissFallbacks,
+			ApproxReads: r.Stats.ApproxReads,
+			MetaReads:   r.Stats.MetaReads, MetaWrites: r.Stats.MetaWrites,
+			GammaHist: r.GammaHist,
+			P50us:     usF(sum.P50), P99us: usF(sum.P99), P999us: usF(sum.P999),
+			MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(), WAF: r.WAF,
+		})
+		if r.AutoTune {
+			byWorkload[r.Workload] = r
+		}
+	}
+	for _, wl := range wlOrder {
+		auto := byWorkload[wl]
+		if auto == nil {
+			continue
+		}
+		dom := dominanceJSON{Workload: wl, Dominated: []int{}}
+		for i := range runs {
+			r := &runs[i]
+			if r.Workload != wl || r.AutoTune {
+				continue
+			}
+			if auto.DoubleReadPerOp < r.DoubleReadPerOp && auto.TableBytes <= r.TableBytes {
+				dom.Dominated = append(dom.Dominated, r.Gamma)
+			}
+		}
+		out.Dominance = append(out.Dominance, dom)
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(jsonPath, enc, 0o644)
+}

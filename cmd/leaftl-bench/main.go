@@ -2,16 +2,19 @@
 // figures on the simulated SSD (deliverable d). By default it runs at
 // quick scale; -full uses the larger scaled device of DESIGN.md §5 and
 // -micro the fastest CI-smoke scale.
-// Four replay modes skip the figures: -parallel hammers the sharded
+// Five replay modes skip the figures: -parallel hammers the sharded
 // translation core with concurrent host streams, -openloop replays
 // a trace file (native, MSR CSV, or FIU format) at its recorded arrival
-// times against all three schemes, reporting p50/p95/p99/p999 latency,
+// times against all three schemes, reporting p50/p95/p99/p999 latency
+// (-autotune runs LeaFTL with the adaptive per-group γ controller),
 // -gccompare sweeps GC victim policies × hot/cold stream counts
 // over GC-heavy workloads (-gc-policy/-gc-streams also apply a single
-// policy/stream count to the open-loop mode), and -memsweep caps every
+// policy/stream count to the open-loop mode), -memsweep caps every
 // scheme's mapping DRAM at a sweep of budgets (-mapping-budget) so
 // LeaFTL's demand-paged learned table competes against DFTL/SFTL under
-// the same memory pressure.
+// the same memory pressure, and -gammatune sweeps a static error-bound
+// grid (-gammas) against the autotuned controller, recording which
+// static points the controller dominates.
 package main
 
 import (
@@ -43,6 +46,11 @@ func main() {
 	gcStreams := flag.String("gc-streams", "", "hot/cold GC destination stream count; comma-separated list in -gccompare mode (default: 1,4)")
 	gcWorkloads := flag.String("gc-workloads", "", "-gccompare mode: comma-separated timed workloads (default: zipf-hot,mixed-rw)")
 	micro := flag.Bool("micro", false, "run at micro (fastest, CI smoke) scale")
+	gammaTune := flag.Bool("gammatune", false, "adaptive-γ sweep mode: static γ grid (-gammas) vs the per-group autotune controller (skips figures)")
+	gammas := flag.String("gammas", "0,2,4,8,16", "-gammatune mode: comma-separated static γ grid")
+	autotune := flag.Bool("autotune", false, "open-loop replay mode: run LeaFTL with the adaptive per-group γ controller")
+	gammaTarget := flag.Float64("gamma-target", 0, "autotune controller's tolerated miss-per-read ratio (0 = default 0.02)")
+	tuneWorkloads := flag.String("tune-workloads", "", "-gammatune mode: comma-separated workloads (zipf-hot, strided, msr-replay; default: zipf-hot,strided)")
 	memSweep := flag.Bool("memsweep", false, "memory sweep mode: cap mapping DRAM at -mapping-budget and compare schemes under demand paging (skips figures)")
 	mappingBudget := flag.String("mapping-budget", "", "-memsweep mode: comma-separated budgets; values ≤ 8 are fractions of each scheme's full mapping size, larger values absolute bytes (default: 0.125,0.25,0.5,1)")
 	memSchemes := flag.String("mem-schemes", "", "-memsweep mode: comma-separated schemes (default: LeaFTL,DFTL,SFTL)")
@@ -60,6 +68,13 @@ func main() {
 		}
 	}
 
+	if *gammaTune {
+		if err := runGammaTune(scaleOf(), *gammas, *gamma, *gammaTarget, *tuneWorkloads, *tracePath, *qd, *speedup, *seed, *markdown, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: gammatune: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *memSweep {
 		if err := runMemSweep(scaleOf(), *mappingBudget, *memSchemes, *memWorkloads, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: memsweep: %v\n", err)
@@ -75,7 +90,7 @@ func main() {
 		return
 	}
 	if *openloop {
-		if err := runOpenLoop(*tracePath, *traceFormat, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut, *gcPolicy, *gcStreams); err != nil {
+		if err := runOpenLoop(*tracePath, *traceFormat, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut, *gcPolicy, *gcStreams, *autotune, *gammaTarget); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: openloop: %v\n", err)
 			os.Exit(1)
 		}

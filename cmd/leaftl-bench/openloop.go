@@ -46,7 +46,7 @@ type schemeJSON struct {
 // LeaFTL/DFTL/SFTL on identical devices, and report tail latency.
 // gcPolicy and gcStreams configure every device's garbage collector
 // (single values here; the -gccompare mode sweeps lists).
-func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath, gcPolicy, gcStreams string) error {
+func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath, gcPolicy, gcStreams string, autotune bool, gammaTarget float64) error {
 	streams := 0
 	if gcStreams != "" {
 		var err error
@@ -84,6 +84,7 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 	spec := experiments.OpenLoopSpec{
 		Queues: qd, Speedup: speedup, Gamma: gamma,
 		GCPolicy: gcPolicy, GCStreams: streams,
+		AutoTune: autotune, GammaTarget: gammaTarget,
 	}
 	if !trace.Timed(reqs) {
 		// Untimed traces replay at a uniform 50k IOPS arrival rate.
@@ -133,3 +134,13 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 
 // usF converts a duration to float microseconds for JSON.
 func usF(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// perOpNs divides a wall duration across n operations, reporting 0 for
+// an empty run — a NaN here would make encoding/json reject the whole
+// report.
+func perOpNs(d time.Duration, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(n)
+}

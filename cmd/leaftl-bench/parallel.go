@@ -186,10 +186,10 @@ func runParallel(streams, shards, gamma int, seed int64, jsonPath string) error 
 		AccurateSegs:     st.Accurate,
 		TableBytes:       sharded.SizeBytes(),
 		PageLevelBytes:   mappings * 8,
-		SerialLookupNs:   float64(serialLookup.Nanoseconds()) / float64(lookups),
-		ParallelLookupNs: float64(parallelLookup.Nanoseconds()) / float64(lookups),
-		SerialUpdateNs:   float64(serialUpdate.Nanoseconds()) / float64(mappings),
-		ParallelUpdateNs: float64(parallelUpdate.Nanoseconds()) / float64(mappings),
+		SerialLookupNs:   perOpNs(serialLookup, lookups),
+		ParallelLookupNs: perOpNs(parallelLookup, lookups),
+		SerialUpdateNs:   perOpNs(serialUpdate, mappings),
+		ParallelUpdateNs: perOpNs(parallelUpdate, mappings),
 	}
 	if res.TableBytes > 0 {
 		res.MemoryReduction = float64(res.PageLevelBytes) / float64(res.TableBytes)

@@ -54,7 +54,7 @@ func FuzzPersist(f *testing.F) {
 	for _, g := range groups {
 		f.Add(g)
 	}
-	f.Add([]byte("LFTL\x01\x04\x00\x00\x00\x00"))
+	f.Add([]byte("LFTL\x02\x04\x00\x00\x00\x00"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -83,14 +83,16 @@ func FuzzPersist(f *testing.F) {
 			}
 		}
 
-		// Per-group translation-page decoder.
-		gt := NewTable(0)
+		// Per-group translation-page decoder. The install target's γ is
+		// the record's upper bound for tuned group γs, so fuzz against the
+		// widest table.
+		gt := NewTable(255)
 		if gid, err := gt.InstallGroup(data); err == nil {
 			img, err := gt.MarshalGroup(gid)
 			if err != nil {
 				t.Fatalf("accepted group record does not re-marshal: %v", err)
 			}
-			gt2 := NewTable(0)
+			gt2 := NewTable(255)
 			gid2, err := gt2.InstallGroup(img)
 			if err != nil || gid2 != gid {
 				t.Fatalf("canonical group record rejected: %v (gid %d vs %d)", err, gid2, gid)

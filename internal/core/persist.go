@@ -16,13 +16,21 @@ import (
 //
 //	header:  magic "LFTL" | version u8 | gamma u8
 //	groups:  count u32, then per group (ascending group id):
-//	         gid u32 | levels u16
+//	         gid u32
+//	         tune: gamma u8 | hint i8 | streak u8 | reads u32 | misses u32 | costly u32
+//	         levels u16
 //	         per level: segments u16, then 8-byte encoded segments
 //	         crb entries u16, then per entry: len u8, offsets…
 //
 // All integers are little-endian. The encoding is exactly the DRAM
 // footprint the paper counts (8 bytes per segment plus CRB bytes) plus
-// small per-group headers.
+// small per-group headers. Version 2 added the 15-byte per-group tune
+// block (tune.go): the group's effective learning γ, its misprediction
+// direction hint/streak, and the controller's window counters, so paging
+// a group to flash and back — or restoring it from its translation-page
+// image during recovery — round-trips the adaptive-γ state exactly. A
+// group's tuned γ must not exceed the table's global bound; records that
+// claim otherwise are rejected.
 //
 // The per-group record (everything after the snapshot header and count)
 // is also the unit the demand-paging machinery moves to and from flash
@@ -32,13 +40,17 @@ import (
 
 const (
 	persistMagic   = "LFTL"
-	persistVersion = 1
+	persistVersion = 2
 )
 
 // appendGroupRecord serializes one group in the snapshot's per-group
 // record format.
 func appendGroupRecord(buf []byte, id addr.GroupID, g *group) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	buf = append(buf, g.tune.gamma, uint8(g.tune.hint), g.tune.streak)
+	buf = binary.LittleEndian.AppendUint32(buf, g.tune.reads)
+	buf = binary.LittleEndian.AppendUint32(buf, g.tune.misses)
+	buf = binary.LittleEndian.AppendUint32(buf, g.tune.costly)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.levels)))
 	for li := range g.levels {
 		segs := g.levels[li].segs
@@ -73,11 +85,25 @@ func readGroupRecord(r *reader) (addr.GroupID, *group, error) {
 	if gid >= 1<<24 {
 		return 0, nil, fmt.Errorf("core: group id %d implausible", gid)
 	}
+	tuneRaw, err := r.bytes(3)
+	if err != nil {
+		return 0, nil, err
+	}
+	tune := groupTune{gamma: tuneRaw[0], hint: int8(tuneRaw[1]), streak: tuneRaw[2]}
+	if tune.reads, err = r.u32(); err != nil {
+		return 0, nil, err
+	}
+	if tune.misses, err = r.u32(); err != nil {
+		return 0, nil, err
+	}
+	if tune.costly, err = r.u32(); err != nil {
+		return 0, nil, err
+	}
 	nLevels, err := r.u16()
 	if err != nil {
 		return 0, nil, err
 	}
-	g := &group{}
+	g := &group{tune: tune}
 	for l := uint16(0); l < nLevels; l++ {
 		nSegs, err := r.u16()
 		if err != nil {
@@ -201,6 +227,10 @@ func (t *Table) UnmarshalBinary(data []byte) error {
 		gid, g, err := readGroupRecord(&r)
 		if err != nil {
 			return err
+		}
+		if int(g.tune.gamma) > int(gamma) {
+			return fmt.Errorf("core: group %d tuned gamma %d exceeds the table bound %d",
+				gid, g.tune.gamma, gamma)
 		}
 		// Marshal writes groups in strictly ascending gid order; a corrupt
 		// snapshot must not repeat or reorder them.

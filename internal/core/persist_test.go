@@ -96,7 +96,8 @@ func TestMarshalSizeMatchesAccounting(t *testing.T) {
 	}
 	st := tb.Stats()
 	overhead := len(data) - footprint
-	maxOverhead := 16 + st.Groups*8 + st.TotalLevels*2 + st.Approximate*1
+	// Per group: 4B gid + 15B tune block + 2B level count + 2B CRB count.
+	maxOverhead := 16 + st.Groups*23 + st.TotalLevels*2 + st.Approximate*1
 	if overhead > maxOverhead {
 		t.Errorf("snapshot overhead %dB exceeds bound %dB", overhead, maxOverhead)
 	}

@@ -50,11 +50,13 @@ type Table struct {
 	learner learnBuf
 }
 
-// group is the per-256-LPA-group state: the level stack plus the group's
-// conflict-resolution buffer for approximate segments.
+// group is the per-256-LPA-group state: the level stack, the group's
+// conflict-resolution buffer for approximate segments, and its adaptive-γ
+// tune block (tune.go).
 type group struct {
 	levels []level
 	crb    crb
+	tune   groupTune
 }
 
 // level is one sorted, pairwise-disjoint run of segments. keys mirrors
@@ -152,6 +154,11 @@ type LookupResult struct {
 	// Redirected is true when the CRB redirected the lookup from the
 	// range-matching segment to the true owning segment (Figure 9).
 	Redirected bool
+	// Hint is the group's armed misprediction-direction hint (true PPA −
+	// predicted PPA of its recent miss streak), or 0 when unarmed. Only
+	// approximate answers carry one; the device aims its first flash read
+	// at PPA+Hint so a repeating miss resolves in a single read.
+	Hint int
 }
 
 // NewTable returns an empty mapping table with the given error bound
@@ -173,12 +180,28 @@ func (t *Table) Gamma() int { return t.gamma }
 // them at the top level (paper §3.7 "Creation" + "Insert/Update"). pairs
 // must be sorted by LPA with unique LPAs; the device's data buffer
 // guarantees this (§3.3). It returns the number of segments created.
+//
+// Each group's run of the batch is fitted at that group's effective γ
+// (GroupGamma) — the global bound unless the adaptive-γ controller has
+// retuned the group. Learning already splits per group internally, so
+// with every group at the global γ this is identical to a whole-batch
+// learn.
 func (t *Table) Update(pairs []addr.Mapping) int {
-	learned := t.learner.learn(pairs, t.gamma)
-	for i := range learned {
-		t.insertLearned(learned[i])
+	n := 0
+	for i := 0; i < len(pairs); {
+		gid := addr.Group(pairs[i].LPA)
+		j := i + 1
+		for j < len(pairs) && addr.Group(pairs[j].LPA) == gid {
+			j++
+		}
+		learned := t.learner.learn(pairs[i:j], t.GroupGamma(gid))
+		for k := range learned {
+			t.insertLearned(learned[k])
+		}
+		n += len(learned)
+		i = j
 	}
-	return len(learned)
+	return n
 }
 
 // Insert places one learned segment at the top level of its group,
@@ -212,7 +235,7 @@ func (t *Table) group(id addr.GroupID) *group {
 	}
 	g := t.groups[id]
 	if g == nil {
-		g = &group{}
+		g = &group{tune: groupTune{gamma: clampGamma(t.gamma)}}
 		t.groups[id] = g
 		t.nGroups++
 		t.levelFreq[0]++
@@ -563,6 +586,7 @@ func (t *Table) Lookup(lpa addr.LPA) (addr.PPA, LookupResult, bool) {
 			continue
 		}
 		res.Approx = true
+		res.Hint = g.tune.armedHint()
 		return seg.predictApprox(off), res, true
 	}
 	return addr.InvalidPPA, res, false

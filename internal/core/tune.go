@@ -1,0 +1,254 @@
+package core
+
+import (
+	"leaftl/internal/addr"
+)
+
+// Adaptive per-group γ control. The paper fixes one global error bound at
+// construction time (§3.5, §4.4): every group learns at the same γ, so the
+// table-size-versus-double-read trade-off is decided once, blind to the
+// workload. LearnedFTL (arXiv:2303.13226) shows the double read is the
+// dominant tax on learned page-level FTLs and that per-region prediction
+// metadata can remove most of it. This file gives every 256-LPA segment
+// group its own live error bound plus the misprediction telemetry a
+// feedback controller needs:
+//
+//   - groupTune.gamma is the group's *effective learning bound*: batches
+//     committed into the group are fitted at this γ instead of the global
+//     one. It never exceeds the table's global γ, so the device's OOB
+//     window (sized by the global bound) always covers any approximate
+//     segment's error, whatever the controller does.
+//   - reads/misses are a decision window: scheme-translated flash reads
+//     and observed mispredictions since the last RetuneGamma round.
+//   - hint/streak implement the misprediction-direction hint: the last
+//     observed miss delta (true PPA − predicted PPA) and how many
+//     consecutive misses repeated it. Once the streak reaches
+//     hintArmStreak the hint is armed and returned from Lookup, letting
+//     the device aim its first flash read at the likelier neighbor.
+//
+// The tune block is controller working state, not part of the paper's
+// mapping-table footprint: like the CRB owner index it is excluded from
+// SizeBytes. It is, however, part of the group's wire record (persist.go)
+// so paging a group out and back — or recovering it from its flash
+// translation-page image — round-trips γ and the hint exactly.
+
+// hintArmStreak is how many consecutive mispredictions must repeat the
+// same delta before the hint is armed. Below it, speculative first reads
+// would lose more on correct predictions than they save on misses.
+const hintArmStreak = 2
+
+// groupTune is one group's adaptive-γ state. See the package comment
+// above for field semantics.
+type groupTune struct {
+	gamma  uint8  // effective learning bound for this group (≤ table γ)
+	hint   int8   // last observed miss delta (true − predicted), clamped
+	streak uint8  // consecutive misses repeating hint (saturating)
+	reads  uint32 // scheme-translated flash reads this decision window
+	misses uint32 // mispredicted approximate reads this decision window
+	costly uint32 // misses that paid the double read (hint did not resolve)
+}
+
+// armedHint returns the hint when the miss streak has armed it, else 0.
+func (tu *groupTune) armedHint() int {
+	if tu.streak >= hintArmStreak {
+		return int(tu.hint)
+	}
+	return 0
+}
+
+// clampGamma narrows a table-level γ into the tune block's byte.
+func clampGamma(g int) uint8 {
+	if g < 0 {
+		return 0
+	}
+	if g > 255 {
+		return 255
+	}
+	return uint8(g)
+}
+
+// GroupGamma returns the effective learning bound for group id: the
+// group's tuned γ when it is resident, the table's global γ otherwise
+// (new groups inherit the global bound at creation).
+func (t *Table) GroupGamma(id addr.GroupID) int {
+	if g := t.lookupGroup(id); g != nil {
+		return int(g.tune.gamma)
+	}
+	return t.gamma
+}
+
+// SetGroupGamma pins group id's effective learning bound, clamped to
+// [0, Gamma()]. It reports false when the group is not resident (the
+// controller only steers groups it can observe).
+func (t *Table) SetGroupGamma(id addr.GroupID, gamma int) bool {
+	g := t.lookupGroup(id)
+	if g == nil {
+		return false
+	}
+	if gamma > t.gamma {
+		gamma = t.gamma
+	}
+	g.tune.gamma = clampGamma(gamma)
+	return true
+}
+
+// MaxGroupGamma returns the largest effective γ across resident groups
+// (0 for an empty table). Paged-out groups were clamped when tuned and
+// re-validated on install, so the resident maximum is the table maximum.
+func (t *Table) MaxGroupGamma() int {
+	max := 0
+	t.eachGroup(func(_ addr.GroupID, g *group) {
+		if int(g.tune.gamma) > max {
+			max = int(g.tune.gamma)
+		}
+	})
+	return max
+}
+
+// NoteRead records translation feedback for lpa's group: the scheme
+// predicted `predicted`, the flash's OOB reverse mapping proved the true
+// page to be `actual`, approx says whether the answering segment was
+// approximate, and hintResolved whether the device's speculative
+// hint-aimed read absorbed the miss in a single flash read. Exact
+// translations only advance the read window; approx hits disarm the hint
+// streak; misses advance the miss counters (splitting free from costly)
+// and the direction hint. A no-op for non-resident groups.
+func (t *Table) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintResolved bool) {
+	g := t.lookupGroup(addr.Group(lpa))
+	if g == nil {
+		return
+	}
+	tu := &g.tune
+	if tu.reads < ^uint32(0) {
+		tu.reads++
+	}
+	if !approx {
+		return
+	}
+	if actual == predicted {
+		tu.streak = 0
+		return
+	}
+	if tu.misses < ^uint32(0) {
+		tu.misses++
+	}
+	if !hintResolved && tu.costly < ^uint32(0) {
+		tu.costly++
+	}
+	delta := int64(actual) - int64(predicted)
+	if delta > 127 {
+		delta = 127
+	}
+	if delta < -127 {
+		delta = -127
+	}
+	if int8(delta) == tu.hint {
+		if tu.streak < 255 {
+			tu.streak++
+		}
+	} else {
+		tu.hint = int8(delta)
+		tu.streak = 1
+	}
+}
+
+// TuneConfig parameterizes the per-group γ feedback controller.
+type TuneConfig struct {
+	// TargetMissRatio is the tolerated *costly* mispredictions-per-read
+	// of a group — misses the direction hint did not absorb, each costing
+	// an extra flash read; groups observed above it are demoted (γ
+	// halved, toward exact). Hint-resolved misses are free and do not
+	// count against a group. Default 0.02.
+	TargetMissRatio float64
+	// MinReads is the observation floor: groups with fewer reads in the
+	// window keep accumulating instead of being judged on noise.
+	// Default 64.
+	MinReads uint32
+}
+
+// WithDefaults fills zero fields with the controller defaults.
+func (c TuneConfig) WithDefaults() TuneConfig {
+	if c.TargetMissRatio <= 0 {
+		c.TargetMissRatio = 0.02
+	}
+	if c.MinReads == 0 {
+		c.MinReads = 64
+	}
+	return c
+}
+
+// RetuneGamma runs one feedback round over the resident groups: a group
+// whose observed *costly* misprediction ratio exceeds the target is
+// demoted (γ ← γ/2, reaching exact at 0), and a group that went a full
+// window without a single miss is promoted back toward the global bound
+// (γ ← max(1, 2γ), capped at Gamma()) so cold accurate regions reclaim
+// DRAM on their next relearn. A group whose misses the hint absorbs is
+// left alone — its compact encoding costs nothing. Each judged group's
+// window counters reset. It returns the IDs of groups whose γ changed,
+// in ascending order — under demand paging their flash images went
+// stale and must be marked dirty so the tuned γ survives eviction and
+// recovery.
+func (t *Table) RetuneGamma(cfg TuneConfig) []addr.GroupID {
+	cfg = cfg.WithDefaults()
+	var changed []addr.GroupID
+	t.eachGroup(func(id addr.GroupID, g *group) {
+		tu := &g.tune
+		if tu.reads < cfg.MinReads {
+			return
+		}
+		old := tu.gamma
+		ratio := float64(tu.costly) / float64(tu.reads)
+		switch {
+		case ratio > 2*cfg.TargetMissRatio:
+			// Hopeless group: a window spent at twice the target is pure
+			// double-read tax; skip the halving ladder and go exact.
+			tu.gamma = 0
+		case ratio > cfg.TargetMissRatio:
+			tu.gamma /= 2
+		case tu.misses == 0 && int(tu.gamma) < t.gamma:
+			next := int(tu.gamma) * 2
+			if next == 0 {
+				next = 1
+			}
+			if next > t.gamma {
+				next = t.gamma
+			}
+			tu.gamma = clampGamma(next)
+		}
+		tu.reads, tu.misses, tu.costly = 0, 0, 0
+		if tu.gamma != old {
+			changed = append(changed, id)
+		}
+	})
+	return changed
+}
+
+// GroupTune is the externally visible adaptive-γ state of one group.
+type GroupTune struct {
+	Group  addr.GroupID
+	Gamma  int
+	Hint   int
+	Streak int
+	Reads  uint32
+	Misses uint32
+	Costly uint32
+}
+
+// GroupTunes returns every resident group's adaptive-γ state in
+// ascending group order (tests pin the page-out/recover round trip with
+// it; GammaTuneSweep summarizes it into a γ histogram).
+func (t *Table) GroupTunes() []GroupTune {
+	out := make([]GroupTune, 0, t.nGroups)
+	t.eachGroup(func(id addr.GroupID, g *group) {
+		out = append(out, GroupTune{
+			Group:  id,
+			Gamma:  int(g.tune.gamma),
+			Hint:   int(g.tune.hint),
+			Streak: int(g.tune.streak),
+			Reads:  g.tune.reads,
+			Misses: g.tune.misses,
+			Costly: g.tune.costly,
+		})
+	})
+	return out
+}

@@ -222,7 +222,7 @@ func (s *Suite) simConfig(name string) ssd.Config {
 	return cfg
 }
 
-func (s *Suite) newScheme(name string, gamma int, cfg ssd.Config) ftl.Scheme {
+func (s *Suite) newScheme(name string, gamma int, cfg ssd.Config, opts ...leaftl.Option) ftl.Scheme {
 	// Compaction every ~64 flushed blocks at quick scale keeps the
 	// paper's "periodic" behaviour observable on short traces.
 	compactEvery := uint64(s.Scale.Requests / 8)
@@ -231,10 +231,11 @@ func (s *Suite) newScheme(name string, gamma int, cfg ssd.Config) ftl.Scheme {
 	}
 	switch name {
 	case "LeaFTL", "LeaFTL-nosort":
+		all := append([]leaftl.Option{leaftl.WithCompactEvery(compactEvery)}, opts...)
 		if cfg.Shards > 1 {
-			return leaftl.NewSharded(gamma, cfg.Flash.PageSize, cfg.Shards, leaftl.WithCompactEvery(compactEvery))
+			return leaftl.NewSharded(gamma, cfg.Flash.PageSize, cfg.Shards, all...)
 		}
-		return leaftl.New(gamma, cfg.Flash.PageSize, leaftl.WithCompactEvery(compactEvery))
+		return leaftl.New(gamma, cfg.Flash.PageSize, all...)
 	case "DFTL":
 		return dftl.New(cfg.Flash.PageSize, 0) // budget set by the device
 	case "SFTL":

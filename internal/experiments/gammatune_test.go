@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGammaTuneSweepMicro(t *testing.T) {
+	s := NewSuite(MicroScale(), 1)
+	spec := GammaTuneSpec{
+		Gammas:    []int{0, 8},
+		Workloads: []string{"zipf-hot"},
+		Queues:    2,
+	}
+	runs, table, err := s.GammaTuneSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two static cells plus the autotuned one.
+	if len(runs) != 3 {
+		t.Fatalf("got %d runs, want 3", len(runs))
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("table has %d rows, want 3", len(table.Rows))
+	}
+	var auto *GammaTuneRun
+	for i := range runs {
+		r := &runs[i]
+		if r.TableBytes <= 0 {
+			t.Errorf("%s/%s: empty table", r.Workload, r.Label)
+		}
+		if r.Result == nil || r.Result.Requests == 0 {
+			t.Errorf("%s/%s: no replayed requests", r.Workload, r.Label)
+		}
+		if r.Stats.MissHintResolved+r.Stats.MissFallbacks != r.Stats.Mispredictions {
+			t.Errorf("%s/%s: resolution split %d+%d != %d", r.Workload, r.Label,
+				r.Stats.MissHintResolved, r.Stats.MissFallbacks, r.Stats.Mispredictions)
+		}
+		if r.AutoTune {
+			auto = r
+		}
+		if !r.AutoTune && len(r.GammaHist) > 1 {
+			t.Errorf("static run %s has a spread γ histogram: %v", r.Label, r.GammaHist)
+		}
+	}
+	if auto == nil {
+		t.Fatal("no autotuned run")
+	}
+	if auto.Gamma != 8 {
+		t.Errorf("autotune ceiling %d, want the grid max 8", auto.Gamma)
+	}
+	for g := range auto.GammaHist {
+		if g > 8 {
+			t.Errorf("autotuned group at γ=%d beyond the ceiling", g)
+		}
+	}
+	if !strings.Contains(auto.Label, "autotune") {
+		t.Errorf("autotune label %q", auto.Label)
+	}
+}
+
+func TestGammaTuneSweepUnknownWorkload(t *testing.T) {
+	s := NewSuite(MicroScale(), 1)
+	if _, _, err := s.GammaTuneSweep(GammaTuneSpec{Workloads: []string{"nope"}}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if _, _, err := s.GammaTuneSweep(GammaTuneSpec{Workloads: []string{"msr-replay"}}); err == nil {
+		t.Fatal("msr-replay without a trace accepted")
+	}
+}

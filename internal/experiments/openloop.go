@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"leaftl/internal/addr"
+	"leaftl/internal/leaftl"
 	"leaftl/internal/metrics"
 	"leaftl/internal/ssd"
 	"leaftl/internal/trace"
@@ -27,6 +28,11 @@ type OpenLoopSpec struct {
 	// the greedy single-stream default.
 	GCPolicy  string
 	GCStreams int
+	// AutoTune runs the LeaFTL device with the adaptive per-group γ
+	// controller (leaftl.WithAutoTune); GammaTarget is its tolerated
+	// miss-per-read ratio (≤ 0 selects the default).
+	AutoTune    bool
+	GammaTarget float64
 }
 
 // OpenLoopRun is one scheme's open-loop replay outcome.
@@ -81,7 +87,11 @@ func (s *Suite) OpenLoopCompare(reqs []trace.Request, spec OpenLoopSpec) ([]Open
 		if scheme != "LeaFTL" {
 			cfg.Shards = 0 // the baselines have no sharded core
 		}
-		sch := s.newScheme(scheme, spec.Gamma, cfg)
+		var opts []leaftl.Option
+		if scheme == "LeaFTL" && spec.AutoTune {
+			opts = append(opts, leaftl.WithAutoTune(spec.GammaTarget))
+		}
+		sch := s.newScheme(scheme, spec.Gamma, cfg, opts...)
 		dev, err := ssd.New(cfg, sch)
 		if err != nil {
 			return nil, Table{}, fmt.Errorf("openloop %s: %w", scheme, err)

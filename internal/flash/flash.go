@@ -138,7 +138,13 @@ type Array struct {
 	nextPg  []int           // next programmable page index per block
 	erases  []uint32        // per-block erase count (wear leveling)
 	busy    []time.Duration // per-channel: time the channel frees up
-	stats   Stats
+	// tailErase records whether the operation at the tail of each
+	// channel's backlog is a block erase. Program suspension lets a read
+	// preempt a queued *program* burst, but an in-flight erase cannot be
+	// suspended in this model — a read arriving behind one must wait for
+	// the channel to drain (serveRead).
+	tailErase []bool
+	stats     Stats
 }
 
 // NewArray allocates a fully-erased flash array.
@@ -148,14 +154,15 @@ func NewArray(cfg Config) (*Array, error) {
 	}
 	n := cfg.TotalPages()
 	return &Array{
-		cfg:     cfg,
-		token:   make([]uint64, n),
-		reverse: make([]addr.LPA, n),
-		seq:     make([]uint64, n),
-		written: make([]bool, n),
-		nextPg:  make([]int, cfg.Blocks()),
-		erases:  make([]uint32, cfg.Blocks()),
-		busy:    make([]time.Duration, cfg.Channels),
+		cfg:       cfg,
+		token:     make([]uint64, n),
+		reverse:   make([]addr.LPA, n),
+		seq:       make([]uint64, n),
+		written:   make([]bool, n),
+		nextPg:    make([]int, cfg.Blocks()),
+		erases:    make([]uint32, cfg.Blocks()),
+		busy:      make([]time.Duration, cfg.Channels),
+		tailErase: make([]bool, cfg.Channels),
 	}, nil
 }
 
@@ -169,14 +176,17 @@ func (a *Array) Stats() Stats { return a.stats }
 func (a *Array) EraseCount(b BlockID) uint32 { return a.erases[b] }
 
 // serve charges one operation of the given latency on ppa's channel
-// starting no earlier than now, returning the completion time.
-func (a *Array) serve(ch int, now, latency time.Duration) time.Duration {
+// starting no earlier than now, returning the completion time. erase
+// records what kind of operation now sits at the tail of the backlog
+// (see tailErase).
+func (a *Array) serve(ch int, now, latency time.Duration, erase bool) time.Duration {
 	start := now
 	if a.busy[ch] > start {
 		start = a.busy[ch]
 	}
 	done := start + latency
 	a.busy[ch] = done
+	a.tailErase[ch] = erase
 	return done
 }
 
@@ -184,10 +194,18 @@ func (a *Array) serve(ch int, now, latency time.Duration) time.Duration {
 // read preempt a queued program burst, so a read waits for at most one
 // in-flight program operation rather than the channel's whole write
 // backlog. The read still occupies the channel for its own latency.
+//
+// The suspension shortcut applies only to program bursts. When the tail
+// of the channel's backlog is a block *erase*, the read waits for the
+// channel to drain: erases are not suspendable here, and letting reads
+// start mid-erase understated GC-induced read tails. (The backlog is a
+// scalar horizon, so only its tail operation is known; a read behind an
+// erase that is itself followed by programs still sees the capped wait —
+// the tail is a program.)
 func (a *Array) serveRead(ch int, now time.Duration) time.Duration {
 	start := now
 	if wait := a.busy[ch] - now; wait > 0 {
-		if wait > a.cfg.WriteLatency {
+		if wait > a.cfg.WriteLatency && !a.tailErase[ch] {
 			wait = a.cfg.WriteLatency
 		}
 		start = now + wait
@@ -198,6 +216,7 @@ func (a *Array) serveRead(ch int, now time.Duration) time.Duration {
 		a.busy[ch] += a.cfg.ReadLatency
 	} else {
 		a.busy[ch] = done
+		a.tailErase[ch] = false
 	}
 	return done
 }
@@ -237,7 +256,7 @@ func (a *Array) Write(ppa addr.PPA, lpa addr.LPA, token uint64, now time.Duratio
 	a.seqGen++
 	a.seq[ppa] = a.seqGen
 	a.stats.PageWrites++
-	return a.serve(a.cfg.ChannelOf(ppa), now, a.cfg.WriteLatency)
+	return a.serve(a.cfg.ChannelOf(ppa), now, a.cfg.WriteLatency, false)
 }
 
 // Erase wipes block b, making its pages programmable again.
@@ -253,7 +272,7 @@ func (a *Array) Erase(b BlockID, now time.Duration) time.Duration {
 	a.nextPg[b] = 0
 	a.erases[b]++
 	a.stats.BlockErases++
-	return a.serve(int(uint32(b)%uint32(a.cfg.Channels)), now, a.cfg.EraseLatency)
+	return a.serve(int(uint32(b)%uint32(a.cfg.Channels)), now, a.cfg.EraseLatency, true)
 }
 
 // Written reports whether ppa currently holds programmed data.
@@ -301,7 +320,7 @@ func (a *Array) MetaRead(now time.Duration) time.Duration {
 // MetaWrite charges one translation-page write on a rotating channel.
 func (a *Array) MetaWrite(now time.Duration) time.Duration {
 	a.stats.PageWrites++
-	return a.serve(a.metaChannel(), now, a.cfg.WriteLatency)
+	return a.serve(a.metaChannel(), now, a.cfg.WriteLatency, false)
 }
 
 // metaChannel rotates metadata traffic across channels.

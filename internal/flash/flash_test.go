@@ -166,3 +166,56 @@ func TestBusyUntil(t *testing.T) {
 		t.Errorf("BusyUntil = %v", a.BusyUntil(0))
 	}
 }
+
+// TestReadSuspensionPrograms pins the program-suspension shortcut: a
+// read arriving behind a multi-program backlog waits at most one
+// program's worth before starting.
+func TestReadSuspensionPrograms(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	cfg := a.Config()
+	// Three programs queued back to back on channel 0 (block 0).
+	for i := 0; i < 3; i++ {
+		a.Write(addr.PPA(i), addr.LPA(i), 0, 0)
+	}
+	_, _, done := a.Read(0, 0)
+	want := cfg.WriteLatency + cfg.ReadLatency // one program, not three
+	if done != want {
+		t.Errorf("read behind program burst done at %v, want %v", done, want)
+	}
+}
+
+// TestReadWaitsForErase is the regression for the suspension bug: the
+// shortcut used to cap a read's wait at one WriteLatency even when the
+// channel was busy with an erase, letting reads start mid-erase. A read
+// behind an erase must wait for the erase to finish.
+func TestReadWaitsForErase(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	cfg := a.Config()
+	a.Write(0, 0, 0, 0)
+	a.Erase(0, cfg.WriteLatency) // queued right after the program
+	busy := a.BusyUntil(0)
+	if busy != cfg.WriteLatency+cfg.EraseLatency {
+		t.Fatalf("BusyUntil = %v", busy)
+	}
+	// Block 2 shares channel 0; its page 16 is unwritten but readable
+	// (reads of erased pages still occupy the channel).
+	_, _, done := a.Read(16, 0)
+	if want := busy + cfg.ReadLatency; done != want {
+		t.Errorf("read behind erase done at %v, want %v (no mid-erase start)", done, want)
+	}
+}
+
+// TestReadBehindEraseThenProgram documents the tail-only semantics: an
+// erase followed by a queued program leaves a program at the tail, so
+// the suspension shortcut applies again.
+func TestReadBehindEraseThenProgram(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	cfg := a.Config()
+	a.Write(0, 0, 0, 0)
+	a.Erase(0, cfg.WriteLatency)
+	a.Write(0, 9, 9, 0) // re-program after the erase; tail is a program
+	_, _, done := a.Read(16, 0)
+	if want := cfg.WriteLatency + cfg.ReadLatency; done != want {
+		t.Errorf("read behind erase+program done at %v, want capped %v", done, want)
+	}
+}

@@ -37,6 +37,12 @@ type Translation struct {
 	// Approx marks a prediction that may be off by up to ±gamma and must
 	// be verified against the OOB reverse mapping (LeaFTL only).
 	Approx bool
+	// Hint is the group's armed misprediction-direction hint: when
+	// non-zero, the translating group's recent approximate lookups have
+	// been missing by exactly this delta, and the device should aim its
+	// first flash read at PPA+Hint — resolving a repeating miss in one
+	// read instead of two (adaptive-γ LeaFTL only; always 0 otherwise).
+	Hint int
 }
 
 // Scheme is an address-translation scheme under test.
@@ -105,6 +111,34 @@ type GroupPaged interface {
 	// returns the first inconsistency (the mapping-side leg of the
 	// device's CheckInvariants).
 	CheckMapping() error
+}
+
+// MissReporter is implemented by schemes that want translation feedback
+// from the device's OOB-verified read path. After every scheme-translated
+// flash read the device reports what the scheme predicted and what the
+// flash's reverse mapping proved true; an adaptive scheme uses the stream
+// to steer per-group error bounds and misprediction hints, and may spend
+// translation-metadata flash operations reacting (e.g. pinning the
+// corrected mapping), returned as the Cost. The device serializes calls.
+type MissReporter interface {
+	// NoteRead reports one verified read: the scheme translated lpa to
+	// predicted, the true page was actual (== predicted on a correct
+	// prediction), approx says whether the translation was approximate,
+	// and hintResolved whether a misprediction was absorbed by the
+	// hint-aimed first read (costing no extra flash traffic).
+	NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintResolved bool) Cost
+}
+
+// AdaptiveGamma is implemented by schemes that tune a per-group error
+// bound at runtime. The device's CheckInvariants asserts the effective
+// bound never exceeds the scheme's global γ — the OOB reverse-mapping
+// window is sized for the global bound, so a larger per-group γ would
+// break misprediction recovery.
+type AdaptiveGamma interface {
+	Gamma
+
+	// MaxGroupGamma reports the largest effective per-group error bound.
+	MaxGroupGamma() int
 }
 
 // Concurrent is implemented by schemes whose Translate method is safe for

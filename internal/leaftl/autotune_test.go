@@ -1,0 +1,308 @@
+package leaftl
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/core"
+	"leaftl/internal/ftl"
+)
+
+// tunedScheme is the surface the autotune property test drives.
+type tunedScheme interface {
+	pagedScheme
+	ftl.MissReporter
+	ftl.AdaptiveGamma
+	Maintain(uint64) ftl.Cost
+	Translate(addr.LPA) (ftl.Translation, bool)
+	Commit([]addr.Mapping) ftl.Cost
+}
+
+// tunes returns the per-group adaptive state of either flavor.
+func tunes(s tunedScheme) []core.GroupTune {
+	switch v := s.(type) {
+	case *Scheme:
+		return v.Table().GroupTunes()
+	case *Sharded:
+		return v.Table().GroupTunes()
+	}
+	return nil
+}
+
+// TestAutotuneProperty is the adaptive-γ correctness property: across
+// random feedback-driven workloads — plain and sharded, with and
+// without a DRAM budget — every translation stays within the *global*
+// error bound (exact answers exactly), the GMD and budget invariants
+// hold after every Maintain, no group's effective γ ever exceeds the
+// global bound, and the plain and sharded flavors stay bit-identical
+// under identical operation streams.
+func TestAutotuneProperty(t *testing.T) {
+	const gamma = 8
+	for trial := 0; trial < 3; trial++ {
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(41 + trial)))
+			mk := func() []tunedScheme {
+				return []tunedScheme{
+					New(gamma, 4096, WithAutoTune(0.02), WithCompactEvery(512)),
+					NewSharded(gamma, 4096, 1+rng.Intn(8), WithAutoTune(0.02), WithCompactEvery(512)),
+				}
+			}
+			schemes := mk()
+
+			logical := 24 * 256
+			truth := make(map[addr.LPA]addr.PPA)
+			var ppa addr.PPA
+			var writes uint64
+
+			commit := func(lpas []addr.LPA) {
+				pairs := make([]addr.Mapping, 0, len(lpas))
+				seen := map[addr.LPA]bool{}
+				for _, l := range lpas {
+					if !seen[l] {
+						seen[l] = true
+						pairs = append(pairs, addr.Mapping{LPA: l, PPA: 0})
+					}
+				}
+				sortMappings(pairs)
+				for i := range pairs {
+					pairs[i].PPA = ppa + addr.PPA(i)
+					truth[pairs[i].LPA] = pairs[i].PPA
+				}
+				ppa += addr.PPA(len(pairs))
+				writes += uint64(len(pairs))
+				for _, s := range schemes {
+					s.Commit(pairs)
+				}
+			}
+
+			read := func(lpa addr.LPA) {
+				want, mapped := truth[lpa]
+				var prev ftl.Translation
+				var prevOK bool
+				for si, s := range schemes {
+					tr, ok := s.Translate(lpa)
+					if ok != mapped {
+						t.Fatalf("scheme %d: Translate(%d) ok=%v, mapped=%v", si, lpa, ok, mapped)
+					}
+					if ok {
+						if !tr.Approx && tr.PPA != want {
+							t.Fatalf("scheme %d: exact answer %d for LPA %d, want %d", si, tr.PPA, lpa, want)
+						}
+						d := int64(tr.PPA) - int64(want)
+						if d < -gamma || d > gamma {
+							t.Fatalf("scheme %d: LPA %d predicted %d, want %d (outside ±%d)", si, lpa, tr.PPA, want, gamma)
+						}
+						// The device's feedback, modeled: hint-resolved when
+						// the armed hint aims the first read at the true page.
+						hintRes := tr.PPA != want && tr.Hint != 0 &&
+							addr.PPA(int64(tr.PPA)+int64(tr.Hint)) == want
+						s.NoteRead(lpa, tr.PPA, want, tr.Approx, hintRes)
+					}
+					if si > 0 && (ok != prevOK || tr.PPA != prev.PPA || tr.Approx != prev.Approx || tr.Hint != prev.Hint) {
+						t.Fatalf("sharded diverged from plain at LPA %d: %+v/%v vs %+v/%v",
+							lpa, tr, ok, prev, prevOK)
+					}
+					prev, prevOK = tr, ok
+				}
+			}
+
+			maintain := func() {
+				for si, s := range schemes {
+					s.Maintain(writes)
+					if err := s.CheckMapping(); err != nil {
+						t.Fatalf("scheme %d: %v", si, err)
+					}
+					if mg := s.MaxGroupGamma(); mg > gamma {
+						t.Fatalf("scheme %d: per-group gamma %d exceeds global %d", si, mg, gamma)
+					}
+				}
+				a, b := tunes(schemes[0]), tunes(schemes[1])
+				if len(a) != len(b) {
+					t.Fatalf("tune counts diverged: %d vs %d", len(a), len(b))
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("tune state diverged: %+v vs %+v", a[i], b[i])
+					}
+				}
+			}
+
+			budgeted := false
+			for round := 0; round < 60; round++ {
+				// Irregular write bursts create approximate segments.
+				lpas := make([]addr.LPA, 0, 64)
+				base := rng.Intn(logical - 512)
+				l := addr.LPA(base)
+				for len(lpas) < 64 {
+					l += addr.LPA(1 + rng.Intn(3))
+					lpas = append(lpas, l)
+				}
+				commit(lpas)
+				// Skewed reads hammer a hot range so misses repeat.
+				hot := addr.LPA(rng.Intn(logical / 2))
+				for i := 0; i < 120; i++ {
+					off := addr.LPA(rng.Intn(256))
+					if rng.Float64() < 0.3 {
+						off = addr.LPA(rng.Intn(logical))
+					}
+					read((hot + off) % addr.LPA(logical))
+				}
+				if round%7 == 3 {
+					maintain()
+				}
+				if !budgeted && round == 20 {
+					// Clamp both flavors identically mid-run: evictions and
+					// demand loads now interleave with feedback and repairs.
+					budget := schemes[0].MemoryBytes()/2 + 1
+					for _, s := range schemes {
+						s.SetBudget(budget)
+					}
+					budgeted = true
+				}
+				if budgeted {
+					budget := schemes[0].MemoryBytes()
+					_ = budget
+					for si, s := range schemes {
+						if err := s.CheckMapping(); err != nil {
+							t.Fatalf("scheme %d after round %d: %v", si, round, err)
+						}
+					}
+				}
+			}
+			maintain()
+		})
+	}
+}
+
+// sortMappings sorts a batch by LPA (the scheme contract).
+func sortMappings(pairs []addr.Mapping) {
+	for i := 1; i < len(pairs); i++ {
+		for j := i; j > 0 && pairs[j].LPA < pairs[j-1].LPA; j-- {
+			pairs[j], pairs[j-1] = pairs[j-1], pairs[j]
+		}
+	}
+}
+
+// TestAutotuneGammaSurvivesEviction pins the budgeted γ round trip at
+// the scheme level: γs tuned by Maintain survive page-out and demand
+// reload bit-identically.
+func TestAutotuneGammaSurvivesEviction(t *testing.T) {
+	s := New(8, 512, WithAutoTune(0.02), WithCompactEvery(1))
+	var ppa addr.PPA
+	var writes uint64
+	commit := func(group int, step int) []addr.Mapping {
+		pairs := make([]addr.Mapping, 0, 48)
+		l := addr.LPA(group * 256)
+		for len(pairs) < 48 {
+			l += addr.LPA(1 + (len(pairs)+step)%3)
+			pairs = append(pairs, addr.Mapping{LPA: l, PPA: ppa})
+			ppa++
+		}
+		writes += uint64(len(pairs))
+		s.Commit(pairs)
+		return pairs
+	}
+	var all []addr.Mapping
+	for g := 0; g < 8; g++ {
+		all = append(all, commit(g, g)...)
+	}
+	// Miss-heavy feedback on half the groups, then retune.
+	for _, m := range all[:len(all)/2] {
+		s.NoteRead(m.LPA, m.PPA, m.PPA+3, true, false)
+		s.NoteRead(m.LPA, m.PPA, m.PPA+3, true, false)
+	}
+	s.Maintain(writes)
+	want := map[addr.GroupID]int{}
+	for _, gt := range s.Table().GroupTunes() {
+		want[gt.Group] = gt.Gamma
+	}
+	demoted := 0
+	for _, g := range want {
+		if g < 8 {
+			demoted++
+		}
+	}
+	if demoted == 0 {
+		t.Fatal("controller demoted nothing; test is vacuous")
+	}
+
+	// Harsh budget: most groups page out.
+	s.SetBudget(s.MemoryBytes()/4 + 1)
+	if err := s.CheckMapping(); err != nil {
+		t.Fatal(err)
+	}
+	// Touch every group to fault it back in and compare γ.
+	for _, m := range all {
+		if _, ok := s.Translate(m.LPA); !ok {
+			t.Fatalf("mapping for %d lost under budget", m.LPA)
+		}
+	}
+	for _, gt := range s.Table().GroupTunes() {
+		if w, ok := want[gt.Group]; ok && gt.Gamma != w {
+			t.Fatalf("group %d gamma %d after page-out cycle, want %d", gt.Group, gt.Gamma, w)
+		}
+	}
+}
+
+// TestAutotuneConcurrentTranslate exercises the sharded scheme's
+// concurrent read path while the serialized mutation path (commits,
+// feedback with repairs, maintenance with retunes) runs — the race
+// detector guards the shard/pager locking.
+func TestAutotuneConcurrentTranslate(t *testing.T) {
+	s := NewSharded(8, 4096, 8, WithAutoTune(0.02), WithCompactEvery(256))
+	const logical = 16 * 256
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				s.Translate(addr.LPA(rng.Intn(logical)))
+			}
+		}(int64(w))
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	var ppa addr.PPA
+	var writes uint64
+	for round := 0; round < 200; round++ {
+		pairs := make([]addr.Mapping, 0, 32)
+		l := addr.LPA(rng.Intn(logical - 256))
+		for len(pairs) < 32 {
+			l += addr.LPA(1 + rng.Intn(3))
+			if int(l) >= logical {
+				break
+			}
+			pairs = append(pairs, addr.Mapping{LPA: l, PPA: ppa})
+			ppa++
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		writes += uint64(len(pairs))
+		s.Commit(pairs)
+		for _, m := range pairs[:4] {
+			if tr, ok := s.Translate(m.LPA); ok && tr.Approx {
+				s.NoteRead(m.LPA, tr.PPA, m.PPA, true, false)
+			}
+		}
+		s.Maintain(writes)
+		if round == 100 {
+			s.SetBudget(s.MemoryBytes()/2 + 1)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if err := s.CheckMapping(); err != nil {
+		t.Fatal(err)
+	}
+	if mg := s.MaxGroupGamma(); mg > 8 {
+		t.Fatalf("per-group gamma %d exceeds global 8", mg)
+	}
+}

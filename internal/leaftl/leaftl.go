@@ -40,6 +40,23 @@ func WithoutSortedFlush() Option {
 	return func(s *Scheme) { s.name = "LeaFTL-nosort" }
 }
 
+// WithAutoTune enables the adaptive per-group γ controller: the device's
+// OOB-verified read feedback drives per-group misprediction counters and
+// direction hints, each Maintain round demotes groups whose costly-miss
+// ratio exceeds targetMissRatio (γ halved, straight to exact above 2×
+// the target) while promoting miss-free groups back toward the global
+// bound, and costly misses in groups demoted to exact are repaired with
+// exact single-point segments (see NoteRead for the repair policy).
+// targetMissRatio ≤ 0 selects the default (core.TuneConfig). The global
+// γ stays the correctness envelope: per-group bounds never exceed it.
+func WithAutoTune(targetMissRatio float64) Option {
+	return func(s *Scheme) {
+		s.autotune = true
+		s.tune = core.TuneConfig{TargetMissRatio: targetMissRatio}.WithDefaults()
+		s.name = "LeaFTL-autotune"
+	}
+}
+
 // Scheme is LeaFTL as an ftl.Scheme.
 type Scheme struct {
 	name         string
@@ -48,6 +65,10 @@ type Scheme struct {
 	pageSize     int
 	compactEvery uint64
 	lastCompact  uint64
+
+	// Adaptive-γ controller state (WithAutoTune).
+	autotune bool
+	tune     core.TuneConfig
 
 	// Stats accumulated for the evaluation figures.
 	lookups    uint64
@@ -132,14 +153,14 @@ func (s *Scheme) Translate(lpa addr.LPA) (ftl.Translation, bool) {
 			return ftl.Translation{Cost: cost}, false
 		}
 		s.noteLookup(res)
-		return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx}, true
+		return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
 	}
 	ppa, res, ok := s.table.Lookup(lpa)
 	if !ok {
 		return ftl.Translation{}, false
 	}
 	s.noteLookup(res)
-	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx}, true
+	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
 }
 
 func (s *Scheme) noteLookup(res core.LookupResult) {
@@ -191,10 +212,11 @@ func (s *Scheme) FullSizeBytes() int {
 }
 
 // Maintain implements ftl.Scheme: every compactEvery host page writes,
-// compact the log-structured table (§3.7) and persist it to translation
-// blocks (§3.8). Unbudgeted, persistence charges ⌈table/pageSize⌉
-// translation-page writes; under a budget, only dirty groups (updated or
-// reshaped since their last image) are rewritten.
+// run the adaptive-γ feedback round (when enabled), compact the
+// log-structured table (§3.7) and persist it to translation blocks
+// (§3.8). Unbudgeted, persistence charges ⌈table/pageSize⌉
+// translation-page writes; under a budget, only dirty groups (updated,
+// reshaped, or γ-retuned since their last image) are rewritten.
 func (s *Scheme) Maintain(hostPageWrites uint64) ftl.Cost {
 	if hostPageWrites < s.lastCompact {
 		// The device's host counters were reset (warmup/steady-state
@@ -205,6 +227,13 @@ func (s *Scheme) Maintain(hostPageWrites uint64) ftl.Cost {
 		return ftl.Cost{}
 	}
 	s.lastCompact = hostPageWrites
+	if s.autotune {
+		// Retuned γs change the groups' wire records; dirty them so the
+		// new bounds reach flash and survive eviction or a crash.
+		for _, gid := range s.table.RetuneGamma(s.tune) {
+			s.pager.MarkDirty(gid)
+		}
+	}
 	if s.pager.Paging() {
 		for _, gid := range s.table.CompactChanged() {
 			s.pager.MarkDirty(gid)
@@ -219,6 +248,61 @@ func (s *Scheme) Maintain(hostPageWrites uint64) ftl.Cost {
 	s.table.Compact()
 	pages := (s.table.SizeBytes() + s.pageSize - 1) / s.pageSize
 	return ftl.Cost{MetaWrites: pages}
+}
+
+// MaxGroupGamma implements ftl.AdaptiveGamma.
+func (s *Scheme) MaxGroupGamma() int { return s.table.MaxGroupGamma() }
+
+// FeedbackEnabled reports whether the scheme wants the device's
+// OOB-verified read feedback: only with the adaptive controller on —
+// otherwise NoteRead would be a per-read no-op call.
+func (s *Scheme) FeedbackEnabled() bool { return s.autotune }
+
+// NoteRead implements ftl.MissReporter: OOB-verified read feedback from
+// the device. Without autotune it is a no-op, keeping the scheme
+// bit-identical to its pre-adaptive behaviour. With autotune, the
+// feedback advances the group's misprediction window and direction hint,
+// and every *costly* miss — one the hint-aimed read did not absorb — is
+// repaired on the spot: the recovery already paid the flash reads that
+// proved the true PPA, so pinning it as an exact single-point segment
+// costs no extra flash work and turns a repeating double read into an
+// exact hit (LearnedFTL's double-read elimination, expressed in LeaFTL's
+// segment vocabulary). Hint-resolved misses stay unrepaired on purpose:
+// they already cost a single read, and their approximate encoding is
+// the cheaper representation. Repairs only flow into groups the
+// controller has demoted all the way to exact — by then the group has
+// proven its misses repeat, so pinning is converging the group's legacy
+// approximate segments to the exact encoding its future writes already
+// use; pinning every stray miss elsewhere would spend DRAM on pages
+// never read again. Under a budget the repair dirties and re-caps the
+// group like any commit.
+func (s *Scheme) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintResolved bool) ftl.Cost {
+	if !s.autotune {
+		return ftl.Cost{}
+	}
+	s.table.NoteRead(lpa, predicted, actual, approx, hintResolved)
+	if !approx || actual == predicted || hintResolved ||
+		s.table.GroupGamma(addr.Group(lpa)) > 0 {
+		return ftl.Cost{}
+	}
+	ls := repairPoint(lpa, actual)
+	if s.pager.Active() {
+		pc := s.pager.EnsureWrite(addr.Group(lpa))
+		s.table.Insert(ls)
+		pc.Add(s.pager.Enforce())
+		return pageCost(pc)
+	}
+	s.table.Insert(ls)
+	return ftl.Cost{}
+}
+
+// repairPoint builds the exact single-point segment that pins a
+// misprediction's corrected mapping (L=0, K=0, I=PPA — paper §3.1).
+func repairPoint(lpa addr.LPA, ppa addr.PPA) core.Learned {
+	return core.Learned{
+		Seg:  core.Segment{SLPA: lpa, L: 0, K: 0, I: float32(ppa)},
+		LPAs: []addr.LPA{lpa},
+	}
 }
 
 // TranslationPages implements ftl.GroupPaged.
@@ -285,6 +369,8 @@ func (s *Scheme) SegmentsPerBatch() float64 {
 }
 
 var (
-	_ ftl.Scheme     = (*Scheme)(nil)
-	_ ftl.GroupPaged = (*Scheme)(nil)
+	_ ftl.Scheme        = (*Scheme)(nil)
+	_ ftl.GroupPaged    = (*Scheme)(nil)
+	_ ftl.MissReporter  = (*Scheme)(nil)
+	_ ftl.AdaptiveGamma = (*Scheme)(nil)
 )

@@ -37,6 +37,11 @@ type Sharded struct {
 	pager  *core.Pager
 	paging atomic.Bool
 
+	// Adaptive-γ controller state (WithAutoTune); feedback arrives on the
+	// device's serialized read path, never from concurrent translators.
+	autotune bool
+	tune     core.TuneConfig
+
 	lookups    atomic.Uint64
 	levelsSum  atomic.Uint64
 	levelsHist [maxLevelBuckets]atomic.Uint64
@@ -65,6 +70,8 @@ func NewSharded(gamma, pageSize, shards int, opts ...Option) *Sharded {
 		pager:        core.NewPager(table, pageSize),
 		pageSize:     pageSize,
 		compactEvery: cfg.compactEvery,
+		autotune:     cfg.autotune,
+		tune:         cfg.tune,
 	}
 }
 
@@ -101,7 +108,7 @@ func (s *Sharded) Translate(lpa addr.LPA) (ftl.Translation, bool) {
 		return s.translatePaged(lpa)
 	}
 	s.noteLookup(res)
-	return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx}, true
+	return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
 }
 
 // translatePaged is the slow lookup: with no paging pressure it settles
@@ -118,7 +125,7 @@ func (s *Sharded) translatePaged(lpa addr.LPA) (ftl.Translation, bool) {
 			return ftl.Translation{}, false
 		}
 		s.noteLookup(res)
-		return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx}, true
+		return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
 	}
 	s.pmu.RUnlock()
 	s.pmu.Lock()
@@ -141,7 +148,7 @@ func (s *Sharded) translatePaged(lpa addr.LPA) (ftl.Translation, bool) {
 		return ftl.Translation{Cost: cost}, false
 	}
 	s.noteLookup(res)
-	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx}, true
+	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
 }
 
 func (s *Sharded) noteLookup(res core.LookupResult) {
@@ -206,6 +213,13 @@ func (s *Sharded) Maintain(hostPageWrites uint64) ftl.Cost {
 	s.lastCompact = hostPageWrites
 	s.pmu.Lock()
 	defer s.pmu.Unlock()
+	if s.autotune {
+		// Retuned γs change the groups' wire records; dirty them so the
+		// new bounds reach flash and survive eviction or a crash.
+		for _, gid := range s.table.RetuneGamma(s.tune) {
+			s.pager.MarkDirty(gid)
+		}
+	}
 	if s.pager.Paging() {
 		for _, gid := range s.table.CompactChanged() {
 			s.pager.MarkDirty(gid)
@@ -219,6 +233,40 @@ func (s *Sharded) Maintain(hostPageWrites uint64) ftl.Cost {
 	s.table.Compact()
 	pages := (s.table.SizeBytes() + s.pageSize - 1) / s.pageSize
 	return ftl.Cost{MetaWrites: pages}
+}
+
+// MaxGroupGamma implements ftl.AdaptiveGamma.
+func (s *Sharded) MaxGroupGamma() int { return s.table.MaxGroupGamma() }
+
+// FeedbackEnabled reports whether the scheme wants the device's
+// OOB-verified read feedback (adaptive controller on).
+func (s *Sharded) FeedbackEnabled() bool { return s.autotune }
+
+// NoteRead implements ftl.MissReporter (see Scheme.NoteRead). The device
+// serializes calls; the shard write lock inside core keeps the counters
+// safe against concurrent Translates, and repairs take pmu like commits.
+func (s *Sharded) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintResolved bool) ftl.Cost {
+	if !s.autotune {
+		return ftl.Cost{}
+	}
+	s.table.NoteRead(lpa, predicted, actual, approx, hintResolved)
+	if !approx || actual == predicted || hintResolved ||
+		s.table.GroupGamma(addr.Group(lpa)) > 0 {
+		return ftl.Cost{}
+	}
+	ls := repairPoint(lpa, actual)
+	s.pmu.Lock()
+	if s.pager.Active() {
+		pc := s.pager.EnsureWrite(addr.Group(lpa))
+		s.table.Insert(ls)
+		pc.Add(s.pager.Enforce())
+		s.syncPaging()
+		s.pmu.Unlock()
+		return pageCost(pc)
+	}
+	s.pmu.Unlock()
+	s.table.Insert(ls)
+	return ftl.Cost{}
 }
 
 // TranslationPages implements ftl.GroupPaged.
@@ -311,8 +359,10 @@ func (s *Sharded) SegmentsPerBatch() float64 {
 }
 
 var (
-	_ ftl.Scheme     = (*Sharded)(nil)
-	_ ftl.Concurrent = (*Sharded)(nil)
-	_ ftl.Gamma      = (*Sharded)(nil)
-	_ ftl.GroupPaged = (*Sharded)(nil)
+	_ ftl.Scheme        = (*Sharded)(nil)
+	_ ftl.Concurrent    = (*Sharded)(nil)
+	_ ftl.Gamma         = (*Sharded)(nil)
+	_ ftl.GroupPaged    = (*Sharded)(nil)
+	_ ftl.MissReporter  = (*Sharded)(nil)
+	_ ftl.AdaptiveGamma = (*Sharded)(nil)
 )

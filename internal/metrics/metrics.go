@@ -14,6 +14,12 @@ import (
 // Histogram is a logarithmically bucketed latency histogram. Buckets grow
 // by ~7.2% per step (96 buckets per decade), bounding percentile error
 // under 4% — plenty for distribution *shape* comparisons.
+//
+// Empty-histogram contract: with zero recorded samples every statistic —
+// Mean, Percentile (for any p), Max, and all Summary fields — is exactly
+// 0, never NaN or ±Inf, so zero-sample histograms (an idle queue, a
+// scheme that never missed) serialize cleanly into the JSON reports
+// (encoding/json rejects NaN outright).
 type Histogram struct {
 	counts []uint64
 	total  uint64
@@ -56,8 +62,12 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.ObserveValue(d.Seconds())
 }
 
-// ObserveValue records one sample in seconds.
+// ObserveValue records one sample in seconds. NaN samples are dropped —
+// recording one would poison the mean for every later reader.
 func (h *Histogram) ObserveValue(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	h.counts[bucketOf(v)]++
 	h.total++
 	h.sum += v
@@ -81,8 +91,10 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Percentile returns the p-th percentile (p in [0,100]) in seconds.
+// An empty histogram reports 0 for every p, and a NaN p reports 0 —
+// both so malformed inputs cannot leak NaN into JSON emitters.
 func (h *Histogram) Percentile(p float64) float64 {
-	if h.total == 0 {
+	if h.total == 0 || math.IsNaN(p) {
 		return 0
 	}
 	if p <= 0 {
@@ -119,6 +131,8 @@ func (h *Histogram) Max() float64 {
 
 // Summary is the tail-latency digest of a histogram: the percentiles
 // the paper's latency figures (18, 23) and the open-loop replay report.
+// A zero-sample histogram digests to the zero Summary (see the
+// empty-histogram contract on Histogram).
 type Summary struct {
 	Count                     uint64
 	Mean                      time.Duration

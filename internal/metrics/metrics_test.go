@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -149,5 +151,49 @@ func TestSummaryEmpty(t *testing.T) {
 	s := NewHistogram().Summary()
 	if s.Count != 0 || s.Mean != 0 || s.P999 != 0 || s.Peak != 0 {
 		t.Errorf("empty summary %+v", s)
+	}
+}
+
+// TestEmptyHistogramJSONSafe pins the empty-histogram contract: every
+// statistic of a zero-sample histogram is exactly 0 (not NaN/Inf), so a
+// report built from one marshals cleanly — encoding/json rejects NaN.
+func TestEmptyHistogramJSONSafe(t *testing.T) {
+	h := NewHistogram()
+	stats := map[string]float64{
+		"mean": h.Mean(),
+		"p0":   h.Percentile(0),
+		"p50":  h.Percentile(50),
+		"p100": h.Percentile(100),
+		"max":  h.Max(),
+	}
+	for name, v := range stats {
+		if v != 0 {
+			t.Errorf("%s = %v on empty histogram, want 0", name, v)
+		}
+	}
+	if _, err := json.Marshal(stats); err != nil {
+		t.Fatalf("empty-histogram stats do not marshal: %v", err)
+	}
+	// Merging two empty histograms must not manufacture values either.
+	h.Merge(NewHistogram())
+	if h.Mean() != 0 || h.Percentile(99) != 0 {
+		t.Error("merge of empty histograms produced nonzero stats")
+	}
+}
+
+// TestHistogramRejectsNaN: NaN samples are dropped and NaN percentile
+// queries report 0, closing the remaining NaN inlets.
+func TestHistogramRejectsNaN(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveValue(math.NaN())
+	if h.Count() != 0 {
+		t.Errorf("NaN sample recorded (count %d)", h.Count())
+	}
+	h.ObserveValue(1e-3)
+	if got := h.Percentile(math.NaN()); got != 0 {
+		t.Errorf("Percentile(NaN) = %v, want 0", got)
+	}
+	if m := h.Mean(); math.IsNaN(m) {
+		t.Error("mean went NaN")
 	}
 }

@@ -28,6 +28,10 @@ type Device struct {
 	scheme ftl.Scheme
 	gamma  int // scheme's error bound (0 for exact schemes)
 
+	// reporter receives OOB-verified read feedback when the scheme asks
+	// for it (adaptive-γ LeaFTL); nil otherwise.
+	reporter ftl.MissReporter
+
 	logicalPages int
 
 	// Simulator ground truth, used for bookkeeping (PVT/BVC updates, GC
@@ -119,6 +123,14 @@ func New(cfg Config, scheme ftl.Scheme) (*Device, error) {
 		lpaHeat:      make([]uint64, cfg.LogicalPages()),
 		readLat:      metrics.NewHistogram(),
 		writeLat:     metrics.NewHistogram(),
+	}
+	if mr, ok := scheme.(ftl.MissReporter); ok {
+		// Schemes expose the interface statically even when the adaptive
+		// controller is off; only wire the feedback (and the read-path
+		// bookkeeping it implies) when it is live.
+		if en, ok := scheme.(interface{ FeedbackEnabled() bool }); !ok || en.FeedbackEnabled() {
+			d.reporter = mr
+		}
 	}
 	for i := range d.truth {
 		d.truth[i] = addr.InvalidPPA
@@ -234,6 +246,7 @@ func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
 	}
 	d.stats.HostReadReqs++
 	metaBefore := d.stats.MetaReads + d.stats.MetaWrites
+	missBefore := d.stats.Mispredictions
 	start := d.now
 	end := start + d.cfg.CacheHitLatency
 	for i := 0; i < n; i++ {
@@ -249,9 +262,12 @@ func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
 	d.now = end
 	d.readLat.Observe(lat)
 	// A translation that charged meta traffic loaded or evicted mapping
-	// state; give the data cache whatever DRAM that freed or took.
-	// Meta-free reads change nothing, so the hot path skips the resize.
-	if d.stats.MetaReads+d.stats.MetaWrites != metaBefore {
+	// state, and with live feedback a misprediction may have grown the
+	// table (the adaptive scheme pins the corrected mapping); give the
+	// data cache whatever DRAM that freed or took. Other reads change
+	// nothing, so the hot path skips the resize.
+	if d.stats.MetaReads+d.stats.MetaWrites != metaBefore ||
+		(d.reporter != nil && d.stats.Mispredictions != missBefore) {
 		d.resizeCache()
 	}
 	return lat, nil
@@ -296,60 +312,33 @@ func (d *Device) readPage(lpa addr.LPA, t time.Duration) (time.Duration, error) 
 	}
 
 	var tok uint64
-	if tr.PPA == want {
+	hintResolved := false
+	switch {
+	case tr.PPA == want && tr.Hint == 0:
+		// Correct prediction, no speculation: one flash read.
 		var rev addr.LPA
 		tok, rev, t = d.arr.Read(want, t)
 		if rev != lpa {
 			return 0, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", want, rev, lpa)
 		}
-	} else {
-		// Misprediction (§3.5): the predicted page's OOB holds the
-		// reverse mappings of its ±gamma neighborhood; one extra read
-		// locates the right page.
-		if !tr.Approx {
-			return 0, fmt.Errorf("ssd: exact scheme %s mistranslated LPA %d: got PPA %d, want %d",
-				d.scheme.Name(), lpa, tr.PPA, want)
+	case !tr.Approx:
+		return 0, fmt.Errorf("ssd: exact scheme %s mistranslated LPA %d: got PPA %d, want %d",
+			d.scheme.Name(), lpa, tr.PPA, want)
+	default:
+		var err error
+		tok, hintResolved, t, err = d.readApprox(lpa, tr, want, t)
+		if err != nil {
+			return 0, err
 		}
-		d.stats.Mispredictions++
-		var window []addr.LPA
-		window, t = d.arr.OOBWindow(tr.PPA, d.gamma, t)
-		found := addr.InvalidPPA
-		for i, rev := range window {
-			if rev == lpa {
-				found = tr.PPA - addr.PPA(d.gamma) + addr.PPA(i)
-				break
-			}
-		}
-		if found == addr.InvalidPPA {
-			// The window is block-bounded; a prediction near a block
-			// edge may point outside the true page's block. Probe the
-			// remaining candidates' OOBs directly (each a charged read).
-			d.stats.OOBFallbacks++
-			lo := int64(tr.PPA) - int64(d.gamma)
-			hi := int64(tr.PPA) + int64(d.gamma)
-			for p := lo; p <= hi && found == addr.InvalidPPA; p++ {
-				if p < 0 || p >= int64(d.cfg.Flash.TotalPages()) || addr.PPA(p) == tr.PPA {
-					continue
-				}
-				if d.cfg.Flash.BlockOf(addr.PPA(p)) == d.cfg.Flash.BlockOf(tr.PPA) {
-					continue // already covered by the window
-				}
-				var rev addr.LPA
-				rev, t = d.arr.ReadOOB(addr.PPA(p), t)
-				if rev == lpa {
-					found = addr.PPA(p)
-				}
-			}
-		}
-		if found != want {
-			return 0, fmt.Errorf("ssd: misprediction recovery for LPA %d found PPA %v, want %d",
-				lpa, found, want)
-		}
-		var rev addr.LPA
-		tok, rev, t = d.arr.Read(found, t)
-		if rev != lpa {
-			return 0, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", found, rev, lpa)
-		}
+	}
+
+	// OOB-verified feedback for the adaptive-γ controller: report what
+	// the scheme predicted against what the reverse mapping proved (a
+	// real drive learns the same facts from the reads it just performed).
+	// A reacting scheme may pin the corrected mapping, charged as
+	// translation-metadata traffic.
+	if d.reporter != nil {
+		t = d.chargeMeta(d.reporter.NoteRead(lpa, tr.PPA, want, tr.Approx, hintResolved), t)
 	}
 
 	if tok != d.token[lpa] {
@@ -360,6 +349,141 @@ func (d *Device) readPage(lpa addr.LPA, t time.Duration) (time.Duration, error) 
 		// evictions are free.
 	}
 	return t, nil
+}
+
+// readApprox serves the flash read(s) of an approximately translated
+// page (§3.5, extended with LearnedFTL-style miss hints): the first read
+// aims at PPA+Hint when the group's miss streak armed a hint — a
+// repeating miss then resolves in a single read instead of two — falling
+// back to the OOB reverse-mapping window of whatever page the first read
+// landed on, then to the window around the prediction itself, and last
+// to direct OOB probes of the block-edge candidates, nearest the hinted
+// side first. Speculation is honest: an armed hint on a read that would
+// have predicted correctly costs the extra read a real controller would
+// pay, which is why hints only arm after a consistent miss streak.
+func (d *Device) readApprox(lpa addr.LPA, tr ftl.Translation, want addr.PPA, t time.Duration) (uint64, bool, time.Duration, error) {
+	miss := tr.PPA != want
+	if miss {
+		d.stats.Mispredictions++
+	}
+	first := tr.PPA
+	if tr.Hint != 0 {
+		first = clampPPA(int64(tr.PPA)+int64(tr.Hint), int64(d.cfg.Flash.TotalPages()))
+	}
+	if first == want {
+		// The first read is the right page — a plain correct prediction,
+		// or a hint that nailed a repeating miss (the double read saved).
+		if miss {
+			d.stats.MissHintResolved++
+		}
+		tok, rev, t := d.arr.Read(want, t)
+		if rev != lpa {
+			return 0, false, t, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", want, rev, lpa)
+		}
+		return tok, miss, t, nil
+	}
+
+	// The first read landed on the wrong page; its OOB holds the reverse
+	// mappings of its ±gamma in-block neighborhood (one charged read).
+	window, t := d.arr.OOBWindow(first, d.gamma, t)
+	found := d.searchWindow(window, first, lpa)
+	if found == addr.InvalidPPA && first != tr.PPA {
+		// The speculative aim missed the true page's window; fall back to
+		// the window around the prediction itself (a second charged read).
+		window, t = d.arr.OOBWindow(tr.PPA, d.gamma, t)
+		found = d.searchWindow(window, tr.PPA, lpa)
+	}
+	if found == addr.InvalidPPA {
+		// Block-bounded windows can miss a true page across a block edge.
+		// Probe the remaining candidates' OOBs directly (each a charged
+		// read), expanding outward from the hinted aim point so the
+		// likelier neighbor is read first.
+		d.stats.OOBFallbacks++
+		found, t = d.probeFallback(lpa, tr.PPA, first, tr.Hint, t)
+	}
+	if miss {
+		if found == want {
+			d.stats.MissFallbacks++
+		}
+		// A failed recovery falls through to the error below without
+		// polluting the resolution split.
+	}
+	if found != want {
+		return 0, false, t, fmt.Errorf("ssd: misprediction recovery for LPA %d found PPA %v, want %d",
+			lpa, found, want)
+	}
+	tok, rev, t := d.arr.Read(found, t)
+	if rev != lpa {
+		return 0, false, t, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", found, rev, lpa)
+	}
+	return tok, false, t, nil
+}
+
+// searchWindow scans an OOB reverse-mapping window read around center
+// for lpa, returning the matching PPA or InvalidPPA. Matches are
+// cross-checked against the PVT validity bitmap (firmware state, kept
+// by the host write path): flash retains the reverse mappings of
+// *stale* copies until their block is erased, and a hint-aimed window
+// can stretch past the learning guarantee into territory where an old
+// copy of the same LPA may linger — a stale match must keep scanning,
+// not answer the read.
+func (d *Device) searchWindow(window []addr.LPA, center addr.PPA, lpa addr.LPA) addr.PPA {
+	for i, rev := range window {
+		if rev != lpa {
+			continue
+		}
+		ppa := center - addr.PPA(d.gamma) + addr.PPA(i)
+		if int(ppa) < len(d.valid) && d.valid[ppa] {
+			return ppa
+		}
+	}
+	return addr.InvalidPPA
+}
+
+// probeFallback probes the unsearched candidates of [pred−γ, pred+γ]
+// with direct OOB reads, nearest-first around pred+hint, skipping the
+// blocks whose windows were already read.
+func (d *Device) probeFallback(lpa addr.LPA, pred, first addr.PPA, hint int, t time.Duration) (addr.PPA, time.Duration) {
+	lo := int64(pred) - int64(d.gamma)
+	hi := int64(pred) + int64(d.gamma)
+	total := int64(d.cfg.Flash.TotalPages())
+	firstBlock := d.cfg.Flash.BlockOf(first)
+	predBlock := d.cfg.Flash.BlockOf(pred)
+	aim := int64(pred) + int64(hint)
+	for r := int64(0); r <= hi-lo; r++ {
+		for _, p := range [2]int64{aim + r, aim - r} {
+			if p < lo || p > hi || p < 0 || p >= total {
+				continue
+			}
+			ppa := addr.PPA(p)
+			b := d.cfg.Flash.BlockOf(ppa)
+			if b == firstBlock || b == predBlock {
+				continue // already covered by a window read
+			}
+			var rev addr.LPA
+			rev, t = d.arr.ReadOOB(ppa, t)
+			if rev == lpa && d.valid[ppa] {
+				// Validity-checked like searchWindow: a stale copy's OOB
+				// still names the LPA until its block is erased.
+				return ppa, t
+			}
+			if r == 0 {
+				break // aim+0 == aim-0
+			}
+		}
+	}
+	return addr.InvalidPPA, t
+}
+
+// clampPPA clips a speculative page address into the device.
+func clampPPA(p, total int64) addr.PPA {
+	if p < 0 {
+		p = 0
+	}
+	if p >= total {
+		p = total - 1
+	}
+	return addr.PPA(p)
 }
 
 // Write performs a host write of n pages starting at lpa and returns its

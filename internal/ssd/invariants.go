@@ -30,8 +30,18 @@ import (
 //   - Demand-paged mapping: the scheme's GMD bookkeeping is internally
 //     consistent, its resident state fits the mapping budget, and its
 //     translation-block footprint fits the over-provisioned capacity.
+//   - Adaptive γ: no group's effective error bound exceeds the global
+//     bound the OOB reverse-mapping window was sized for.
 func (d *Device) CheckInvariants() error {
 	cfg := d.cfg.Flash
+
+	if ag, ok := d.scheme.(ftl.AdaptiveGamma); ok {
+		// The OOB reverse-mapping window is sized for the global error
+		// bound; a group tuned past it could mispredict beyond recovery.
+		if mg := ag.MaxGroupGamma(); mg > d.gamma {
+			return fmt.Errorf("invariant: per-group gamma %d exceeds the global bound %d", mg, d.gamma)
+		}
+	}
 
 	if gp, ok := d.scheme.(ftl.GroupPaged); ok {
 		if err := gp.CheckMapping(); err != nil {

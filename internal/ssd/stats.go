@@ -23,6 +23,15 @@ type Stats struct {
 	ApproxReads    uint64 // reads translated by approximate segments
 	OOBFallbacks   uint64 // mispredictions not resolved by one OOB window read
 
+	// Misprediction resolution split (adaptive-γ read path). A miss is
+	// hint-resolved when the group's armed direction hint aimed the first
+	// flash read straight at the true page — the §3.5 double read never
+	// happens; it is a fallback when the OOB window (or the block-edge
+	// probe loop) had to locate the page, costing at least one extra
+	// read. MissHintResolved + MissFallbacks == Mispredictions.
+	MissHintResolved uint64
+	MissFallbacks    uint64
+
 	// Background machinery.
 	FlushedBlocks uint64
 	GCRuns        uint64
@@ -66,6 +75,15 @@ func (s Stats) MispredictionRatio() float64 {
 		return 0
 	}
 	return float64(s.Mispredictions) / float64(s.HostPagesRead)
+}
+
+// HintResolvedRatio returns the fraction of mispredictions the
+// direction hint resolved without a second flash read.
+func (s Stats) HintResolvedRatio() float64 {
+	if s.Mispredictions == 0 {
+		return 0
+	}
+	return float64(s.MissHintResolved) / float64(s.Mispredictions)
 }
 
 // MetaReadRatio returns translation-page reads per host page operation:

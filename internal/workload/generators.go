@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"time"
 
@@ -100,8 +101,12 @@ type ZipfianProfile struct {
 // Validate reports malformed profiles.
 func (z ZipfianProfile) Validate() error {
 	switch {
-	case z.S <= 1:
-		return fmt.Errorf("workload %s: Zipf exponent %v must be > 1", z.Name, z.S)
+	// rand.NewZipf returns nil for S ≤ 1, and its internal math degrades
+	// to NaN for a NaN exponent (which sails past a plain "S <= 1" test),
+	// so the generator would crash — or spin — on its first draw.
+	// Negated comparison so NaN is rejected too.
+	case !(z.S > 1) || math.IsInf(z.S, 1):
+		return fmt.Errorf("workload %s: Zipf exponent %v must be a finite number > 1", z.Name, z.S)
 	case z.ReadFrac < 0 || z.ReadFrac > 1:
 		return fmt.Errorf("workload %s: ReadFrac %v", z.Name, z.ReadFrac)
 	case z.MinPages < 1 || z.MaxPages < z.MinPages:
@@ -121,6 +126,11 @@ func (z ZipfianProfile) Generate(logicalPages, n int, seed int64) []trace.Reques
 	rng := rand.New(rand.NewSource(seed))
 	footprint := clampFootprint(logicalPages, z.FootprintFrac)
 	zipf := rand.NewZipf(rng, z.S, 1, uint64(footprint-1))
+	if zipf == nil {
+		// Unreachable after Validate; a clear failure beats the nil
+		// dereference rand would produce on the first draw.
+		panic(fmt.Sprintf("workload %s: rand.NewZipf rejected S=%v", z.Name, z.S))
+	}
 
 	reqs := make([]trace.Request, 0, n)
 	for len(reqs) < n {
@@ -129,6 +139,9 @@ func (z ZipfianProfile) Generate(logicalPages, n int, seed int64) []trace.Reques
 			op = trace.OpRead
 		}
 		sz := z.MinPages + rng.Intn(z.MaxPages-z.MinPages+1)
+		if sz > footprint {
+			sz = footprint
+		}
 		// Rank 0 is the hottest page; the hotspot occupies the low end
 		// of the footprint.
 		l := int(zipf.Uint64())
@@ -238,9 +251,26 @@ func clampFootprint(logicalPages int, frac float64) int {
 	return f
 }
 
+// TimedProfile adapts an untimed Profile to the open-loop Generator
+// surface by stamping its requests with an arrival process — how the
+// strided/sequential trace profiles (Catalog) join the timed workloads
+// in open-loop sweeps.
+type TimedProfile struct {
+	Profile  Profile
+	Arrivals ArrivalModel
+}
+
+// Generate produces n timestamped requests over a device with the given
+// logical page count, deterministically from seed.
+func (tp TimedProfile) Generate(logicalPages, n int, seed int64) []trace.Request {
+	reqs := tp.Profile.Generate(logicalPages, n, seed)
+	tp.Arrivals.Stamp(reqs, seed)
+	return reqs
+}
+
 // Generator is a workload that can emit a (possibly timestamped)
-// request trace; Profile, ZipfianProfile, and MixedProfile all satisfy
-// it.
+// request trace; Profile, ZipfianProfile, MixedProfile, and
+// TimedProfile all satisfy it.
 type Generator interface {
 	// Generate produces n requests over a device with the given logical
 	// page count, deterministically from seed.

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -130,6 +131,80 @@ func TestGeneratorValidation(t *testing.T) {
 	for i, err := range bad {
 		if err == nil {
 			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+// TestZipfianValidateRejectsBadExponents is the regression for the
+// rand.NewZipf crash: S ≤ 1 makes NewZipf return nil (panic on first
+// draw), and a NaN S sails past a plain "S <= 1" comparison into NaN
+// arithmetic. Validate must reject every such exponent up front.
+func TestZipfianValidateRejectsBadExponents(t *testing.T) {
+	base := ZipfianProfile{
+		Name: "bad-zipf", ReadFrac: 0.5, MinPages: 1, MaxPages: 4, FootprintFrac: 0.5,
+	}
+	for _, s := range []float64{1, 0.5, 0, -2, math.NaN(), math.Inf(1)} {
+		p := base
+		p.S = s
+		if err := p.Validate(); err == nil {
+			t.Errorf("S=%v accepted", s)
+		}
+		// Generate must fail loudly through Validate, not via a nil
+		// dereference inside the Zipf sampler.
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("S=%v: Generate did not fail", s)
+					return
+				}
+				if _, ok := r.(error); !ok {
+					t.Errorf("S=%v: Generate panicked with %T (%v), want the Validate error", s, r, r)
+				}
+			}()
+			p.Generate(4096, 8, 1)
+		}()
+	}
+	good := base
+	good.S = 1.2
+	if err := good.Validate(); err != nil {
+		t.Fatalf("S=1.2 rejected: %v", err)
+	}
+	if got := len(good.Generate(4096, 64, 1)); got != 64 {
+		t.Errorf("generated %d requests, want 64", got)
+	}
+}
+
+// TestTimedProfileStampsArrivals checks the Profile→Generator adapter:
+// same requests as the underlying profile, now with monotone arrivals.
+func TestTimedProfileStampsArrivals(t *testing.T) {
+	p, ok := ByName("MSR-prxy")
+	if !ok {
+		t.Fatal("MSR-prxy missing")
+	}
+	tp := TimedProfile{Profile: p, Arrivals: ArrivalModel{IOPS: 10_000}}
+	reqs := tp.Generate(1<<16, 500, 7)
+	if len(reqs) != 500 {
+		t.Fatalf("generated %d requests", len(reqs))
+	}
+	last := time.Duration(-1)
+	stamped := false
+	for _, r := range reqs {
+		if r.Arrival < last {
+			t.Fatal("arrivals not monotone")
+		}
+		if r.Arrival > 0 {
+			stamped = true
+		}
+		last = r.Arrival
+	}
+	if !stamped {
+		t.Error("no arrival timestamps assigned")
+	}
+	plain := p.Generate(1<<16, 500, 7)
+	for i := range reqs {
+		if reqs[i].Op != plain[i].Op || reqs[i].LPA != plain[i].LPA || reqs[i].Pages != plain[i].Pages {
+			t.Fatalf("request %d diverged from the untimed profile", i)
 		}
 	}
 }

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# gammatune.sh — sweep static LeaFTL error bounds (γ) against the
+# adaptive per-group autotune controller and record table bytes,
+# double-reads-per-op (the misprediction tax), the hint-resolved split
+# and tail latency per cell. The emitted JSON includes a per-workload
+# "dominance" record listing the static-γ points the autotuned run
+# strictly beats (lower double-read-per-op at equal-or-smaller table).
+#
+# Usage: scripts/gammatune.sh [PR-number] [qd] [speedup]
+#   scripts/gammatune.sh 5        → writes BENCH_PR5.json (and prints the table)
+#   scripts/gammatune.sh 5 8 2    → 8 host queues, 2x replay speed
+#
+# Env knobs:
+#   GAMMAS      comma list of static γ grid points   (default 0,2,4,8,16)
+#   TARGET      autotune tolerated double-reads/read (default 0 = 0.02)
+#   WORKLOADS   comma list (zipf-hot, strided, msr-replay)
+#               msr-replay replays $TRACE             (default zipf-hot,strided)
+#   TRACE       trace file for msr-replay             (default traces/msr-sample.csv)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${1:-5}"
+QD="${2:-4}"
+SPEEDUP="${3:-1}"
+GAMMAS="${GAMMAS:-0,2,4,8,16}"
+TARGET="${TARGET:-0}"
+WORKLOADS="${WORKLOADS:-zipf-hot,strided}"
+TRACE="${TRACE:-traces/msr-sample.csv}"
+
+echo "building..." >&2
+go build ./cmd/leaftl-bench
+
+out="BENCH_PR${PR}.json"
+echo "== adaptive-γ sweep (gammas=$GAMMAS workloads=$WORKLOADS qd=$QD speedup=$SPEEDUP target=$TARGET) ==" >&2
+./leaftl-bench -gammatune \
+  -gammas "$GAMMAS" -gamma-target "$TARGET" -tune-workloads "$WORKLOADS" \
+  -trace "$TRACE" -qd "$QD" -speedup "$SPEEDUP" \
+  -json "$out"
+rm -f leaftl-bench
+
+echo "wrote $out" >&2
