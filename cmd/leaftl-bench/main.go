@@ -2,7 +2,7 @@
 // figures on the simulated SSD (deliverable d). By default it runs at
 // quick scale; -full uses the larger scaled device of DESIGN.md §5 and
 // -micro the fastest CI-smoke scale.
-// Five replay modes skip the figures: -parallel hammers the sharded
+// Six replay modes skip the figures: -parallel hammers the sharded
 // translation core with concurrent host streams, -openloop replays
 // a trace file (native, MSR CSV, or FIU format) at its recorded arrival
 // times against all three schemes, reporting p50/p95/p99/p999 latency
@@ -14,7 +14,10 @@
 // LeaFTL's demand-paged learned table competes against DFTL/SFTL under
 // the same memory pressure, and -gammatune sweeps a static error-bound
 // grid (-gammas) against the autotuned controller, recording which
-// static points the controller dominates.
+// static points the controller dominates, and -torture runs the seeded
+// crash-torture matrix (kill-recover-verify across GC policies ×
+// mapping budgets × autotune) plus an aged-device fault-injection sweep
+// over -fault-rber.
 package main
 
 import (
@@ -55,6 +58,11 @@ func main() {
 	mappingBudget := flag.String("mapping-budget", "", "-memsweep mode: comma-separated budgets; values ≤ 8 are fractions of each scheme's full mapping size, larger values absolute bytes (default: 0.125,0.25,0.5,1)")
 	memSchemes := flag.String("mem-schemes", "", "-memsweep mode: comma-separated schemes (default: LeaFTL,DFTL,SFTL)")
 	memWorkloads := flag.String("mem-workloads", "", "-memsweep mode: comma-separated timed workloads (default: zipf-hot,mixed-rw)")
+	torture := flag.Bool("torture", false, "reliability mode: seeded crash-torture matrix + fault-injection sweep (skips figures)")
+	crashPoints := flag.Int("crash-points", 0, "-torture mode: crashes injected per matrix cell (0 = default 5)")
+	faultRBER := flag.String("fault-rber", "", "-torture mode: comma-separated base RBERs for the fault sweep (default: 1e-7,1e-5,5e-5,1e-4,5e-4)")
+	faultSeed := flag.Int64("fault-seed", 0, "-torture mode: fault-model seed (0 = use -seed)")
+	scrubThreshold := flag.Int("scrub-threshold", 0, "-torture mode: read-disturb scrub threshold in block reads (0 = default 5000)")
 	flag.Parse()
 
 	scaleOf := func() experiments.Scale {
@@ -68,6 +76,13 @@ func main() {
 		}
 	}
 
+	if *torture {
+		if err := runTorture(scaleOf(), *crashPoints, *faultRBER, *faultSeed, *scrubThreshold, *gamma, *seed, *markdown, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: torture: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *gammaTune {
 		if err := runGammaTune(scaleOf(), *gammas, *gamma, *gammaTarget, *tuneWorkloads, *tracePath, *qd, *speedup, *seed, *markdown, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: gammatune: %v\n", err)

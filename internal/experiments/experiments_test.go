@@ -218,8 +218,14 @@ func TestRecoveryExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tb.Rows) != 2 {
+	// 2 workloads × {LeaFTL, LeaFTL@25%, DFTL, SFTL}.
+	if len(tb.Rows) != 8 {
 		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[7] == "0" {
+			t.Errorf("%s/%s: differential verification covered nothing", row[0], row[1])
+		}
 	}
 }
 

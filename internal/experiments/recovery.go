@@ -4,21 +4,26 @@ import (
 	"fmt"
 
 	"leaftl/internal/addr"
-	"leaftl/internal/leaftl"
 	"leaftl/internal/ssd"
 	"leaftl/internal/trace"
 	"leaftl/internal/workload"
 )
 
-// runRecovery runs a workload slice on a fresh LeaFTL device, crashes it,
-// recovers, and verifies a sample of reads, returning one report row.
-func (s *Suite) runRecovery(name string) ([]string, error) {
+// runRecovery runs a workload slice on a fresh device under the named
+// mapping scheme (optionally demand-paged under a fractional mapping
+// budget), crashes it without a final flush, recovers into a fresh
+// scheme, and differentially verifies the rebuilt state against the
+// at-crash snapshot: outside the write buffer — the only legal loss on
+// a drive without power-loss protection — every LPA must come back
+// holding exactly its newest data. Returns one report row.
+func (s *Suite) runRecovery(name, scheme string, budget float64) ([]string, error) {
 	p, ok := workload.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("recovery: unknown workload %q", name)
 	}
 	cfg := s.simConfig(cfgFor(p))
-	dev, err := ssd.New(cfg, leaftl.New(0, cfg.Flash.PageSize))
+	sch := s.newScheme(scheme, 0, cfg)
+	dev, err := ssd.New(cfg, sch)
 	if err != nil {
 		return nil, err
 	}
@@ -29,27 +34,65 @@ func (s *Suite) runRecovery(name string) ([]string, error) {
 			return nil, err
 		}
 	}
+	label := scheme
+	if budget > 0 {
+		// Cap after the footprint is mapped, so the fraction is of the
+		// scheme's full table and the replay pages groups on demand —
+		// recovery then exercises the GMD-restore path, not just the
+		// OOB re-learn.
+		dev.SetMappingBudget(max(int(budget*float64(sch.FullSizeBytes())), 1))
+		label = fmt.Sprintf("%s@%d%%", scheme, int(budget*100))
+	}
 	reqs := p.Generate(logical, s.Scale.Requests/4, s.Seed)
 	if err := trace.Replay(dev, reqs); err != nil {
 		return nil, err
 	}
 
-	rep, err := dev.Recover(leaftl.New(0, cfg.Flash.PageSize))
+	// Crash: no flush, all controller RAM lost. The snapshot is the
+	// oracle the rebuilt state is diffed against.
+	atTok, _ := dev.TruthSnapshot()
+	buffered := make(map[addr.LPA]bool)
+	for _, l := range dev.BufferedLPAs() {
+		buffered[l] = true
+	}
+	rep, err := dev.Recover(s.newScheme(scheme, 0, cfg))
 	if err != nil {
 		return nil, err
+	}
+	if err := dev.CheckInvariants(); err != nil {
+		return nil, fmt.Errorf("recovery %s/%s: %w", name, label, err)
+	}
+	postTok, postLost := dev.TruthSnapshot()
+	verified := 0
+	for l := range postTok {
+		if buffered[addr.LPA(l)] {
+			continue
+		}
+		if postLost[l] {
+			return nil, fmt.Errorf("recovery %s/%s: LPA %d lost with faults off", name, label, l)
+		}
+		if postTok[l] != atTok[l] {
+			return nil, fmt.Errorf("recovery %s/%s: LPA %d recovered token %#x, want %#x",
+				name, label, l, postTok[l], atTok[l])
+		}
+		verified++
 	}
 	// Spot-check reads across the footprint after recovery; the device
 	// self-verifies payload tokens.
 	for lpa := 0; lpa+64 <= fp; lpa += fp / 64 * 8 {
 		if _, err := dev.Read(addr.LPA(lpa), 1); err != nil {
-			return nil, fmt.Errorf("recovery: post-recovery read: %w", err)
+			return nil, fmt.Errorf("recovery %s/%s: post-recovery read: %w", name, label, err)
 		}
 	}
 	return []string{
 		p.Name,
+		label,
 		fmt.Sprintf("%d", rep.BlocksScanned),
 		fmt.Sprintf("%d", rep.PagesScanned),
 		fmt.Sprintf("%d", rep.MappingsRebuilt),
+		fmt.Sprintf("%d", rep.MappingsRestored),
 		rep.ScanTime.String(),
+		fmt.Sprintf("%d", verified),
+		fmt.Sprintf("%d", len(buffered)),
 	}, nil
 }

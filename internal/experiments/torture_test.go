@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestTortureMatrix runs the full crash-torture matrix at micro scale:
+// {greedy, cost-benefit, fifo} × {unbudgeted, 25% budget} × {autotune
+// off, on} × 5 seeded crash points — ≥50 injected crashes in total,
+// each recovered and differentially verified inside the harness.
+func TestTortureMatrix(t *testing.T) {
+	const seed = 42
+	s := NewSuite(MicroScale(), seed)
+	cells, table, err := s.Torture(TortureSpec{})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	t.Logf("seed %d:\n%s", seed, table)
+
+	total := 0
+	points := make(map[string]int)
+	for _, c := range cells {
+		total += c.Crashes
+		for p, n := range c.Points {
+			points[p] += n
+		}
+		if c.Crashes == 0 {
+			t.Errorf("seed %d: cell %s/%.2f/%v injected no crashes", seed, c.Policy, c.Budget, c.Autotune)
+		}
+		if c.VerifiedLPAs == 0 {
+			t.Errorf("seed %d: cell %s/%.2f/%v verified nothing", seed, c.Policy, c.Budget, c.Autotune)
+		}
+	}
+	if len(cells) != 12 {
+		t.Fatalf("seed %d: %d cells, want 12", seed, len(cells))
+	}
+	if total < 50 {
+		t.Errorf("seed %d: %d crashes injected across the matrix, want ≥50", seed, total)
+	}
+	if len(points) < 3 {
+		t.Errorf("seed %d: crashes only hit %d distinct points (%v); want spread across the flush/GC paths",
+			seed, len(points), points)
+	}
+}
+
+// TestTortureSmoke is the CI-sized single-cell check (also what
+// leaftl-bench -torture exercises under the race detector).
+func TestTortureSmoke(t *testing.T) {
+	const seed = 7
+	s := NewSuite(MicroScale(), seed)
+	cells, _, err := s.Torture(TortureSpec{
+		Policies: []string{"greedy"},
+		Budgets:  []float64{0},
+		Autotune: []bool{false},
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if cells[0].Crashes == 0 {
+		t.Errorf("seed %d: no crashes injected", seed)
+	}
+}
+
+// TestFaultSweep checks the aged-device reliability sweep end to end at
+// two RBER points: a healthy drive corrects nothing and loses nothing; a
+// dying one shows ECC/scrub/retirement activity without ever returning
+// an untyped error (the sweep itself fails on any).
+func TestFaultSweep(t *testing.T) {
+	const seed = 3
+	s := NewSuite(MicroScale(), seed)
+	// Micro traces advance the clock only ~14s at the default AgeStep;
+	// age faster so the retention-scrub threshold actually trips.
+	runs, table, err := s.FaultSweep(FaultSweepSpec{RBERs: []float64{1e-7, 1e-4}, AgeStep: 8 * time.Second})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	t.Logf("seed %d:\n%s", seed, table)
+	if len(runs) != 2 {
+		t.Fatalf("seed %d: %d runs, want 2", seed, len(runs))
+	}
+	healthy, dying := runs[0], runs[1]
+	if healthy.HostUECCs != 0 {
+		t.Errorf("seed %d: healthy drive surfaced %d host UECCs", seed, healthy.HostUECCs)
+	}
+	if dying.Flash.CorrectedReads == 0 {
+		t.Errorf("seed %d: dying drive corrected no reads", seed)
+	}
+	if dying.Flash.ECCRetries == 0 {
+		t.Errorf("seed %d: dying drive never entered read-retry", seed)
+	}
+	if dying.Stats.ScrubRelocations == 0 {
+		t.Errorf("seed %d: dying drive never scrubbed", seed)
+	}
+}

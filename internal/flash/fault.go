@@ -1,0 +1,264 @@
+// Fault model: a deterministic, seeded reliability layer over the flash
+// array. Per-page raw bit-error rate (RBER) grows with the block's erase
+// count (wear), the time since the page was programmed (retention, on
+// the simulator's logical clock), and the block's read count since its
+// last erase (read disturb) — the three device-level aging mechanisms
+// the Device-Level Optimization survey catalogs as the defining
+// constraint of real controllers. Bit errors are sampled per read per
+// region (data area and OOB area separately); errors within the inline
+// ECC budget are silent, errors within the read-retry budget are
+// corrected at the cost of extra charged read rounds, and anything
+// beyond surfaces as an uncorrectable (UECC) error. Programs and erases
+// can fail outright with wear-growing probability, which is what drives
+// bad-block retirement in the device above.
+//
+// The model is first-order on purpose: error counts are Poisson samples
+// of RBER × region bits, and ECC is a threshold code. What matters for
+// the reproduction is determinism (same seed + same op sequence = same
+// faults), monotone growth with wear/retention/disturb, and that every
+// injected error is either corrected, reconstructed, or reported —
+// never silently returned as wrong data.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Sentinel errors of the fault model. Callers match with errors.Is; the
+// wrapped forms carry the failing address.
+var (
+	// ErrUncorrectable reports a data-area read whose bit errors exceed
+	// the read-retry ECC budget: the page contents are lost to this read
+	// (a later read re-samples — real soft-decode retries are themselves
+	// probabilistic).
+	ErrUncorrectable = errors.New("flash: uncorrectable ECC error (data area)")
+	// ErrOOBUncorrectable reports a read whose data area decoded fine
+	// but whose OOB area did not: the payload is intact, the reverse
+	// mapping is not. The device layer reconstructs it from a sibling
+	// page's OOB window.
+	ErrOOBUncorrectable = errors.New("flash: uncorrectable ECC error (OOB area)")
+	// ErrProgramFail reports a failed page program. The page is burned
+	// (it counts as written and holds no usable data) and the block
+	// should be retired by the layer above.
+	ErrProgramFail = errors.New("flash: program failure")
+	// ErrEraseFail reports a failed block erase; the block keeps its
+	// stale contents and should be retired.
+	ErrEraseFail = errors.New("flash: erase failure")
+)
+
+// FaultConfig parameterizes the seeded fault model. The zero value
+// (Enabled == false) is perfect flash: no errors, no failures, no
+// sampling cost.
+type FaultConfig struct {
+	// Enabled turns fault injection on.
+	Enabled bool
+	// Seed drives all sampling. The same seed over the same operation
+	// sequence reproduces the same faults exactly.
+	Seed int64
+
+	// BaseRBER is the raw bit-error rate of a fresh page immediately
+	// after program on an unworn block.
+	BaseRBER float64
+	// WearRBER is the RBER added per erase cycle of the page's block.
+	WearRBER float64
+	// RetentionRBER is the RBER added per RetentionUnit elapsed between
+	// the page's program and the read (charge loss over time).
+	RetentionRBER float64
+	// RetentionUnit is the logical-clock interval of one retention step.
+	RetentionUnit time.Duration
+	// DisturbRBER is the RBER added per DisturbUnit reads served by the
+	// page's block since its last erase (read disturb).
+	DisturbRBER float64
+	// DisturbUnit is the block read count of one disturb step.
+	DisturbUnit uint32
+
+	// ECCHardBits is the per-data-area bit-error budget of the inline
+	// hard decode: at most this many errors are corrected for free.
+	ECCHardBits int
+	// ECCSoftBits is the budget with read-retry soft decode; errors
+	// beyond it are uncorrectable. The OOB area uses both budgets scaled
+	// by its size (with a floor of 1/2 bits), mirroring the weaker
+	// spare-area code on real parts.
+	ECCSoftBits int
+	// MaxReadRetries caps the retry rounds charged for a soft-decoded
+	// read; each round occupies the channel for one page-read latency.
+	MaxReadRetries int
+
+	// ProgramFailBase/ProgramFailWear give the per-program failure
+	// probability: base + wear·(block erase count).
+	ProgramFailBase float64
+	ProgramFailWear float64
+	// EraseFailBase/EraseFailWear give the per-erase failure
+	// probability on the same wear ramp.
+	EraseFailBase float64
+	EraseFailWear float64
+}
+
+// DefaultFaults returns a FaultConfig with every aging mechanism active,
+// scaled off one base RBER: wear adds 2% of base per P/E cycle,
+// retention doubles the base per 30 simulated seconds unrefreshed, and
+// read disturb adds half the base per thousand block reads. Whole-op
+// failures are rare events two orders of magnitude *below* the bit
+// error rate (a part with RBER 1e-4 fails roughly one program in a
+// million), growing slowly with wear — each one costs a whole block to
+// retirement, so their rate, not the RBER, bounds device lifetime.
+// rber ≈ 1e-7 models a healthy drive; 1e-4 a badly aged one (4KB
+// pages: λ ≈ 3.3 raw errors per read).
+func DefaultFaults(seed int64, rber float64) FaultConfig {
+	return FaultConfig{
+		Enabled:         true,
+		Seed:            seed,
+		BaseRBER:        rber,
+		WearRBER:        rber / 50,
+		RetentionRBER:   rber,
+		RetentionUnit:   30 * time.Second,
+		DisturbRBER:     rber / 2,
+		DisturbUnit:     1000,
+		ECCHardBits:     8,
+		ECCSoftBits:     24,
+		MaxReadRetries:  4,
+		ProgramFailBase: rber / 100,
+		ProgramFailWear: rber / 1e4,
+		EraseFailBase:   rber / 50,
+		EraseFailWear:   rber / 5e3,
+	}
+}
+
+// Validate reports malformed fault configurations (no-op when disabled).
+func (f FaultConfig) Validate() error {
+	if !f.Enabled {
+		return nil
+	}
+	switch {
+	case f.BaseRBER < 0 || f.BaseRBER >= 1 || math.IsNaN(f.BaseRBER):
+		return fmt.Errorf("flash: BaseRBER %v out of range [0, 1)", f.BaseRBER)
+	case f.WearRBER < 0 || f.RetentionRBER < 0 || f.DisturbRBER < 0:
+		return fmt.Errorf("flash: negative aging RBER coefficients")
+	case f.RetentionRBER > 0 && f.RetentionUnit <= 0:
+		return fmt.Errorf("flash: RetentionRBER needs a positive RetentionUnit")
+	case f.DisturbRBER > 0 && f.DisturbUnit == 0:
+		return fmt.Errorf("flash: DisturbRBER needs a positive DisturbUnit")
+	case f.ECCHardBits < 0 || f.ECCSoftBits < f.ECCHardBits:
+		return fmt.Errorf("flash: ECC budgets hard=%d soft=%d must satisfy 0 ≤ hard ≤ soft",
+			f.ECCHardBits, f.ECCSoftBits)
+	case f.MaxReadRetries < 1:
+		return fmt.Errorf("flash: MaxReadRetries %d must be at least 1", f.MaxReadRetries)
+	case f.ProgramFailBase < 0 || f.ProgramFailBase > 1 ||
+		f.EraseFailBase < 0 || f.EraseFailBase > 1 ||
+		f.ProgramFailWear < 0 || f.EraseFailWear < 0:
+		return fmt.Errorf("flash: program/erase failure probabilities out of range")
+	}
+	return nil
+}
+
+// faultModel is the sampling state: one seeded stream shared by all
+// operations (the simulation is single-threaded per device, so the
+// stream order — and therefore every fault — is reproducible).
+type faultModel struct {
+	cfg FaultConfig
+	rng *rand.Rand
+}
+
+func newFaultModel(cfg FaultConfig) *faultModel {
+	if !cfg.Enabled {
+		return nil
+	}
+	return &faultModel{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// rber returns the page's current raw bit-error rate.
+func (f *faultModel) rber(erases uint32, age time.Duration, blockReads uint32) float64 {
+	r := f.cfg.BaseRBER + f.cfg.WearRBER*float64(erases)
+	if f.cfg.RetentionRBER > 0 && age > 0 {
+		r += f.cfg.RetentionRBER * (float64(age) / float64(f.cfg.RetentionUnit))
+	}
+	if f.cfg.DisturbRBER > 0 {
+		r += f.cfg.DisturbRBER * (float64(blockReads) / float64(f.cfg.DisturbUnit))
+	}
+	if r > 0.5 {
+		r = 0.5 // a page cannot be more than half wrong on average
+	}
+	return r
+}
+
+// poisson samples a Poisson(λ) variate: Knuth's product method for
+// small λ, a clamped normal approximation beyond (λ > 30 only occurs on
+// catastrophically aged pages, where the exact tail shape is moot).
+func (f *faultModel) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		k := int(math.Round(lambda + math.Sqrt(lambda)*f.rng.NormFloat64()))
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= f.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// readOutcome classifies one region read: retries is the charged
+// read-retry rounds (0 for a clean or hard-decoded read), corrected
+// reports whether any bit error was corrected, uecc whether the region
+// is unreadable. hardBits/softBits are the region's ECC budgets.
+func (f *faultModel) readOutcome(rber float64, regionBits, hardBits, softBits int) (retries int, corrected, uecc bool) {
+	k := f.poisson(rber * float64(regionBits))
+	switch {
+	case k == 0:
+		return 0, false, false
+	case k <= hardBits:
+		return 0, true, false
+	case k <= softBits:
+		// Retry rounds scale with how deep into the soft budget the
+		// error count sits: a marginal page decodes on the first retry,
+		// a nearly-lost one walks the whole retry table.
+		span := softBits - hardBits
+		r := 1 + (k-hardBits-1)*(f.cfg.MaxReadRetries-1)/max(1, span-1)
+		if r > f.cfg.MaxReadRetries {
+			r = f.cfg.MaxReadRetries
+		}
+		return r, true, false
+	default:
+		return f.cfg.MaxReadRetries, false, true
+	}
+}
+
+// oobBudget scales the data-area ECC budgets down to the OOB area
+// (floored at 1 hard / 2 soft bits so the spare-area code is never
+// stronger than one symbol).
+func (f *faultModel) oobBudget(dataBits, oobBits int) (hard, soft int) {
+	hard = f.cfg.ECCHardBits * oobBits / max(1, dataBits)
+	soft = f.cfg.ECCSoftBits * oobBits / max(1, dataBits)
+	if hard < 1 {
+		hard = 1
+	}
+	if soft < hard+1 {
+		soft = hard + 1
+	}
+	return hard, soft
+}
+
+// opFails samples one program/erase failure probability.
+func (f *faultModel) opFails(base, wear float64, erases uint32) bool {
+	p := base + wear*float64(erases)
+	if p <= 0 {
+		return false
+	}
+	if p > 1 {
+		p = 1
+	}
+	return f.rng.Float64() < p
+}

@@ -29,6 +29,10 @@ type Config struct {
 	ReadLatency   time.Duration // page read (20µs in Table 1)
 	WriteLatency  time.Duration // page program (200µs)
 	EraseLatency  time.Duration // block erase (1.5ms)
+
+	// Fault selects the seeded reliability model (see fault.go). The
+	// zero value is perfect flash.
+	Fault FaultConfig
 }
 
 // SimulatorDefaults mirrors the paper's Table 1 geometry with capacity
@@ -69,7 +73,7 @@ func (c Config) Validate() error {
 	case c.TotalPages() > int(addr.InvalidPPA):
 		return fmt.Errorf("flash: %d pages exceed the PPA space", c.TotalPages())
 	}
-	return nil
+	return c.Fault.Validate()
 }
 
 // Blocks returns the total number of erase blocks.
@@ -112,11 +116,20 @@ func (c Config) FirstPPA(b BlockID) addr.PPA {
 }
 
 // Stats counts physical flash operations; the write amplification factor
-// (paper Figure 25) and all latency modelling derive from these.
+// (paper Figure 25) and all latency modelling derive from these. The
+// reliability counters stay zero on perfect flash.
 type Stats struct {
 	PageReads   uint64
 	PageWrites  uint64
 	BlockErases uint64
+
+	// Reliability counters (fault injection).
+	CorrectedReads uint64 // reads that needed any ECC correction
+	ECCRetries     uint64 // read-retry rounds charged on the channels
+	DataUECC       uint64 // data-area reads beyond the soft-decode budget
+	OOBUECC        uint64 // OOB-area decodes beyond the (scaled) budget
+	ProgramFails   uint64 // failed page programs (burned pages)
+	EraseFails     uint64 // failed block erases
 }
 
 // Array is the simulated flash array. It stores, per page, an opaque
@@ -145,6 +158,13 @@ type Array struct {
 	// the channel to drain (serveRead).
 	tailErase []bool
 	stats     Stats
+
+	// Reliability state: per-block read counts since the last erase
+	// (read disturb), per-page program times (retention aging), and the
+	// seeded fault model (nil on perfect flash).
+	blockReads []uint32
+	progAt     []time.Duration
+	fault      *faultModel
 }
 
 // NewArray allocates a fully-erased flash array.
@@ -154,15 +174,18 @@ func NewArray(cfg Config) (*Array, error) {
 	}
 	n := cfg.TotalPages()
 	return &Array{
-		cfg:       cfg,
-		token:     make([]uint64, n),
-		reverse:   make([]addr.LPA, n),
-		seq:       make([]uint64, n),
-		written:   make([]bool, n),
-		nextPg:    make([]int, cfg.Blocks()),
-		erases:    make([]uint32, cfg.Blocks()),
-		busy:      make([]time.Duration, cfg.Channels),
-		tailErase: make([]bool, cfg.Channels),
+		cfg:        cfg,
+		token:      make([]uint64, n),
+		reverse:    make([]addr.LPA, n),
+		seq:        make([]uint64, n),
+		written:    make([]bool, n),
+		nextPg:     make([]int, cfg.Blocks()),
+		erases:     make([]uint32, cfg.Blocks()),
+		busy:       make([]time.Duration, cfg.Channels),
+		tailErase:  make([]bool, cfg.Channels),
+		blockReads: make([]uint32, cfg.Blocks()),
+		progAt:     make([]time.Duration, n),
+		fault:      newFaultModel(cfg.Fault),
 	}, nil
 }
 
@@ -221,26 +244,98 @@ func (a *Array) serveRead(ch int, now time.Duration) time.Duration {
 	return done
 }
 
+// sampleRead runs the fault model for one page read: charges retry
+// rounds on ch (each a full page-read latency), counts correction
+// stats, and reports whether the data and/or OOB region is
+// uncorrectable. Unwritten (erased) pages never fault.
+func (a *Array) sampleRead(ppa addr.PPA, ch int, done time.Duration, wantData, wantOOB bool) (time.Duration, bool, bool) {
+	if a.fault == nil || !a.written[ppa] {
+		return done, false, false
+	}
+	b := a.cfg.BlockOf(ppa)
+	rber := a.fault.rber(a.erases[b], a.busyAge(ppa, done), a.blockReads[b])
+	dataBits := a.cfg.PageSize * 8
+	oobBits := a.cfg.OOBSize * 8
+	retries, corrected := 0, false
+	var dataUECC, oobUECC bool
+	if wantData {
+		r, c, u := a.fault.readOutcome(rber, dataBits, a.fault.cfg.ECCHardBits, a.fault.cfg.ECCSoftBits)
+		retries, corrected, dataUECC = retries+r, corrected || c, u
+	}
+	if wantOOB {
+		hard, soft := a.fault.oobBudget(dataBits, oobBits)
+		r, c, u := a.fault.readOutcome(rber, oobBits, hard, soft)
+		retries, corrected, oobUECC = retries+r, corrected || c, u
+	}
+	for i := 0; i < retries; i++ {
+		done = a.serveRead(ch, done)
+	}
+	a.stats.ECCRetries += uint64(retries)
+	if corrected && !dataUECC && !oobUECC {
+		a.stats.CorrectedReads++
+	}
+	if dataUECC {
+		a.stats.DataUECC++
+	}
+	if oobUECC {
+		a.stats.OOBUECC++
+	}
+	return done, dataUECC, oobUECC
+}
+
+// busyAge returns how long ago ppa was programmed, on the simulated
+// clock (0 for unwritten pages or clock skew).
+func (a *Array) busyAge(ppa addr.PPA, now time.Duration) time.Duration {
+	if !a.written[ppa] || now <= a.progAt[ppa] {
+		return 0
+	}
+	return now - a.progAt[ppa]
+}
+
 // Read returns the page payload token and its OOB reverse-mapping LPA.
-// done is when the read completes on the page's channel.
-func (a *Array) Read(ppa addr.PPA, now time.Duration) (token uint64, reverse addr.LPA, done time.Duration) {
+// done is when the read completes on the page's channel, including any
+// charged ECC read-retry rounds. err is nil (possibly after silent
+// correction), ErrUncorrectable (data area lost — token is invalid), or
+// ErrOOBUncorrectable (token intact, reverse mapping lost and returned
+// as InvalidLPA).
+func (a *Array) Read(ppa addr.PPA, now time.Duration) (token uint64, reverse addr.LPA, done time.Duration, err error) {
 	a.stats.PageReads++
+	a.blockReads[a.cfg.BlockOf(ppa)]++
 	done = a.serveRead(a.cfg.ChannelOf(ppa), now)
-	return a.token[ppa], a.reverse[ppa], done
+	done, dataUECC, oobUECC := a.sampleRead(ppa, a.cfg.ChannelOf(ppa), done, true, true)
+	switch {
+	case dataUECC:
+		return 0, addr.InvalidLPA, done, fmt.Errorf("%w: PPA %d", ErrUncorrectable, ppa)
+	case oobUECC:
+		return a.token[ppa], addr.InvalidLPA, done, fmt.Errorf("%w: PPA %d", ErrOOBUncorrectable, ppa)
+	}
+	return a.token[ppa], a.reverse[ppa], done, nil
 }
 
 // ReadOOB models a read that only needs the OOB area; it costs a full
 // page read (NAND reads whole pages) but returns just the reverse LPA.
-func (a *Array) ReadOOB(ppa addr.PPA, now time.Duration) (addr.LPA, time.Duration) {
-	_, rev, done := a.Read(ppa, now)
-	return rev, done
+// Only the OOB region is ECC-decoded.
+func (a *Array) ReadOOB(ppa addr.PPA, now time.Duration) (addr.LPA, time.Duration, error) {
+	a.stats.PageReads++
+	a.blockReads[a.cfg.BlockOf(ppa)]++
+	done := a.serveRead(a.cfg.ChannelOf(ppa), now)
+	done, _, oobUECC := a.sampleRead(ppa, a.cfg.ChannelOf(ppa), done, false, true)
+	if oobUECC {
+		return addr.InvalidLPA, done, fmt.Errorf("%w: PPA %d", ErrOOBUncorrectable, ppa)
+	}
+	return a.reverse[ppa], done, nil
 }
 
 // Write programs a free page with the payload token and OOB reverse
 // mapping. Programming a non-free or out-of-order page panics: the FTL
 // above must never do that, and a panic here is a broken-invariant
-// signal, not an I/O error.
-func (a *Array) Write(ppa addr.PPA, lpa addr.LPA, token uint64, now time.Duration) time.Duration {
+// signal, not an I/O error. A program can fail with wear-growing
+// probability under the fault model (ErrProgramFail): the page is
+// burned — it counts as written, holds no usable data, and its OOB is
+// nulled so recovery scans skip it — and the layer above must retire
+// the block and re-program the data elsewhere. Failed programs still
+// occupy the channel for the program latency.
+func (a *Array) Write(ppa addr.PPA, lpa addr.LPA, token uint64, now time.Duration) (time.Duration, error) {
 	b := a.cfg.BlockOf(ppa)
 	pg := a.cfg.PageOf(ppa)
 	if a.written[ppa] {
@@ -251,16 +346,33 @@ func (a *Array) Write(ppa addr.PPA, lpa addr.LPA, token uint64, now time.Duratio
 	}
 	a.nextPg[b] = pg + 1
 	a.written[ppa] = true
+	a.progAt[ppa] = now
+	done := a.serve(a.cfg.ChannelOf(ppa), now, a.cfg.WriteLatency, false)
+	if a.fault != nil && a.fault.opFails(a.fault.cfg.ProgramFailBase, a.fault.cfg.ProgramFailWear, a.erases[b]) {
+		a.token[ppa] = 0
+		a.reverse[ppa] = addr.InvalidLPA
+		a.seq[ppa] = 0
+		a.stats.ProgramFails++
+		return done, fmt.Errorf("%w: PPA %d", ErrProgramFail, ppa)
+	}
 	a.token[ppa] = token
 	a.reverse[ppa] = lpa
 	a.seqGen++
 	a.seq[ppa] = a.seqGen
 	a.stats.PageWrites++
-	return a.serve(a.cfg.ChannelOf(ppa), now, a.cfg.WriteLatency, false)
+	return done, nil
 }
 
-// Erase wipes block b, making its pages programmable again.
-func (a *Array) Erase(b BlockID, now time.Duration) time.Duration {
+// Erase wipes block b, making its pages programmable again. An erase
+// can fail with wear-growing probability (ErrEraseFail): the block
+// keeps its stale contents and must be retired by the layer above.
+func (a *Array) Erase(b BlockID, now time.Duration) (time.Duration, error) {
+	done := a.serve(int(uint32(b)%uint32(a.cfg.Channels)), now, a.cfg.EraseLatency, true)
+	if a.fault != nil && a.fault.opFails(a.fault.cfg.EraseFailBase, a.fault.cfg.EraseFailWear, a.erases[b]) {
+		a.stats.EraseFails++
+		a.erases[b]++ // the cycle was attempted; it wears the block
+		return done, fmt.Errorf("%w: block %d", ErrEraseFail, b)
+	}
 	first := a.cfg.FirstPPA(b)
 	for i := 0; i < a.cfg.PagesPerBlock; i++ {
 		p := first + addr.PPA(i)
@@ -268,11 +380,13 @@ func (a *Array) Erase(b BlockID, now time.Duration) time.Duration {
 		a.token[p] = 0
 		a.reverse[p] = addr.InvalidLPA
 		a.seq[p] = 0
+		a.progAt[p] = 0
 	}
 	a.nextPg[b] = 0
 	a.erases[b]++
+	a.blockReads[b] = 0
 	a.stats.BlockErases++
-	return a.serve(int(uint32(b)%uint32(a.cfg.Channels)), now, a.cfg.EraseLatency, true)
+	return done, nil
 }
 
 // Written reports whether ppa currently holds programmed data.
@@ -338,9 +452,18 @@ func (a *Array) metaChannel() int {
 // gamma must satisfy 2·gamma+1 ≤ Config.OOBEntries — the FTL checks this
 // at construction, mirroring the paper's observation that a 128–256B OOB
 // holds 32–64 entries.
-func (a *Array) OOBWindow(center addr.PPA, gamma int, now time.Duration) (window []addr.LPA, done time.Duration) {
+//
+// The window lives in center's OOB area, so the read can come back
+// ErrOOBUncorrectable under the fault model (window unusable, returned
+// nil); retry rounds are charged into done like any other read.
+func (a *Array) OOBWindow(center addr.PPA, gamma int, now time.Duration) (window []addr.LPA, done time.Duration, err error) {
 	a.stats.PageReads++
+	a.blockReads[a.cfg.BlockOf(center)]++
 	done = a.serveRead(a.cfg.ChannelOf(center), now)
+	done, _, oobUECC := a.sampleRead(center, a.cfg.ChannelOf(center), done, false, true)
+	if oobUECC {
+		return nil, done, fmt.Errorf("%w: PPA %d (OOB window)", ErrOOBUncorrectable, center)
+	}
 	window = make([]addr.LPA, 2*gamma+1)
 	lo := int64(center) - int64(gamma)
 	// The stored window covers neighbors within the same block; the paper
@@ -355,5 +478,77 @@ func (a *Array) OOBWindow(center addr.PPA, gamma int, now time.Duration) (window
 		}
 		window[i] = a.reverse[p]
 	}
-	return window, done
+	return window, done, nil
+}
+
+// BlockReads returns how many page reads block b has served since its
+// last erase (the read-disturb counter behind read-reclaim scrubbing).
+func (a *Array) BlockReads(b BlockID) uint32 { return a.blockReads[b] }
+
+// BlockProgrammedAt returns when block b's first page was programmed
+// after its last erase (0 when the block is empty) — the retention age
+// base the scrub sweep compares against.
+func (a *Array) BlockProgrammedAt(b BlockID) time.Duration {
+	first := a.cfg.FirstPPA(b)
+	if !a.written[first] {
+		return 0
+	}
+	return a.progAt[first]
+}
+
+// ProgrammedPages returns how many pages of block b have been
+// programmed since its last erase (recovery uses it to tell allocated
+// blocks from free ones after all RAM state is lost).
+func (a *Array) ProgrammedPages(b BlockID) int { return a.nextPg[b] }
+
+// ScanOOB is the crash-recovery scan primitive: one page's OOB decode
+// (reverse LPA + write sequence) with fault sampling but without
+// timing — the channel-parallel scan charges its own latency, and the
+// scan's own reads are not counted as disturb (the block is typically
+// erased or rewritten right after recovery anyway). Returns
+// ErrOOBUncorrectable when the OOB region is unreadable.
+func (a *Array) ScanOOB(ppa addr.PPA, now time.Duration) (addr.LPA, uint64, error) {
+	if !a.written[ppa] {
+		return addr.InvalidLPA, 0, nil
+	}
+	if a.fault != nil {
+		b := a.cfg.BlockOf(ppa)
+		rber := a.fault.rber(a.erases[b], a.busyAge(ppa, now), a.blockReads[b])
+		oobBits := a.cfg.OOBSize * 8
+		hard, soft := a.fault.oobBudget(a.cfg.PageSize*8, oobBits)
+		retries, corrected, uecc := a.fault.readOutcome(rber, oobBits, hard, soft)
+		a.stats.ECCRetries += uint64(retries)
+		if corrected && !uecc {
+			a.stats.CorrectedReads++
+		}
+		if uecc {
+			a.stats.OOBUECC++
+			return addr.InvalidLPA, 0, fmt.Errorf("%w: PPA %d (scan)", ErrOOBUncorrectable, ppa)
+		}
+	}
+	return a.reverse[ppa], a.seq[ppa], nil
+}
+
+// ScanSibling recovers ppa's OOB record from a neighbor page's OOB
+// window (§3.5 stores each page's reverse mapping redundantly in its
+// in-block neighbors' windows, sequence number alongside). The later
+// neighbor is preferred — it was programmed after ppa, so its window
+// definitely recorded ppa. Costs one page read, charged by the caller;
+// fails when no programmed in-block sibling exists or the sibling's own
+// OOB is unreadable.
+func (a *Array) ScanSibling(ppa addr.PPA, now time.Duration) (addr.LPA, uint64, error) {
+	b := a.cfg.BlockOf(ppa)
+	var sib addr.PPA
+	switch {
+	case int64(ppa)+1 <= int64(a.cfg.FirstPPA(b))+int64(a.cfg.PagesPerBlock)-1 && a.written[ppa+1]:
+		sib = ppa + 1
+	case int64(ppa)-1 >= int64(a.cfg.FirstPPA(b)) && a.written[ppa-1]:
+		sib = ppa - 1
+	default:
+		return addr.InvalidLPA, 0, fmt.Errorf("%w: PPA %d has no programmed sibling", ErrOOBUncorrectable, ppa)
+	}
+	if _, _, err := a.ScanOOB(sib, now); err != nil {
+		return addr.InvalidLPA, 0, err
+	}
+	return a.reverse[ppa], a.seq[ppa], nil
 }

@@ -50,11 +50,11 @@ func TestWriteReadEraseCycle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done := a.Write(0, 100, 0xdead, 0)
+	done, _ := a.Write(0, 100, 0xdead, 0)
 	if done != a.Config().WriteLatency {
 		t.Errorf("first write done at %v", done)
 	}
-	tok, rev, _ := a.Read(0, done)
+	tok, rev, _, _ := a.Read(0, done)
 	if tok != 0xdead || rev != 100 {
 		t.Errorf("read back %x/%d", tok, rev)
 	}
@@ -100,12 +100,12 @@ func TestChannelQueueing(t *testing.T) {
 	a, _ := NewArray(testCfg())
 	// Block 0 (channel 0) and block 1 (channel 1) proceed in parallel;
 	// two ops on the same channel serialize.
-	d1 := a.Write(0, 0, 0, 0)                      // ch 0
-	d2 := a.Write(a.Config().FirstPPA(1), 1, 0, 0) // ch 1
+	d1, _ := a.Write(0, 0, 0, 0)                      // ch 0
+	d2, _ := a.Write(a.Config().FirstPPA(1), 1, 0, 0) // ch 1
 	if d1 != d2 {
 		t.Errorf("parallel channels finished at %v and %v", d1, d2)
 	}
-	d3 := a.Write(1, 2, 0, 0) // ch 0 again, queued behind d1
+	d3, _ := a.Write(1, 2, 0, 0) // ch 0 again, queued behind d1
 	if d3 != d1+a.Config().WriteLatency {
 		t.Errorf("queued write done at %v, want %v", d3, d1+a.Config().WriteLatency)
 	}
@@ -116,7 +116,7 @@ func TestOOBWindow(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		a.Write(addr.PPA(i), addr.LPA(1000+i*2), 0, 0)
 	}
-	win, _ := a.OOBWindow(4, 2, 0)
+	win, _, _ := a.OOBWindow(4, 2, 0)
 	want := []addr.LPA{1004, 1006, 1008, 1010, 1012}
 	for i := range want {
 		if win[i] != want[i] {
@@ -124,7 +124,7 @@ func TestOOBWindow(t *testing.T) {
 		}
 	}
 	// Window at the block edge nulls out-of-block slots.
-	win, _ = a.OOBWindow(0, 2, 0)
+	win, _, _ = a.OOBWindow(0, 2, 0)
 	if win[0] != addr.InvalidLPA || win[1] != addr.InvalidLPA {
 		t.Errorf("edge window = %v, want leading nulls", win[:2])
 	}
@@ -177,7 +177,7 @@ func TestReadSuspensionPrograms(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		a.Write(addr.PPA(i), addr.LPA(i), 0, 0)
 	}
-	_, _, done := a.Read(0, 0)
+	_, _, done, _ := a.Read(0, 0)
 	want := cfg.WriteLatency + cfg.ReadLatency // one program, not three
 	if done != want {
 		t.Errorf("read behind program burst done at %v, want %v", done, want)
@@ -199,7 +199,7 @@ func TestReadWaitsForErase(t *testing.T) {
 	}
 	// Block 2 shares channel 0; its page 16 is unwritten but readable
 	// (reads of erased pages still occupy the channel).
-	_, _, done := a.Read(16, 0)
+	_, _, done, _ := a.Read(16, 0)
 	if want := busy + cfg.ReadLatency; done != want {
 		t.Errorf("read behind erase done at %v, want %v (no mid-erase start)", done, want)
 	}
@@ -214,7 +214,7 @@ func TestReadBehindEraseThenProgram(t *testing.T) {
 	a.Write(0, 0, 0, 0)
 	a.Erase(0, cfg.WriteLatency)
 	a.Write(0, 9, 9, 0) // re-program after the erase; tail is a program
-	_, _, done := a.Read(16, 0)
+	_, _, done, _ := a.Read(16, 0)
 	if want := cfg.WriteLatency + cfg.ReadLatency; done != want {
 		t.Errorf("read behind erase+program done at %v, want capped %v", done, want)
 	}

@@ -1,7 +1,6 @@
 package ssd
 
 import (
-	"math/rand"
 	"testing"
 
 	"leaftl/internal/addr"
@@ -16,7 +15,7 @@ import (
 func churnAutotune(t *testing.T, d *Device, seed int64, ops int) {
 	t.Helper()
 	logical := d.LogicalPages()
-	rng := rand.New(rand.NewSource(seed))
+	rng := seededRand(t, seed)
 	// Fill the first half so reads hit mapped pages.
 	for lpa := 0; lpa+8 <= logical/2; lpa += 8 {
 		if _, err := d.Write(addr.LPA(lpa), 8); err != nil {
@@ -167,7 +166,7 @@ func TestAutotuneGammaSurvivesRecovery(t *testing.T) {
 	churnAutotune(t, d, 17, 4000)
 	d.SetMappingBudget(d.Scheme().FullSizeBytes() / 3)
 	// More traffic under the budget so groups cycle through flash.
-	churnMore := rand.New(rand.NewSource(18))
+	churnMore := seededRand(t, 18)
 	for op := 0; op < 1500; op++ {
 		if op%3 == 0 {
 			if _, err := d.Write(addr.LPA(churnMore.Intn(d.LogicalPages()/2)), 1); err != nil {

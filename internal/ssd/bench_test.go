@@ -1,7 +1,6 @@
 package ssd
 
 import (
-	"math/rand"
 	"testing"
 
 	"leaftl/internal/addr"
@@ -16,7 +15,7 @@ func BenchmarkDeviceWrite(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(1))
+	rng := seededRand(b, 1)
 	logical := d.LogicalPages()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -44,7 +43,7 @@ func BenchmarkDeviceRead(b *testing.B) {
 	if err := d.Flush(); err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
+	rng := seededRand(b, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := d.Read(addr.LPA(rng.Intn(logical/2)), 1); err != nil {

@@ -83,6 +83,18 @@ type Config struct {
 	// Each open stream pins one block out of the free pool.
 	GCStreams int
 
+	// ScrubDisturbReads triggers read-reclaim scrubbing: a sealed block
+	// whose read count since its last erase reaches this threshold is
+	// relocated through the GC streams before read disturb accumulates
+	// into uncorrectable errors. 0 disables disturb-driven scrubbing.
+	ScrubDisturbReads uint32
+
+	// ScrubRetentionAge triggers retention scrubbing: a sealed block
+	// whose oldest page has sat programmed for this long is relocated
+	// (refreshing its charge) at the next flush. 0 disables
+	// retention-driven scrubbing.
+	ScrubRetentionAge time.Duration
+
 	// Shards selects how many ways the translation scheme's mapping core
 	// is partitioned for concurrent translation (0 or 1 = unsharded).
 	// The closed-loop device serializes requests either way — sharding
@@ -142,6 +154,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ssd: Shards = %d out of range [0, 1024]", c.Shards)
 	case c.GCStreams < 0 || c.GCStreams > 16:
 		return fmt.Errorf("ssd: GCStreams = %d out of range [0, 16]", c.GCStreams)
+	case c.ScrubRetentionAge < 0:
+		return fmt.Errorf("ssd: ScrubRetentionAge = %v must not be negative", c.ScrubRetentionAge)
 	}
 	if _, err := GCPolicyByName(c.GCPolicy); err != nil {
 		return err

@@ -61,6 +61,18 @@ type Device struct {
 	streams []gcStream
 	lpaHeat []uint64 // per-LPA writeStamp at last host write
 
+	// Reliability state: bad marks blocks retired (or sealed awaiting
+	// retirement) after program/erase failures — a persisted bad-block
+	// table on real parts, so it survives crashes; lost marks LPAs whose
+	// only copy was destroyed by uncorrectable errors (reads return
+	// *UECCError until the host rewrites them); scrubPend/scrubSet queue
+	// blocks past their disturb/retention thresholds for read-reclaim.
+	bad       []bool
+	lost      []bool
+	scrubPend []flash.BlockID
+	scrubSet  []bool
+	crashHook func(string)
+
 	// flushDone is when the last flush's slowest program completes; the
 	// next flush stalls behind it (write back-pressure: the host cannot
 	// outrun the flash's program bandwidth indefinitely). gcHorizon is
@@ -121,6 +133,9 @@ func New(cfg Config, scheme ftl.Scheme) (*Device, error) {
 		victims:      newVictimIndex(cfg.Flash.Blocks(), cfg.Flash.PagesPerBlock),
 		streams:      make([]gcStream, streams),
 		lpaHeat:      make([]uint64, cfg.LogicalPages()),
+		bad:          make([]bool, cfg.Flash.Blocks()),
+		lost:         make([]bool, cfg.LogicalPages()),
+		scrubSet:     make([]bool, cfg.Flash.Blocks()),
 		readLat:      metrics.NewHistogram(),
 		writeLat:     metrics.NewHistogram(),
 	}
@@ -261,6 +276,14 @@ func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
 	lat := end - start
 	d.now = end
 	d.readLat.Observe(lat)
+	// Reads tick disturb counters; relocate whatever crossed the scrub
+	// threshold before acknowledging (the relocation itself runs in the
+	// background on the GC horizon).
+	if len(d.scrubPend) > 0 {
+		if err := d.drainScrub(end); err != nil {
+			return 0, err
+		}
+	}
 	// A translation that charged meta traffic loaded or evicted mapping
 	// state, and with live feedback a misprediction may have grown the
 	// table (the adaptive scheme pins the corrected mapping); give the
@@ -277,6 +300,12 @@ func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
 func (d *Device) readPage(lpa addr.LPA, t time.Duration) (time.Duration, error) {
 	d.stats.HostPagesRead++
 
+	if d.lost[lpa] {
+		// The LPA's only copy was destroyed by an uncorrectable error;
+		// the host keeps getting the I/O error until it rewrites.
+		d.stats.HostUECCs++
+		return 0, &UECCError{LPA: lpa, PPA: addr.InvalidPPA}
+	}
 	if tok, ok := d.buffer[lpa]; ok {
 		d.stats.BufferHits++
 		_ = tok
@@ -316,10 +345,10 @@ func (d *Device) readPage(lpa addr.LPA, t time.Duration) (time.Duration, error) 
 	switch {
 	case tr.PPA == want && tr.Hint == 0:
 		// Correct prediction, no speculation: one flash read.
-		var rev addr.LPA
-		tok, rev, t = d.arr.Read(want, t)
-		if rev != lpa {
-			return 0, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", want, rev, lpa)
+		var err error
+		tok, t, err = d.verifiedRead(want, lpa, !tr.Approx, t)
+		if err != nil {
+			return 0, err
 		}
 	case !tr.Approx:
 		return 0, fmt.Errorf("ssd: exact scheme %s mistranslated LPA %d: got PPA %d, want %d",
@@ -376,22 +405,31 @@ func (d *Device) readApprox(lpa addr.LPA, tr ftl.Translation, want addr.PPA, t t
 		if miss {
 			d.stats.MissHintResolved++
 		}
-		tok, rev, t := d.arr.Read(want, t)
-		if rev != lpa {
-			return 0, false, t, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", want, rev, lpa)
+		tok, t, err := d.verifiedRead(want, lpa, false, t)
+		if err != nil {
+			return 0, false, t, err
 		}
 		return tok, miss, t, nil
 	}
 
 	// The first read landed on the wrong page; its OOB holds the reverse
 	// mappings of its ±gamma in-block neighborhood (one charged read).
-	window, t := d.arr.OOBWindow(first, d.gamma, t)
-	found := d.searchWindow(window, first, lpa)
+	// An unreadable window (OOB UECC) is treated as containing nothing,
+	// letting the fallbacks carry the search.
+	window, t, werr := d.arr.OOBWindow(first, d.gamma, t)
+	sawOOBErr := werr != nil
+	found := addr.InvalidPPA
+	if werr == nil {
+		found = d.searchWindow(window, first, lpa)
+	}
 	if found == addr.InvalidPPA && first != tr.PPA {
 		// The speculative aim missed the true page's window; fall back to
 		// the window around the prediction itself (a second charged read).
-		window, t = d.arr.OOBWindow(tr.PPA, d.gamma, t)
-		found = d.searchWindow(window, tr.PPA, lpa)
+		window, t, werr = d.arr.OOBWindow(tr.PPA, d.gamma, t)
+		sawOOBErr = sawOOBErr || werr != nil
+		if werr == nil {
+			found = d.searchWindow(window, tr.PPA, lpa)
+		}
 	}
 	if found == addr.InvalidPPA {
 		// Block-bounded windows can miss a true page across a block edge.
@@ -399,7 +437,9 @@ func (d *Device) readApprox(lpa addr.LPA, tr ftl.Translation, want addr.PPA, t t
 		// read), expanding outward from the hinted aim point so the
 		// likelier neighbor is read first.
 		d.stats.OOBFallbacks++
-		found, t = d.probeFallback(lpa, tr.PPA, first, tr.Hint, t)
+		var probeErr bool
+		found, t, probeErr = d.probeFallback(lpa, tr.PPA, first, tr.Hint, t)
+		sawOOBErr = sawOOBErr || probeErr
 	}
 	if miss {
 		if found == want {
@@ -409,12 +449,21 @@ func (d *Device) readApprox(lpa addr.LPA, tr ftl.Translation, want addr.PPA, t t
 		// polluting the resolution split.
 	}
 	if found != want {
+		if sawOOBErr {
+			// The search ran into unreadable OOB regions, so the true
+			// page's evidence may simply have been undecodable — an
+			// honest I/O error, not a bookkeeping bug.
+			d.stats.HostUECCs++
+			return 0, false, t, &UECCError{LPA: lpa, PPA: want}
+		}
 		return 0, false, t, fmt.Errorf("ssd: misprediction recovery for LPA %d found PPA %v, want %d",
 			lpa, found, want)
 	}
-	tok, rev, t := d.arr.Read(found, t)
-	if rev != lpa {
-		return 0, false, t, fmt.Errorf("ssd: OOB reverse mapping of PPA %d is %d, want %d", found, rev, lpa)
+	// The window (or probe) search already proved found holds lpa, so
+	// the final read's own OOB check may lean on that evidence.
+	tok, t, err := d.verifiedRead(found, lpa, true, t)
+	if err != nil {
+		return 0, false, t, err
 	}
 	return tok, false, t, nil
 }
@@ -442,14 +491,17 @@ func (d *Device) searchWindow(window []addr.LPA, center addr.PPA, lpa addr.LPA) 
 
 // probeFallback probes the unsearched candidates of [pred−γ, pred+γ]
 // with direct OOB reads, nearest-first around pred+hint, skipping the
-// blocks whose windows were already read.
-func (d *Device) probeFallback(lpa addr.LPA, pred, first addr.PPA, hint int, t time.Duration) (addr.PPA, time.Duration) {
+// blocks whose windows were already read. sawErr reports whether any
+// probe hit an unreadable OOB region (the caller uses it to tell an
+// I/O-induced search failure from a bookkeeping bug).
+func (d *Device) probeFallback(lpa addr.LPA, pred, first addr.PPA, hint int, t time.Duration) (addr.PPA, time.Duration, bool) {
 	lo := int64(pred) - int64(d.gamma)
 	hi := int64(pred) + int64(d.gamma)
 	total := int64(d.cfg.Flash.TotalPages())
 	firstBlock := d.cfg.Flash.BlockOf(first)
 	predBlock := d.cfg.Flash.BlockOf(pred)
 	aim := int64(pred) + int64(hint)
+	sawErr := false
 	for r := int64(0); r <= hi-lo; r++ {
 		for _, p := range [2]int64{aim + r, aim - r} {
 			if p < lo || p > hi || p < 0 || p >= total {
@@ -460,19 +512,20 @@ func (d *Device) probeFallback(lpa addr.LPA, pred, first addr.PPA, hint int, t t
 			if b == firstBlock || b == predBlock {
 				continue // already covered by a window read
 			}
-			var rev addr.LPA
-			rev, t = d.arr.ReadOOB(ppa, t)
-			if rev == lpa && d.valid[ppa] {
+			rev, t2, oerr := d.arr.ReadOOB(ppa, t)
+			t = t2
+			sawErr = sawErr || oerr != nil
+			if oerr == nil && rev == lpa && d.valid[ppa] {
 				// Validity-checked like searchWindow: a stale copy's OOB
 				// still names the LPA until its block is erased.
-				return ppa, t
+				return ppa, t, sawErr
 			}
 			if r == 0 {
 				break // aim+0 == aim-0
 			}
 		}
 	}
-	return addr.InvalidPPA, t
+	return addr.InvalidPPA, t, sawErr
 }
 
 // clampPPA clips a speculative page address into the device.
@@ -501,6 +554,7 @@ func (d *Device) Write(lpa addr.LPA, n int) (time.Duration, error) {
 		d.stats.HostPagesWrite++
 		d.writeStamp++
 		d.lpaHeat[l] = d.writeStamp
+		d.lost[l] = false // a rewrite replaces whatever was lost
 		tok := uint64(l)<<24 ^ d.writeStamp
 		d.buffer[l] = tok
 		d.token[l] = tok
@@ -563,6 +617,7 @@ func (d *Device) flushChunks(t time.Duration, includePartial bool) (time.Duratio
 	}
 	stall := wait - t
 	t = wait
+	d.crashPoint("flush.begin")
 	lpas := make([]addr.LPA, 0, len(d.buffer))
 	for l := range d.buffer {
 		lpas = append(lpas, l)
@@ -588,40 +643,88 @@ func (d *Device) flushChunks(t time.Duration, includePartial bool) (time.Duratio
 	}
 	d.chargeMeta(d.scheme.Maintain(d.stats.HostPagesWrite), t)
 	d.resizeCache()
-	return stall, d.maybeGC(t)
+	if err := d.maybeGC(t); err != nil {
+		return stall, err
+	}
+	// Reliability housekeeping rides the flush cadence: retention-aged
+	// blocks queue for scrubbing, the queue drains, and grown-bad blocks
+	// are retired.
+	d.retentionSweep(t)
+	if err := d.drainScrub(t); err != nil {
+		return stall, err
+	}
+	return stall, d.retireSweep(t)
 }
 
 // writeChunk programs one block's worth of buffered pages (sorted order
 // means ascending LPAs land on consecutive PPAs — the monotone mapping
 // §3.3 exploits) and commits the new mappings to the scheme.
+//
+// A program failure burns its page and condemns the block: the pages
+// already programmed are committed, the block is sealed bad (retired by
+// the next retireSweep), and the chunk continues — retrying the failed
+// page first — on a fresh block. maxProgramAttempts consecutive
+// failures of one page are a hard device failure.
 func (d *Device) writeChunk(chunk []addr.LPA, t time.Duration) (time.Duration, error) {
+	commit := func(pairs []addr.Mapping) {
+		if len(pairs) == 0 {
+			return
+		}
+		// In-buffer ordering is by insertion when sorting is disabled;
+		// the scheme contract wants sorted pairs, so sort the *mappings*
+		// without changing the physical layout (the learned patterns
+		// degrade, which is exactly what the no-sort ablation measures).
+		if !d.cfg.SortBuffer {
+			sort.Slice(pairs, func(i, j int) bool { return pairs[i].LPA < pairs[j].LPA })
+		}
+		d.chargeMeta(d.scheme.Commit(pairs), t)
+	}
 	b, err := d.allocBlock(t)
 	if err != nil {
 		return 0, err
 	}
-	first := d.cfg.Flash.FirstPPA(b)
-	pairs := make([]addr.Mapping, len(chunk))
-	var done time.Duration
-	for i, l := range chunk {
-		ppa := first + addr.PPA(i)
-		tok := d.buffer[l]
-		done = d.arr.Write(ppa, l, tok, t)
+	var (
+		done     time.Duration
+		pairs    []addr.Mapping
+		next     int // next page index in b
+		attempts int
+	)
+	for i := 0; i < len(chunk); {
+		l := chunk[i]
+		ppa := d.cfg.Flash.FirstPPA(b) + addr.PPA(next)
+		wdone, werr := d.arr.Write(ppa, l, d.buffer[l], t)
+		if wdone > done {
+			done = wdone
+		}
+		next++
+		if werr != nil {
+			attempts++
+			if attempts >= maxProgramAttempts {
+				return 0, fmt.Errorf("ssd: page for LPA %d failed to program on %d consecutive blocks: %w",
+					l, attempts, werr)
+			}
+			d.crashPoint("flush.progfail")
+			commit(pairs)
+			pairs = nil
+			d.abandonBadBlock(b)
+			if b, err = d.allocBlock(t); err != nil {
+				return 0, err
+			}
+			next = 0
+			continue // retry the same LPA on the fresh block
+		}
+		attempts = 0
 		d.invalidate(l)
 		d.truth[l] = ppa
 		d.valid[ppa] = true
 		d.bvc[b]++
-		pairs[i] = addr.Mapping{LPA: l, PPA: ppa}
+		pairs = append(pairs, addr.Mapping{LPA: l, PPA: ppa})
 		delete(d.buffer, l)
+		i++
 	}
-	// In-buffer ordering is by insertion when sorting is disabled; the
-	// scheme contract wants sorted pairs, so sort the *mappings* without
-	// changing the physical layout (the learned patterns degrade, which
-	// is exactly what the no-sort ablation measures).
-	if !d.cfg.SortBuffer {
-		sort.Slice(pairs, func(i, j int) bool { return pairs[i].LPA < pairs[j].LPA })
-	}
-	cost := d.scheme.Commit(pairs)
-	d.chargeMeta(cost, t)
+	d.crashPoint("flush.programmed")
+	commit(pairs)
+	d.crashPoint("flush.committed")
 	d.stats.FlushedBlocks++
 	// The chunk's block is sealed — no further programs land in it — so
 	// it becomes a GC candidate at its current valid count.
@@ -659,6 +762,7 @@ func (d *Device) allocBlock(t time.Duration) (flash.BlockID, error) {
 	d.isFree[b] = false
 	d.nextSeq++
 	d.blockSeq[b] = d.nextSeq
+	d.crashPoint("alloc")
 	return b, nil
 }
 
@@ -669,6 +773,7 @@ func (d *Device) chargeMeta(c ftl.Cost, t time.Duration) time.Duration {
 		d.stats.MetaReads++
 	}
 	for i := 0; i < c.MetaWrites; i++ {
+		d.crashPoint("meta.write")
 		t = d.arr.MetaWrite(t)
 		d.stats.MetaWrites++
 	}

@@ -49,6 +49,18 @@ func newTestDevice(t *testing.T, cfg Config, scheme ftl.Scheme) *Device {
 	return d
 }
 
+// seededRand returns the deterministic RNG driving a randomized
+// harness, and logs the seed when the test fails so the exact run can
+// be reproduced.
+func seededRand(t testing.TB, seed int64) *rand.Rand {
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("randomized harness seed: %d", seed)
+		}
+	})
+	return rand.New(rand.NewSource(seed))
+}
+
 func schemesUnderTest(cfg Config, gamma int) map[string]func() ftl.Scheme {
 	return map[string]func() ftl.Scheme{
 		"LeaFTL": func() ftl.Scheme { return leaftl.New(gamma, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000)) },
@@ -100,7 +112,7 @@ func TestDeviceRandomWorkloadIntegrity(t *testing.T) {
 			}
 			t.Run(name+"/"+gammaLabel(gamma), func(t *testing.T) {
 				d := newTestDevice(t, cfg, mk())
-				rng := rand.New(rand.NewSource(int64(7 + gamma)))
+				rng := seededRand(t, int64(7+gamma))
 				logical := d.LogicalPages()
 				written := make(map[int]bool)
 				for i := 0; i < 30000; i++ {
@@ -150,7 +162,7 @@ func gammaLabel(g int) string {
 func TestDeviceMispredictionRecovery(t *testing.T) {
 	cfg := testConfig()
 	d := newTestDevice(t, cfg, leaftl.New(8, cfg.Flash.PageSize))
-	rng := rand.New(rand.NewSource(3))
+	rng := seededRand(t, 3)
 	logical := d.LogicalPages()
 	// Irregular ascending writes create approximate segments.
 	var lpas []int
@@ -239,7 +251,7 @@ func TestDeviceWearLeveling(t *testing.T) {
 	cfg := testConfig()
 	cfg.WearDelta = 2
 	d := newTestDevice(t, cfg, leaftl.New(0, cfg.Flash.PageSize))
-	rng := rand.New(rand.NewSource(11))
+	rng := seededRand(t, 11)
 	hot := d.LogicalPages() / 8
 	// Write a cold region once...
 	for lpa := 0; lpa < d.LogicalPages()/2; lpa++ {
@@ -263,7 +275,7 @@ func TestDeviceRecovery(t *testing.T) {
 		t.Run(gammaLabel(gamma), func(t *testing.T) {
 			cfg := testConfig()
 			d := newTestDevice(t, cfg, leaftl.New(gamma, cfg.Flash.PageSize))
-			rng := rand.New(rand.NewSource(5))
+			rng := seededRand(t, 5)
 			logical := d.LogicalPages()
 			written := map[int]bool{}
 			for i := 0; i < 20000; i++ {

@@ -2,7 +2,6 @@ package ssd
 
 import (
 	"fmt"
-	"math/rand"
 	"strings"
 	"testing"
 
@@ -30,7 +29,7 @@ func TestDifferentialLeaFTLvsDFTL(t *testing.T) {
 				devB := newTestDevice(t, cfg, dftl.New(cfg.Flash.PageSize, 1<<20))
 				devs := []*Device{devA, devB}
 
-				rng := rand.New(rand.NewSource(int64(len(policy)*100 + streams)))
+				rng := seededRand(t, int64(len(policy)*100+streams))
 				logical := devA.LogicalPages()
 				hot := logical / 5
 				written := make(map[int]bool)
@@ -152,7 +151,7 @@ func TestGCFreePoolExhaustion(t *testing.T) {
 	}
 	// Keep churning until the device runs out of blocks; it must surface
 	// an error rather than wedge.
-	rng := rand.New(rand.NewSource(9))
+	rng := seededRand(t, 9)
 	for i := 0; i < 200000 && err == nil; i++ {
 		_, err = d.Write(addr.LPA(rng.Intn(logical)), 1)
 	}
@@ -180,7 +179,7 @@ func TestWearLevelingUnderEachPolicy(t *testing.T) {
 				cfg.GCStreams = streams
 				cfg.WearDelta = 2
 				d := newTestDevice(t, cfg, leaftl.New(0, cfg.Flash.PageSize))
-				rng := rand.New(rand.NewSource(11))
+				rng := seededRand(t, 11)
 				hot := d.LogicalPages() / 8
 				for lpa := 0; lpa < d.LogicalPages()/2; lpa++ {
 					if _, err := d.Write(addr.LPA(lpa), 1); err != nil {
@@ -211,7 +210,7 @@ func TestRandomWritePatternsProperty(t *testing.T) {
 	for _, policy := range GCPolicyNames() {
 		for _, streams := range []int{1, 3} {
 			t.Run(fmt.Sprintf("%s/streams%d", policy, streams), func(t *testing.T) {
-				rng := rand.New(rand.NewSource(int64(len(policy)*10 + streams)))
+				rng := seededRand(t, int64(len(policy)*10+streams))
 				cfg := testConfig()
 				cfg.GCPolicy = policy
 				cfg.GCStreams = streams

@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -61,7 +62,7 @@ func (d *Device) runGC(t time.Duration, minFree int, bestEffort bool) error {
 			return fmt.Errorf("ssd: GC policy %s found no victim that frees space (free=%d)",
 				d.policy.Name(), len(d.free))
 		}
-		done, err := d.moveBlock(victim, t)
+		done, err := d.reclaimBlock(victim, t, false)
 		if err != nil {
 			return err
 		}
@@ -79,13 +80,25 @@ func (d *Device) pickVictim() (flash.BlockID, bool) {
 	return d.policy.PickVictim(d.victims, d.writeStamp)
 }
 
-// moveBlock relocates a block's valid pages and erases it, returning
-// when the erase completes. Relocation is charged like any other flash
-// traffic: the copy-out reads occupy their channels, the copy-in
-// programs start only once the last read has returned (the pages must
-// be in the controller's DRAM before they can be written back), and the
-// erase follows the last program.
-func (d *Device) moveBlock(victim flash.BlockID, t time.Duration) (time.Duration, error) {
+// reclaimBlock relocates a block's valid pages and then either erases
+// it back into the free pool (GC, scrubbing, wear leveling) or retires
+// it (retire=true, and forced for grown-bad blocks and erase failures:
+// the block is never erased, never freed, and drops out of rotation).
+// Relocation is charged like any other flash traffic: the copy-out
+// reads occupy their channels, the copy-in programs start only once the
+// last read has returned (the pages must be in the controller's DRAM
+// before they can be written back), and the erase follows the last
+// program.
+//
+// Copy-out reads run under the fault model. A data UECC destroys the
+// page's payload: if the newest copy lives in the write buffer only the
+// stale flash copy died, otherwise the LPA is lost (reads return
+// *UECCError until the host rewrites it). An OOB UECC leaves the
+// payload intact but the reverse mapping unreadable; it is rebuilt from
+// a sibling's OOB window, falling back to the simulator's oracle as a
+// stand-in for the per-block P2L journal real controllers keep.
+func (d *Device) reclaimBlock(victim flash.BlockID, t time.Duration, retire bool) (time.Duration, error) {
+	retire = retire || d.bad[victim]
 	d.victims.remove(victim)
 	first := d.cfg.Flash.FirstPPA(victim)
 	type moved struct {
@@ -100,12 +113,42 @@ func (d *Device) moveBlock(victim flash.BlockID, t time.Duration) (time.Duration
 		if !d.valid[ppa] {
 			continue
 		}
-		tok, lpa, done := d.arr.Read(ppa, t)
+		tok, lpa, done, err := d.arr.Read(ppa, t)
 		if done > readsDone {
 			readsDone = done
 		}
+		if err != nil {
+			switch {
+			case errors.Is(err, flash.ErrUncorrectable):
+				// Payload gone. The reverse mapping may be gone with it;
+				// the oracle stands in for the controller's P2L journal.
+				l := lpa
+				if l == addr.InvalidLPA {
+					l = d.arr.Reverse(ppa)
+				}
+				if _, buffered := d.buffer[l]; buffered {
+					d.invalidate(l) // newest data is in RAM; only a stale-bound copy died
+				} else {
+					d.loseLPA(l)
+					d.stats.GCDataLoss++
+				}
+				continue
+			case errors.Is(err, flash.ErrOOBUncorrectable):
+				rev, t2 := d.reconstructReverse(ppa, readsDone)
+				if t2 > readsDone {
+					readsDone = t2
+				}
+				if rev == addr.InvalidLPA {
+					rev = d.arr.Reverse(ppa) // P2L-journal stand-in
+				}
+				lpa = rev
+			default:
+				return 0, err
+			}
+		}
 		pages = append(pages, moved{lpa: lpa, tok: tok, stream: d.streamOf(lpa)})
 	}
+	d.crashPoint("gc.read")
 	// Sort by LPA so relocated runs stay learnable (§3.6: "place these
 	// valid pages into the DRAM buffer, sort them by their LPAs, and
 	// learn a new index segment").
@@ -130,38 +173,85 @@ func (d *Device) moveBlock(victim flash.BlockID, t time.Duration) (time.Duration
 			if pg.stream != s {
 				continue
 			}
-			ppa, fresh, err := d.gcDest(s)
-			if err != nil {
-				return 0, err
+			attempts := 0
+			for {
+				ppa, fresh, err := d.gcDest(s)
+				if err != nil {
+					return 0, err
+				}
+				if fresh {
+					// Destination block changed: PPAs would jump backwards or
+					// across blocks, so commit the accumulated ascending run.
+					flushPairs()
+				}
+				done, werr := d.arr.Write(ppa, pg.lpa, pg.tok, writeT)
+				if done > lastDone {
+					lastDone = done
+				}
+				if werr != nil {
+					// The destination burned a page: condemn it, commit the
+					// run it holds, and retry on a fresh stream block.
+					attempts++
+					if attempts >= maxProgramAttempts {
+						return 0, fmt.Errorf("ssd: GC relocation of LPA %d failed to program on %d consecutive blocks: %w",
+							pg.lpa, attempts, werr)
+					}
+					flushPairs()
+					st := &d.streams[s]
+					st.open = false
+					d.abandonBadBlock(st.block)
+					continue
+				}
+				d.invalidate(pg.lpa)
+				d.truth[pg.lpa] = ppa
+				d.valid[ppa] = true
+				db := d.cfg.Flash.BlockOf(ppa)
+				d.bvc[db]++
+				d.victims.note(db, d.writeStamp)
+				pairs = append(pairs, addr.Mapping{LPA: pg.lpa, PPA: ppa})
+				d.stats.GCPagesMoved++
+				d.sealIfFull(s)
+				break
 			}
-			if fresh {
-				// Destination block changed: PPAs would jump backwards or
-				// across blocks, so commit the accumulated ascending run.
-				flushPairs()
-			}
-			if done := d.arr.Write(ppa, pg.lpa, pg.tok, writeT); done > lastDone {
-				lastDone = done
-			}
-			d.invalidate(pg.lpa)
-			d.truth[pg.lpa] = ppa
-			d.valid[ppa] = true
-			db := d.cfg.Flash.BlockOf(ppa)
-			d.bvc[db]++
-			d.victims.note(db, d.writeStamp)
-			pairs = append(pairs, addr.Mapping{LPA: pg.lpa, PPA: ppa})
-			d.stats.GCPagesMoved++
-			d.sealIfFull(s)
 		}
 		flushPairs()
 	}
+	d.crashPoint("gc.programmed")
 
-	eraseDone := d.arr.Erase(victim, lastDone)
+	if !retire {
+		eraseDone, err := d.arr.Erase(victim, lastDone)
+		if err == nil {
+			d.bvc[victim] = 0
+			d.blockSeq[victim] = 0
+			d.free = append(d.free, victim)
+			d.isFree[victim] = true
+			d.stats.GCErases++
+			d.crashPoint("gc.erased")
+			return eraseDone, nil
+		}
+		if !errors.Is(err, flash.ErrEraseFail) {
+			return 0, err
+		}
+		// The erase failed: fall through and retire the block instead.
+		// Its pages are all stale (just relocated), so nothing is lost —
+		// the block simply never rejoins the pool.
+		if !d.bad[victim] {
+			d.bad[victim] = true
+			d.stats.RetiredBlocks++
+		}
+		lastDone = eraseDone
+	}
+	// Retirement: the block keeps its stale contents (never erased) and
+	// drops out of every structure — not free, no allocation sequence,
+	// no victim-index entry.
+	if !d.bad[victim] {
+		d.bad[victim] = true
+		d.stats.RetiredBlocks++
+	}
 	d.bvc[victim] = 0
 	d.blockSeq[victim] = 0
-	d.free = append(d.free, victim)
-	d.isFree[victim] = true
-	d.stats.GCErases++
-	return eraseDone, nil
+	d.crashPoint("gc.retired")
+	return lastDone, nil
 }
 
 // streamOf classifies an LPA into a GC destination stream by update
@@ -258,9 +348,9 @@ func (d *Device) maybeWearLevel(t time.Duration) error {
 		if e > maxErase {
 			maxErase = e
 		}
-		// Cold candidate: allocated, holds data, low erase count.
+		// Cold candidate: allocated, healthy, holds data, low erase count.
 		if !d.isFree[b] && d.blockSeq[b] != 0 && d.bvc[b] > 0 &&
-			!d.isStreamBlock(flash.BlockID(b)) {
+			!d.bad[b] && !d.isStreamBlock(flash.BlockID(b)) {
 			if !haveCold || e < d.arr.EraseCount(coldest) {
 				coldest = flash.BlockID(b)
 				haveCold = true
@@ -274,7 +364,7 @@ func (d *Device) maybeWearLevel(t time.Duration) error {
 		return nil // defer; GC will free space first
 	}
 	d.stats.WearMoves++
-	done, err := d.moveBlock(coldest, t)
+	done, err := d.reclaimBlock(coldest, t, false)
 	if err != nil {
 		return err
 	}

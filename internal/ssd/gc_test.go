@@ -1,7 +1,6 @@
 package ssd
 
 import (
-	"math/rand"
 	"testing"
 
 	"leaftl/internal/addr"
@@ -19,7 +18,7 @@ func fillAndChurn(t *testing.T, d *Device, churn int) {
 			t.Fatal(err)
 		}
 	}
-	rng := rand.New(rand.NewSource(21))
+	rng := seededRand(t, 21)
 	hot := logical / 4
 	for i := 0; i < churn; i++ {
 		if _, err := d.Write(addr.LPA(rng.Intn(hot)), 1); err != nil {

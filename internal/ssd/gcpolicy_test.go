@@ -1,7 +1,6 @@
 package ssd
 
 import (
-	"math/rand"
 	"testing"
 
 	"leaftl/internal/addr"
@@ -76,7 +75,7 @@ func TestVictimIndexRandomizedAgainstReference(t *testing.T) {
 	const blocks, ppb = 32, 16
 	ix := newVictimIndex(blocks, ppb)
 	ref := map[flash.BlockID]int{} // block -> valid count
-	rng := rand.New(rand.NewSource(42))
+	rng := seededRand(t, 42)
 	var seq uint64
 
 	for op := 0; op < 20000; op++ {

@@ -24,6 +24,11 @@ import (
 //   - Victim index: exactly the sealed allocated blocks are candidates,
 //     each bucketed at its current valid count; open GC destination
 //     streams and free blocks are absent.
+//   - Bad blocks: never on the free list or open as a GC stream; a
+//     retired block (bad, no allocation sequence) holds no valid pages
+//     and sits in no structure at all.
+//   - Lost LPAs: map to no page and hold no buffered data (a host
+//     rewrite clears the flag before buffering).
 //   - GC streams: open destinations are allocated, partially programmed
 //     blocks.
 //   - Write buffer: never exceeds its configured capacity.
@@ -128,6 +133,40 @@ func (d *Device) CheckInvariants() error {
 	for b := 0; b < cfg.Blocks(); b++ {
 		if d.isFree[b] != onList[b] {
 			return fmt.Errorf("invariant: block %d isFree=%v but free-listed=%v", b, d.isFree[b], onList[b])
+		}
+	}
+
+	// Bad-block lifecycle: a bad block is either sealed awaiting
+	// retirement (still allocated, still a victim candidate) or retired
+	// (out of every structure); it must never be free or an open stream.
+	for b := 0; b < cfg.Blocks(); b++ {
+		if !d.bad[b] {
+			continue
+		}
+		id := flash.BlockID(b)
+		switch {
+		case d.isFree[b]:
+			return fmt.Errorf("invariant: bad block %d is on the free list", b)
+		case d.isStreamBlock(id):
+			return fmt.Errorf("invariant: bad block %d is an open GC stream destination", b)
+		case d.blockSeq[b] == 0 && d.bvc[b] != 0:
+			return fmt.Errorf("invariant: retired block %d still holds %d valid pages", b, d.bvc[b])
+		case d.blockSeq[b] == 0 && d.victims.Has(id):
+			return fmt.Errorf("invariant: retired block %d is still a GC victim candidate", b)
+		}
+	}
+
+	// Lost LPAs map nowhere and hold no buffered data.
+	for l, lost := range d.lost {
+		if !lost {
+			continue
+		}
+		lpa := addr.LPA(l)
+		if d.truth[lpa] != addr.InvalidPPA {
+			return fmt.Errorf("invariant: lost LPA %d still maps to PPA %d", lpa, d.truth[lpa])
+		}
+		if _, ok := d.buffer[lpa]; ok {
+			return fmt.Errorf("invariant: lost LPA %d has buffered data", lpa)
 		}
 	}
 

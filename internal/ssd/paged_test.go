@@ -2,7 +2,6 @@ package ssd
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 
 	"leaftl/internal/addr"
@@ -32,7 +31,7 @@ func TestDifferentialBudgetedLeaFTL(t *testing.T) {
 				devB := newTestDevice(t, cfg, newScheme()) // unlimited
 				devs := []*Device{devA, devB}
 
-				rng := rand.New(rand.NewSource(int64(len(policy)*100 + streams)))
+				rng := seededRand(t, int64(len(policy)*100+streams))
 				logical := devA.LogicalPages()
 
 				// Warm phase: map a good chunk of the space so the learned
@@ -140,7 +139,7 @@ func TestPagedRecoveryRestoresGMD(t *testing.T) {
 		}
 	}
 	d.SetMappingBudget(d.Scheme().FullSizeBytes() / 4)
-	rng := rand.New(rand.NewSource(21))
+	rng := seededRand(t, 21)
 	for op := 0; op < 6000; op++ {
 		if _, err := d.Write(addr.LPA(rng.Intn(logical/2)), 1+rng.Intn(4)); err != nil {
 			t.Fatal(err)
@@ -202,7 +201,7 @@ func TestBudgetedShardedRunMatchesPlain(t *testing.T) {
 	devP.SetMappingBudget(budget)
 	devS.SetMappingBudget(budget)
 
-	rng := rand.New(rand.NewSource(5))
+	rng := seededRand(t, 5)
 	for op := 0; op < 12000; op++ {
 		lpa := rng.Intn(logical / 2)
 		if rng.Intn(100) < 55 {

@@ -17,7 +17,7 @@ type RecoveryReport struct {
 	ScanTime time.Duration
 	// PagesScanned counts OOB reads performed.
 	PagesScanned uint64
-	// BlocksScanned counts allocated blocks visited.
+	// BlocksScanned counts programmed blocks visited.
 	BlocksScanned int
 	// MappingsRebuilt counts live LPA→PPA pairs re-learned from the OOB
 	// scan (pairs in groups the GMD could not restore).
@@ -32,43 +32,65 @@ type RecoveryReport struct {
 	// groups demand-load on first access, where the reads are charged as
 	// MetaReads — so restart is O(directory), not O(mapping).
 	TransPagesRestored int
+	// OOBScanErrors counts pages whose own OOB failed to decode during
+	// the scan; OOBScanReconstructed of those were recovered from a
+	// sibling page's OOB window (one extra charged read each).
+	OOBScanErrors        int
+	OOBScanReconstructed int
+	// LostMappings counts live mappings the scan could not recover: the
+	// newest copy's OOB was unreadable even via siblings, so the LPA is
+	// marked lost (reads return *UECCError until the host rewrites it)
+	// rather than silently resurrected from a stale older copy.
+	LostMappings int
 }
 
 // Recover simulates a power failure without battery-backed DRAM (§3.8):
-// the write buffer, data cache and all DRAM mapping state are lost, and
-// the mapping is rebuilt into the given fresh scheme, which replaces the
-// device's scheme.
+// every controller RAM structure is lost — the write buffer, data
+// cache, mapping state, PVT/BVC bitmaps, free pool, victim index, GC
+// streams and scrub queue — and the firmware rebuilds all of it from
+// what survives on flash: the pages themselves, their OOB reverse
+// mappings and write sequence numbers, the persisted translation-page
+// images the GMD references, and the bad-block table (a reserved flash
+// region on real parts). The crash may have hit mid-flush, mid-GC or
+// mid-metadata-write; the rebuild makes no assumption about where.
 //
 // When both schemes page groups through a Global Mapping Directory
 // (ftl.GroupPaged), recovery first restores the GMD: every group whose
-// translation-page image was current at the crash (clean — evictions and
-// periodic persistence write back before dropping DRAM state) is revived
-// verbatim from flash, bit-identical to its pre-crash state. Only groups
-// whose latest state existed solely in DRAM (dirty at the crash, or
-// never persisted) are re-learned from the OOB scan. Each page's OOB
-// carries its reverse LPA and a write sequence number, so the newest
-// copy of every LPA wins regardless of which block GC packed it into.
+// translation-page image was current at the crash is revived verbatim
+// from flash. Only groups whose latest state existed solely in DRAM are
+// re-learned from the OOB scan. Each page's OOB carries its reverse LPA
+// and a write sequence number, so the newest copy of every LPA wins
+// regardless of which block GC packed it into.
+//
+// The scan runs under the fault model: an unreadable OOB is retried via
+// the page's sibling window, and a live copy that stays unreadable is
+// reported lost — never silently replaced by a stale older copy.
 //
 // Buffered-but-unflushed writes are lost, exactly as on a real drive
-// without power-loss protection; the device's ground truth rolls back so
-// subsequent reads verify the recovered state.
+// without power-loss protection; the device's ground truth is rebuilt
+// from flash so subsequent reads verify the recovered state.
 func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 	var rep RecoveryReport
+	cfg := d.cfg.Flash
 
-	// Power loss drops the buffer; the expected payload reverts to the
-	// last flushed copy (or nothing, if the LPA never reached flash).
-	for l := range d.buffer {
-		delete(d.buffer, l)
-		if d.truth[l] == addr.InvalidPPA {
-			d.token[l] = 0
-		} else {
-			d.token[l] = d.arr.TokenAt(d.truth[l])
-		}
-	}
+	// Pre-crash oracle state, for the data-loss audit below. Everything
+	// the firmware itself knew is discarded.
+	preTruth := append([]addr.PPA(nil), d.truth...)
+
+	d.buffer = make(map[addr.LPA]uint64, d.cfg.BufferPages)
 	d.cache.Resize(0)
+	for i := range d.streams {
+		d.streams[i] = gcStream{}
+	}
+	for i := range d.scrubSet {
+		d.scrubSet[i] = false
+	}
+	d.scrubPend = d.scrubPend[:0]
+	d.flushDone = d.now
+	d.gcHorizon = d.now
 
 	// GMD restore: surviving translation-page images short-circuit the
-	// rebuild for their groups.
+	// re-learn for their groups.
 	var restored map[addr.GroupID][]byte
 	if oldGP, ok := d.scheme.(ftl.GroupPaged); ok {
 		if freshGP, ok := fresh.(ftl.GroupPaged); ok {
@@ -84,37 +106,47 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 		}
 	}
 
-	// Channel-parallel OOB scan of all allocated blocks. Pages belonging
-	// to restored groups still cost their OOB read (the scan cannot know
-	// an LPA before reading it) but skip the re-learn bookkeeping.
-	chanBusy := make([]time.Duration, d.cfg.Flash.Channels)
+	// Channel-parallel OOB scan of every programmed block. Burned pages
+	// (failed programs) carry a nulled OOB and are skipped; unreadable
+	// OOBs retry through the sibling window at one extra read.
+	chanBusy := make([]time.Duration, cfg.Channels)
 	type copyRef struct {
 		ppa addr.PPA
 		seq uint64
 	}
 	newest := make(map[addr.LPA]copyRef)
-	for b := 0; b < d.cfg.Flash.Blocks(); b++ {
-		if d.blockSeq[b] == 0 {
+	blockMaxSeq := make([]uint64, cfg.Blocks())
+	var unreadable []addr.PPA
+	for b := 0; b < cfg.Blocks(); b++ {
+		id := flash.BlockID(b)
+		programmed := d.arr.ProgrammedPages(id)
+		if programmed == 0 {
 			continue
 		}
 		rep.BlocksScanned++
-		first := d.cfg.Flash.FirstPPA(flash.BlockID(b))
-		ch := d.cfg.Flash.ChannelOf(first)
-		for i := 0; i < d.cfg.Flash.PagesPerBlock; i++ {
+		first := cfg.FirstPPA(id)
+		ch := cfg.ChannelOf(first)
+		for i := 0; i < programmed; i++ {
 			ppa := first + addr.PPA(i)
-			if !d.arr.Written(ppa) {
-				continue
-			}
 			rep.PagesScanned++
-			chanBusy[ch] += d.cfg.Flash.ReadLatency
-			lpa := d.arr.Reverse(ppa)
-			if lpa == addr.InvalidLPA {
-				continue
+			chanBusy[ch] += cfg.ReadLatency
+			lpa, seq, err := d.arr.ScanOOB(ppa, d.now)
+			if err != nil {
+				rep.OOBScanErrors++
+				chanBusy[ch] += cfg.ReadLatency // the sibling window read
+				lpa, seq, err = d.arr.ScanSibling(ppa, d.now)
+				if err != nil {
+					unreadable = append(unreadable, ppa)
+					continue
+				}
+				rep.OOBScanReconstructed++
 			}
-			if _, ok := restored[addr.Group(lpa)]; ok {
-				continue // the GMD already covers this group exactly
+			if seq > blockMaxSeq[b] {
+				blockMaxSeq[b] = seq
 			}
-			seq := d.arr.WriteSeq(ppa)
+			if lpa == addr.InvalidLPA || int(lpa) >= d.logicalPages {
+				continue // burned page
+			}
 			if cur, ok := newest[lpa]; !ok || seq > cur.seq {
 				newest[lpa] = copyRef{ppa: ppa, seq: seq}
 			}
@@ -126,10 +158,95 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 		}
 	}
 
+	// Data-loss audit: a page the scan could not attribute may have been
+	// the live copy of its LPA. Resurrecting an older copy in its place
+	// would return stale data, so the LPA is reported lost instead. (The
+	// oracle reverse stands in for end-to-end data checksums a host
+	// would use to reject the stale copy.)
+	for _, ppa := range unreadable {
+		l := d.arr.Reverse(ppa)
+		if l == addr.InvalidLPA || preTruth[l] != ppa {
+			continue // a stale copy died unread; nothing was live there
+		}
+		delete(newest, l)
+		d.lost[l] = true
+		rep.LostMappings++
+	}
+	// LPAs lost before the crash stay lost: their flash copies (if any
+	// survive) are stale by definition.
+	for l, lost := range d.lost {
+		if lost {
+			delete(newest, addr.LPA(l))
+		}
+	}
+
+	// Rebuild ground truth, PVT and BVC from the scan.
+	for l := range d.truth {
+		d.truth[l] = addr.InvalidPPA
+		d.token[l] = 0
+	}
+	for p := range d.valid {
+		d.valid[p] = false
+	}
+	for b := range d.bvc {
+		d.bvc[b] = 0
+	}
+	for lpa, ref := range newest {
+		d.truth[lpa] = ref.ppa
+		d.token[lpa] = d.arr.TokenAt(ref.ppa)
+		d.valid[ref.ppa] = true
+		d.bvc[cfg.BlockOf(ref.ppa)]++
+	}
+
+	// Rebuild the free pool, allocation sequence and victim index. Fully
+	// erased healthy blocks are free; every programmed block is sealed
+	// (streams reset closed) and re-enters the victim index — including
+	// bad ones, which the next retireSweep pulls back out. Allocation
+	// order is re-derived from each block's newest write sequence.
+	type blockOrder struct {
+		b   int
+		seq uint64
+	}
+	var order []blockOrder
+	d.free = d.free[:0]
+	for b := 0; b < cfg.Blocks(); b++ {
+		d.blockSeq[b] = 0
+		d.isFree[b] = false
+		if d.arr.ProgrammedPages(flash.BlockID(b)) == 0 {
+			if !d.bad[b] {
+				d.free = append(d.free, flash.BlockID(b))
+				d.isFree[b] = true
+			}
+			continue
+		}
+		order = append(order, blockOrder{b: b, seq: blockMaxSeq[b]})
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].seq < order[j].seq })
+	d.nextSeq = 0
+	d.victims = newVictimIndex(cfg.Blocks(), cfg.PagesPerBlock)
+	for _, o := range order {
+		d.nextSeq++
+		d.blockSeq[o.b] = d.nextSeq
+		d.victims.add(flash.BlockID(o.b), d.bvc[o.b], d.nextSeq, d.writeStamp)
+	}
+
 	// Re-learn the surviving mappings in LPA order, committing in
-	// ascending-PPA runs to respect the scheme contract.
+	// ascending-PPA runs to respect the scheme contract. Pairs in
+	// GMD-restored groups are skipped only when the restored image
+	// actually locates them: a crash between flush programs and the
+	// mapping commit leaves a clean-persisted image stale for exactly
+	// those pages, and they must be re-learned from the scan (the
+	// journal-replay role the OOB sequence numbers play in real
+	// firmware).
+	freshGamma := 0
+	if g, ok := fresh.(ftl.Gamma); ok {
+		freshGamma = g.Gamma()
+	}
 	pairs := make([]addr.Mapping, 0, len(newest))
 	for lpa, ref := range newest {
+		if _, ok := restored[addr.Group(lpa)]; ok && restoredCovers(fresh, lpa, ref.ppa, freshGamma) {
+			continue
+		}
 		pairs = append(pairs, addr.Mapping{LPA: lpa, PPA: ref.ppa})
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].LPA < pairs[j].LPA })
@@ -161,4 +278,24 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 	}
 	d.resizeCache()
 	return rep, nil
+}
+
+// restoredCovers reports whether a restored group image already locates
+// lpa at ppa: exactly, or — for approximate schemes — within the ±γ
+// learning guarantee the read path's window search recovers from. The
+// Translate side effects (demand-page LRU touches) are part of the
+// recovery validation pass; its flash cost is subsumed by ScanTime.
+func restoredCovers(fresh ftl.Scheme, lpa addr.LPA, ppa addr.PPA, gamma int) bool {
+	tr, ok := fresh.Translate(lpa)
+	if !ok {
+		return false
+	}
+	if !tr.Approx {
+		return tr.PPA == ppa
+	}
+	diff := int64(tr.PPA) - int64(ppa)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= int64(gamma)
 }

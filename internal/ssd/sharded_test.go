@@ -1,7 +1,6 @@
 package ssd
 
 import (
-	"math/rand"
 	"testing"
 
 	"leaftl/internal/addr"
@@ -20,7 +19,7 @@ func TestDeviceShardedSchemeMatchesPlain(t *testing.T) {
 		shardDev := newTestDevice(t, cfg, leaftl.NewSharded(gamma, cfg.Flash.PageSize, 8, leaftl.WithCompactEvery(2000)))
 
 		devs := []*Device{plainDev, shardDev}
-		rng := rand.New(rand.NewSource(11))
+		rng := seededRand(t, 11)
 		span := plainDev.LogicalPages()
 		for op := 0; op < 4000; op++ {
 			lpa := addr.LPA(rng.Intn(span - 8))

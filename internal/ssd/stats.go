@@ -39,6 +39,20 @@ type Stats struct {
 	GCErases      uint64
 	WearMoves     uint64
 
+	// Reliability machinery (fault injection). HostUECCs are host reads
+	// that failed with an uncorrectable data error (surfaced as
+	// *UECCError — never as silently wrong data); OOBReconstructed are
+	// corrupted reverse mappings rebuilt from a sibling page's OOB
+	// window; ScrubRelocations are blocks refreshed by read-reclaim
+	// (disturb or retention thresholds); RetiredBlocks are blocks taken
+	// out of rotation after program/erase failures; GCDataLoss counts
+	// pages whose payload was lost to UECC during relocation copy-out.
+	HostUECCs        uint64
+	OOBReconstructed uint64
+	ScrubRelocations uint64
+	RetiredBlocks    uint64
+	GCDataLoss       uint64
+
 	// GC timing. GCTime is total simulated time spent relocating blocks
 	// in the background (GC reclaim and wear-leveling moves, copy-out
 	// reads through the victim erase); GCStall is the share of
