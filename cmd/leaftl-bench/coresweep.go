@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"leaftl/internal/experiments"
+)
+
+// coreSweepJSON is the machine-readable form of one multi-queue core
+// sweep (scripts/coresweep.sh writes it to BENCH_PR7.json).
+type coreSweepJSON struct {
+	Mode     string  `json:"mode"`
+	Scale    string  `json:"scale"`
+	Workload string  `json:"workload"`
+	Speedup  float64 `json:"speedup"`
+	Gamma    int     `json:"gamma"`
+	// Deterministic reports whether every worker count finished with the
+	// same device state digest — the sweep-level determinism check.
+	Deterministic bool `json:"deterministic"`
+	// MonotoneTo4 reports whether kIOPS increased strictly with every
+	// worker-count step up to 4 workers (the scaling acceptance gate).
+	MonotoneTo4 bool          `json:"monotone_kiops_to_4_workers"`
+	Runs        []coreRunJSON `json:"runs"`
+}
+
+// coreRunJSON is one worker count's row.
+type coreRunJSON struct {
+	Workers     int     `json:"workers"`
+	KIOPS       float64 `json:"kiops"`
+	ElapsedUs   float64 `json:"elapsed_us"`
+	P50us       float64 `json:"p50_us"`
+	P99us       float64 `json:"p99_us"`
+	P999us      float64 `json:"p999_us"`
+	WaitP99us   float64 `json:"queue_wait_p99_us"`
+	Epochs      uint64  `json:"epochs"`
+	MaxBatch    int     `json:"max_batch"`
+	StateDigest string  `json:"state_digest"`
+}
+
+// runCoreSweep is the leaftl-bench -coresweep mode: replay one timed
+// workload through the real multi-queue front end at each worker count
+// and report the throughput curve plus the cross-count determinism
+// digest.
+func runCoreSweep(scale experiments.Scale, workers, workload string, gamma int, speedup float64, seed int64, markdown bool, jsonPath string) error {
+	workerCounts, err := parseIntList(workers)
+	if err != nil {
+		return err
+	}
+	spec := experiments.CoreSweepSpec{
+		Workers:  workerCounts,
+		Workload: workload,
+		Gamma:    gamma,
+		Speedup:  speedup,
+	}
+	s := experiments.NewSuite(scale, seed)
+	runs, table, err := s.CoreSweep(spec)
+	if err != nil {
+		return err
+	}
+	if markdown {
+		fmt.Println(table.Markdown())
+	} else {
+		fmt.Println(table.String())
+	}
+
+	deterministic := true
+	for _, r := range runs[1:] {
+		if r.Digest != runs[0].Digest {
+			deterministic = false
+		}
+	}
+	monotone := true
+	for i := 1; i < len(runs); i++ {
+		if runs[i].Workers > 4 || runs[i-1].Workers > 4 {
+			continue
+		}
+		if runs[i].Result.IOPS() <= runs[i-1].Result.IOPS() {
+			monotone = false
+		}
+	}
+	if !deterministic {
+		fmt.Fprintln(os.Stderr, "leaftl-bench: coresweep: WARNING: state digests diverge across worker counts")
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	out := coreSweepJSON{
+		Mode: "coresweep", Scale: scale.Name,
+		Workload: workload, Speedup: spec.Speedup, Gamma: gamma,
+		Deterministic: deterministic, MonotoneTo4: monotone,
+	}
+	for _, r := range runs {
+		sum := r.Result.Latency.Summary()
+		out.Runs = append(out.Runs, coreRunJSON{
+			Workers:     r.Workers,
+			KIOPS:       r.Result.IOPS() / 1e3,
+			ElapsedUs:   usF(r.Result.Elapsed),
+			P50us:       usF(sum.P50),
+			P99us:       usF(sum.P99),
+			P999us:      usF(sum.P999),
+			WaitP99us:   usF(r.Result.QueueWait.Summary().P99),
+			Epochs:      r.MQ.Epochs,
+			MaxBatch:    r.MQ.MaxBatch,
+			StateDigest: fmt.Sprintf("%016x", r.Digest),
+		})
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(jsonPath, enc, 0o644)
+}

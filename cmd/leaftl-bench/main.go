@@ -2,7 +2,7 @@
 // figures on the simulated SSD (deliverable d). By default it runs at
 // quick scale; -full uses the larger scaled device of DESIGN.md §5 and
 // -micro the fastest CI-smoke scale.
-// Six replay modes skip the figures: -parallel hammers the sharded
+// Seven replay modes skip the figures: -parallel hammers the sharded
 // translation core with concurrent host streams, -openloop replays
 // a trace file (native, MSR CSV, or FIU format) at its recorded arrival
 // times against all three schemes, reporting p50/p95/p99/p999 latency
@@ -17,13 +17,18 @@
 // static points the controller dominates, and -torture runs the seeded
 // crash-torture matrix (kill-recover-verify across GC policies ×
 // mapping budgets × autotune) plus an aged-device fault-injection sweep
-// over -fault-rber.
+// over -fault-rber, and -coresweep replays a timed workload through the
+// real multi-queue front end at each -workers count, reporting the
+// kIOPS-vs-cores curve and the cross-count state-digest determinism
+// check (-workers with -openloop drives that replay through real queue
+// pairs too).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,6 +68,9 @@ func main() {
 	faultRBER := flag.String("fault-rber", "", "-torture mode: comma-separated base RBERs for the fault sweep (default: 1e-7,1e-5,5e-5,1e-4,5e-4)")
 	faultSeed := flag.Int64("fault-seed", 0, "-torture mode: fault-model seed (0 = use -seed)")
 	scrubThreshold := flag.Int("scrub-threshold", 0, "-torture mode: read-disturb scrub threshold in block reads (0 = default 5000)")
+	coreSweep := flag.Bool("coresweep", false, "core-count sweep mode: replay a timed workload through the real multi-queue front end at each -workers count (skips figures)")
+	workers := flag.String("workers", "", "-coresweep mode: comma-separated worker/queue-pair counts (default 1,2,4,8); single value in -openloop/-torture modes drives replay through that many real queue pairs")
+	sweepWorkload := flag.String("sweep-workload", "zipf-hot", "-coresweep mode: timed workload to replay")
 	flag.Parse()
 
 	scaleOf := func() experiments.Scale {
@@ -76,8 +84,35 @@ func main() {
 		}
 	}
 
+	if *coreSweep {
+		list := *workers
+		if list == "" {
+			list = "1,2,4,8"
+		}
+		// The sweep saturates a single worker by default (4x); an explicit
+		// -speedup still wins.
+		sp := 0.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "speedup" {
+				sp = *speedup
+			}
+		})
+		if err := runCoreSweep(scaleOf(), list, *sweepWorkload, *gamma, sp, *seed, *markdown, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: coresweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *torture {
-		if err := runTorture(scaleOf(), *crashPoints, *faultRBER, *faultSeed, *scrubThreshold, *gamma, *seed, *markdown, *jsonOut); err != nil {
+		w := 0
+		if *workers != "" {
+			var err error
+			if w, err = strconv.Atoi(*workers); err != nil {
+				fmt.Fprintf(os.Stderr, "leaftl-bench: torture: -workers %q: want a single integer\n", *workers)
+				os.Exit(1)
+			}
+		}
+		if err := runTorture(scaleOf(), *crashPoints, *faultRBER, *faultSeed, *scrubThreshold, *gamma, *seed, *markdown, *jsonOut, w); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: torture: %v\n", err)
 			os.Exit(1)
 		}
@@ -105,7 +140,15 @@ func main() {
 		return
 	}
 	if *openloop {
-		if err := runOpenLoop(*tracePath, *traceFormat, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut, *gcPolicy, *gcStreams, *autotune, *gammaTarget); err != nil {
+		w := 0
+		if *workers != "" {
+			var err error
+			if w, err = strconv.Atoi(*workers); err != nil {
+				fmt.Fprintf(os.Stderr, "leaftl-bench: openloop: -workers %q: want a single integer\n", *workers)
+				os.Exit(1)
+			}
+		}
+		if err := runOpenLoop(*tracePath, *traceFormat, *qd, *speedup, *gamma, *seed, *markdown, *jsonOut, *gcPolicy, *gcStreams, *autotune, *gammaTarget, w); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: openloop: %v\n", err)
 			os.Exit(1)
 		}

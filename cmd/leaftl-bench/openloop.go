@@ -19,6 +19,7 @@ type openLoopJSON struct {
 	Trace   string       `json:"trace"`
 	Format  string       `json:"format"`
 	Queues  int          `json:"queues"`
+	Workers int          `json:"workers,omitempty"`
 	Speedup float64      `json:"speedup"`
 	Gamma   int          `json:"gamma"`
 	Schemes []schemeJSON `json:"schemes"`
@@ -45,8 +46,9 @@ type schemeJSON struct {
 // in any supported format, replay it at recorded arrival times against
 // LeaFTL/DFTL/SFTL on identical devices, and report tail latency.
 // gcPolicy and gcStreams configure every device's garbage collector
-// (single values here; the -gccompare mode sweeps lists).
-func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath, gcPolicy, gcStreams string, autotune bool, gammaTarget float64) error {
+// (single values here; the -gccompare mode sweeps lists). workers > 0
+// swaps the simulated host queues for that many real multi-queue pairs.
+func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath, gcPolicy, gcStreams string, autotune bool, gammaTarget float64, workers int) error {
 	streams := 0
 	if gcStreams != "" {
 		var err error
@@ -85,6 +87,7 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 		Queues: qd, Speedup: speedup, Gamma: gamma,
 		GCPolicy: gcPolicy, GCStreams: streams,
 		AutoTune: autotune, GammaTarget: gammaTarget,
+		Workers: workers,
 	}
 	if !trace.Timed(reqs) {
 		// Untimed traces replay at a uniform 50k IOPS arrival rate.
@@ -106,6 +109,7 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 		out := openLoopJSON{
 			Mode: "openloop-replay", Trace: path, Format: format.String(),
 			Queues: spec.Queues, Speedup: spec.Speedup, Gamma: gamma,
+			Workers: spec.Workers,
 		}
 		for _, r := range runs {
 			sum := r.Result.Latency.Summary()

@@ -33,6 +33,11 @@ type OpenLoopSpec struct {
 	// miss-per-read ratio (≤ 0 selects the default).
 	AutoTune    bool
 	GammaTarget float64
+	// Workers, when positive, drives each device through a real
+	// multi-queue front end (ssd.MultiQueue) with that many worker-backed
+	// queue pairs instead of ReplayOpenLoop's simulated queues; Queues is
+	// ignored in that case.
+	Workers int
 }
 
 // OpenLoopRun is one scheme's open-loop replay outcome.
@@ -69,7 +74,7 @@ func (s *Suite) OpenLoopCompare(reqs []trace.Request, spec OpenLoopSpec) ([]Open
 		spec.Queues = 1
 	}
 	cfgName := "sim"
-	if spec.Queues > 1 {
+	if spec.Queues > 1 || spec.Workers > 1 {
 		cfgName = "sim-sharded"
 	}
 	// Capacity is identical across the three schemes (configs differ
@@ -99,7 +104,13 @@ func (s *Suite) OpenLoopCompare(reqs []trace.Request, spec OpenLoopSpec) ([]Open
 		if err := warmFootprint(dev, fitted); err != nil {
 			return nil, Table{}, fmt.Errorf("openloop %s: warmup: %w", scheme, err)
 		}
-		res, err := trace.ReplayOpenLoop(dev, fitted, trace.OpenLoopConfig{
+		// With Workers set, requests flow through real queue pairs with
+		// per-core workers; otherwise ReplayOpenLoop simulates the queues.
+		var replayTarget trace.Device = dev
+		if spec.Workers > 0 {
+			replayTarget = ssd.NewMultiQueue(dev, ssd.MQConfig{Queues: spec.Workers})
+		}
+		res, err := trace.ReplayOpenLoop(replayTarget, fitted, trace.OpenLoopConfig{
 			Queues: spec.Queues, Speedup: spec.Speedup, Interarrival: spec.Interarrival,
 		})
 		if err != nil {
@@ -112,10 +123,14 @@ func (s *Suite) OpenLoopCompare(reqs []trace.Request, spec OpenLoopSpec) ([]Open
 		})
 	}
 
+	queueDesc := fmt.Sprintf("%d queue(s)", spec.Queues)
+	if spec.Workers > 0 {
+		queueDesc = fmt.Sprintf("%d worker queue pair(s)", spec.Workers)
+	}
 	t := Table{
 		ID: "openloop",
-		Title: fmt.Sprintf("open-loop replay: %d requests, %d queue(s), %.2gx speed, gamma=%d",
-			len(reqs), spec.Queues, spec.Speedup, spec.Gamma),
+		Title: fmt.Sprintf("open-loop replay: %d requests, %s, %.2gx speed, gamma=%d",
+			len(reqs), queueDesc, spec.Speedup, spec.Gamma),
 		Header: []string{"scheme", "p50", "p95", "p99", "p999", "mean", "max", "kIOPS", "mapping"},
 		Notes:  "latency = queue wait + device service; identical requests and arrivals per scheme",
 	}

@@ -47,8 +47,12 @@ type Device struct {
 	blockSeq []uint64 // allocation sequence per block, for recovery order
 	nextSeq  uint64
 
-	// Write data buffer (§3.3) and data cache.
+	// Write data buffer (§3.3) and data cache. bufOrder tracks buffered
+	// LPAs in first-insertion order so an unsorted flush (SortBuffer off)
+	// lays pages out deterministically instead of in Go map-iteration
+	// order — replays must be bit-reproducible either way.
 	buffer     map[addr.LPA]uint64
+	bufOrder   []addr.LPA
 	cache      *ftl.ByteLRU[addr.LPA, uint64]
 	mapBudget  int
 	writeStamp uint64
@@ -256,13 +260,24 @@ func (d *Device) resizeCache() {
 // latency. Pages are issued concurrently (per-channel queueing decides
 // actual overlap), the request completes when the slowest page does.
 func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
+	return d.ReadAt(lpa, n, d.now)
+}
+
+// ReadAt is Read issued at an explicit start time, for multi-queue
+// front ends whose workers keep their own logical clocks: the request's
+// flash traffic is timed from start, and the device clock only advances
+// to the completion when it is ahead of everything already applied (the
+// clock is the merged completion horizon, never rolled back). State
+// changes depend only on apply order, not on start, so replays that
+// preserve submission order are bit-identical regardless of how request
+// times interleave.
+func (d *Device) ReadAt(lpa addr.LPA, n int, start time.Duration) (time.Duration, error) {
 	if err := d.checkRange(lpa, n); err != nil {
 		return 0, err
 	}
 	d.stats.HostReadReqs++
 	metaBefore := d.stats.MetaReads + d.stats.MetaWrites
 	missBefore := d.stats.Mispredictions
-	start := d.now
 	end := start + d.cfg.CacheHitLatency
 	for i := 0; i < n; i++ {
 		done, err := d.readPage(lpa+addr.LPA(i), start)
@@ -274,7 +289,9 @@ func (d *Device) Read(lpa addr.LPA, n int) (time.Duration, error) {
 		}
 	}
 	lat := end - start
-	d.now = end
+	if end > d.now {
+		d.now = end
+	}
 	d.readLat.Observe(lat)
 	// Reads tick disturb counters; relocate whatever crossed the scrub
 	// threshold before acknowledging (the relocation itself runs in the
@@ -544,11 +561,17 @@ func clampPPA(p, total int64) addr.PPA {
 // acknowledged at DRAM speed; a full buffer triggers a block-granularity
 // sorted flush whose flash traffic runs in the background.
 func (d *Device) Write(lpa addr.LPA, n int) (time.Duration, error) {
+	return d.WriteAt(lpa, n, d.now)
+}
+
+// WriteAt is Write issued at an explicit start time; see ReadAt for the
+// multi-queue clock contract.
+func (d *Device) WriteAt(lpa addr.LPA, n int, start time.Duration) (time.Duration, error) {
 	if err := d.checkRange(lpa, n); err != nil {
 		return 0, err
 	}
 	d.stats.HostWriteReqs++
-	start := d.now
+	issued := start
 	for i := 0; i < n; i++ {
 		l := lpa + addr.LPA(i)
 		d.stats.HostPagesWrite++
@@ -556,6 +579,9 @@ func (d *Device) Write(lpa addr.LPA, n int) (time.Duration, error) {
 		d.lpaHeat[l] = d.writeStamp
 		d.lost[l] = false // a rewrite replaces whatever was lost
 		tok := uint64(l)<<24 ^ d.writeStamp
+		if _, ok := d.buffer[l]; !ok {
+			d.bufOrder = append(d.bufOrder, l)
+		}
 		d.buffer[l] = tok
 		d.token[l] = tok
 		d.cache.Remove(l) // drop the stale cached copy
@@ -569,8 +595,10 @@ func (d *Device) Write(lpa addr.LPA, n int) (time.Duration, error) {
 			start += stall
 		}
 	}
-	lat := start + d.cfg.CacheHitLatency - d.now
-	d.now += lat
+	lat := start + d.cfg.CacheHitLatency - issued
+	if end := issued + lat; end > d.now {
+		d.now = end
+	}
 	d.writeLat.Observe(lat)
 	return lat, nil
 }
@@ -618,10 +646,11 @@ func (d *Device) flushChunks(t time.Duration, includePartial bool) (time.Duratio
 	stall := wait - t
 	t = wait
 	d.crashPoint("flush.begin")
-	lpas := make([]addr.LPA, 0, len(d.buffer))
-	for l := range d.buffer {
-		lpas = append(lpas, l)
-	}
+	// Flush in sorted order (§3.3) or, with sorting disabled, in the
+	// deterministic first-insertion order bufOrder records — never in map
+	// iteration order, which would make the unsorted ablation's physical
+	// layout differ between otherwise identical replays.
+	lpas := append(make([]addr.LPA, 0, len(d.bufOrder)), d.bufOrder...)
 	if d.cfg.SortBuffer {
 		sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
 	}
@@ -635,12 +664,14 @@ func (d *Device) flushChunks(t time.Duration, includePartial bool) (time.Duratio
 		lpas = lpas[n:]
 		done, err := d.writeChunk(chunk, t)
 		if err != nil {
+			d.compactBufOrder()
 			return stall, err
 		}
 		if done > d.flushDone {
 			d.flushDone = done
 		}
 	}
+	d.compactBufOrder()
 	d.chargeMeta(d.scheme.Maintain(d.stats.HostPagesWrite), t)
 	d.resizeCache()
 	if err := d.maybeGC(t); err != nil {
@@ -730,6 +761,19 @@ func (d *Device) writeChunk(chunk []addr.LPA, t time.Duration) (time.Duration, e
 	// it becomes a GC candidate at its current valid count.
 	d.victims.add(b, d.bvc[b], d.blockSeq[b], d.writeStamp)
 	return done, nil
+}
+
+// compactBufOrder drops flushed LPAs from the insertion-order log,
+// preserving the relative order of whatever is still buffered (the
+// partial remainder a block-granularity flush keeps).
+func (d *Device) compactBufOrder() {
+	keep := d.bufOrder[:0]
+	for _, l := range d.bufOrder {
+		if _, ok := d.buffer[l]; ok {
+			keep = append(keep, l)
+		}
+	}
+	d.bufOrder = keep
 }
 
 // invalidate clears the PVT/BVC state of lpa's previous page and keeps

@@ -1,0 +1,131 @@
+package ssd
+
+import (
+	"sync"
+	"time"
+)
+
+// epochClock is the phase coordinator of the multi-queue front end. Each
+// worker advances a private logical clock while it processes a batch
+// (an epoch) and publishes the result here at the epoch boundary; the
+// merged view gives the device one coherent notion of time even though
+// requests complete out of order across queues:
+//
+//   - Horizon() is the max over published clocks — nothing has completed
+//     later than it. GC, scrubbing and flush back-pressure triggered from
+//     the serialized apply path stamp their work against the device
+//     clock, which ReadAt/WriteAt keep at this same max, so background
+//     activity always observes a horizon no request has outrun.
+//   - Frontier() is the min — every worker has reached at least this
+//     time, so no in-flight request can complete before it. It is the
+//     safe point a drain can advance the device clock to.
+type epochClock struct {
+	mu     sync.Mutex
+	clocks []time.Duration
+	epochs uint64
+}
+
+func newEpochClock(workers int) *epochClock {
+	return &epochClock{clocks: make([]time.Duration, workers)}
+}
+
+// publish merges worker w's logical clock at an epoch boundary. Clocks
+// are per-worker monotone, so a stale publish (t below a previous one)
+// cannot happen from the owning worker.
+func (c *epochClock) publish(w int, t time.Duration) {
+	c.mu.Lock()
+	if t > c.clocks[w] {
+		c.clocks[w] = t
+	}
+	c.epochs++
+	c.mu.Unlock()
+}
+
+// Horizon returns the latest published completion time across workers.
+func (c *epochClock) Horizon() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max time.Duration
+	for _, t := range c.clocks {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Frontier returns the earliest published worker clock: the time every
+// worker is known to have reached.
+func (c *epochClock) Frontier() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.clocks) == 0 {
+		return 0
+	}
+	min := c.clocks[0]
+	for _, t := range c.clocks[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	return min
+}
+
+// Epochs returns how many worker batches have been merged.
+func (c *epochClock) Epochs() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epochs
+}
+
+// seqTicket hands device access to requests in global submission order:
+// a worker holding submission sequence s blocks in wait until every
+// request before s has applied, mutates the device exclusively (only one
+// sequence is current at a time, and the mutex handoff orders memory),
+// then releases with done. This is what makes a multi-queue replay
+// bit-identical to the serial device for any worker count — the apply
+// order is the submission order, full stop; worker scheduling only
+// decides who sits waiting.
+//
+// abort releases all waiters at once (wait returns false) so a crash
+// unwinding one worker cannot strand the others mid-ticket.
+type seqTicket struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	next    uint64
+	aborted bool
+}
+
+func newSeqTicket() *seqTicket {
+	t := &seqTicket{}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// wait blocks until seq is current; it returns false if the ticket was
+// aborted, in which case the caller must not touch the device.
+func (t *seqTicket) wait(seq uint64) bool {
+	t.mu.Lock()
+	for t.next != seq && !t.aborted {
+		t.cond.Wait()
+	}
+	ok := !t.aborted
+	t.mu.Unlock()
+	return ok
+}
+
+// done retires the current sequence and wakes the next holder.
+func (t *seqTicket) done() {
+	t.mu.Lock()
+	t.next++
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}
+
+// abort unblocks every present and future waiter.
+func (t *seqTicket) abort() {
+	t.mu.Lock()
+	t.aborted = true
+	t.mu.Unlock()
+	t.cond.Broadcast()
+}

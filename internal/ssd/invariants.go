@@ -206,5 +206,20 @@ func (d *Device) CheckInvariants() error {
 	if len(d.buffer) > d.cfg.BufferPages {
 		return fmt.Errorf("invariant: write buffer holds %d pages, capacity %d", len(d.buffer), d.cfg.BufferPages)
 	}
+	// The insertion-order log mirrors the buffer exactly: same size, no
+	// duplicates, every entry buffered (flush layout depends on it).
+	if len(d.bufOrder) != len(d.buffer) {
+		return fmt.Errorf("invariant: buffer order log holds %d LPAs, buffer %d", len(d.bufOrder), len(d.buffer))
+	}
+	seen := make(map[addr.LPA]bool, len(d.bufOrder))
+	for _, l := range d.bufOrder {
+		if _, ok := d.buffer[l]; !ok {
+			return fmt.Errorf("invariant: buffer order log names unbuffered LPA %d", l)
+		}
+		if seen[l] {
+			return fmt.Errorf("invariant: buffer order log lists LPA %d twice", l)
+		}
+		seen[l] = true
+	}
 	return nil
 }

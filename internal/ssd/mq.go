@@ -1,0 +1,412 @@
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"leaftl/internal/addr"
+)
+
+// ErrQueueClosed is returned by Submit after Drain has begun.
+var ErrQueueClosed = errors.New("ssd: multi-queue front end closed")
+
+// ErrAborted stamps the completions of requests that were in flight when
+// a worker crashed (a panic out of the device, e.g. the crash-torture
+// hook): they never touched the device.
+var ErrAborted = errors.New("ssd: request aborted by device crash")
+
+// MQConfig parameterizes the multi-queue front end. The zero value gets
+// one queue pair of depth 64 with 16-entry batches.
+type MQConfig struct {
+	// Queues is the number of submission/completion queue pairs, each
+	// driven by its own worker (one per host core in the NVMe model).
+	Queues int
+	// QueueDepth is each submission ring's capacity; a full ring blocks
+	// the submitter (host-side back-pressure).
+	QueueDepth int
+	// Batch caps how many entries a worker claims per epoch: the worker
+	// drains up to Batch queued SQEs, applies them, then publishes its
+	// logical clock to the epoch coordinator.
+	Batch int
+}
+
+func (c MQConfig) withDefaults() MQConfig {
+	if c.Queues < 1 {
+		c.Queues = 1
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 64
+	}
+	if c.Batch < 1 {
+		c.Batch = 16
+	}
+	return c
+}
+
+// MultiQueue is an NVMe-style multi-queue front end over one Device: N
+// submission/completion queue pairs, each driven by a per-core worker
+// goroutine that batches requests, applies them, and stamps completions.
+//
+// Requests are timed on per-worker logical clocks, so queues overlap in
+// virtual time the way independent host cores do, and an epoch
+// coordinator merges the worker clocks into one coherent device horizon
+// (see epochClock). Device *state* mutation, however, is handed out by a
+// global submission-order ticket: request k applies after request k-1,
+// whichever queue either rode in on. The split is the front end's core
+// contract — timing parallelism with serial-equivalent state — and is
+// what the determinism harness (TestMultiQueueDeterministic) pins down:
+// any worker count replays bit-identical to the single-queue device.
+//
+// Submit/Drain/Completions is the life cycle: submit from any number of
+// goroutines, Drain once to stop the workers and settle the clock, then
+// read completions and stats. A panic escaping the device mid-apply
+// (the crash-torture hook) aborts all queues and is re-thrown from
+// Drain on the draining goroutine.
+type MultiQueue struct {
+	dev    *Device
+	cfg    MQConfig
+	base   time.Duration // device clock at attach; Arrival times are relative to it
+	queues []*QueuePair
+	work   []*mqWorker
+	ticket *seqTicket
+	clock  *epochClock
+	wg     sync.WaitGroup
+
+	submitMu  sync.Mutex
+	nextSeq   uint64
+	submitted uint64
+	closed    bool
+
+	panicMu  sync.Mutex
+	panicVal any
+	crashed  bool
+}
+
+// mqWorker is the per-queue worker state. Everything here is touched
+// only by the owning goroutine while the worker runs; readers wait for
+// Drain.
+type mqWorker struct {
+	id       int
+	clock    time.Duration
+	reqs     uint64
+	reads    uint64
+	writes   uint64
+	flushes  uint64
+	batches  uint64
+	maxBatch int
+}
+
+// NewMultiQueue attaches a multi-queue front end to d and starts its
+// workers. The device must not be driven directly (Read/Write/Flush)
+// until Drain returns.
+func NewMultiQueue(d *Device, cfg MQConfig) *MultiQueue {
+	cfg = cfg.withDefaults()
+	m := &MultiQueue{
+		dev:    d,
+		cfg:    cfg,
+		base:   d.Now(),
+		ticket: newSeqTicket(),
+		clock:  newEpochClock(cfg.Queues),
+	}
+	for i := 0; i < cfg.Queues; i++ {
+		q := &QueuePair{id: i, sq: make(chan SQE, cfg.QueueDepth)}
+		w := &mqWorker{id: i, clock: m.base}
+		m.queues = append(m.queues, q)
+		m.work = append(m.work, w)
+		m.clock.publish(i, m.base)
+	}
+	m.wg.Add(cfg.Queues)
+	for i := range m.queues {
+		go m.runWorker(m.work[i], m.queues[i])
+	}
+	return m
+}
+
+// QueueCount returns the number of queue pairs.
+func (m *MultiQueue) QueueCount() int { return m.cfg.Queues }
+
+// Device returns the wrapped device.
+func (m *MultiQueue) Device() *Device { return m.dev }
+
+// Submit enqueues a read or write on queue pair q, arriving at the given
+// trace-relative time. It blocks when the submission ring is full. The
+// global apply order is the order Submit calls complete in, across all
+// queues.
+func (m *MultiQueue) Submit(q int, write bool, lpa addr.LPA, pages int, arrival time.Duration) error {
+	op := OpRead
+	if write {
+		op = OpWrite
+	}
+	return m.SubmitOp(q, op, lpa, pages, arrival)
+}
+
+// SubmitOp is Submit for an arbitrary opcode (OpFlush has no LPA/Pages).
+func (m *MultiQueue) SubmitOp(q int, op Op, lpa addr.LPA, pages int, arrival time.Duration) error {
+	if q < 0 || q >= len(m.queues) {
+		return fmt.Errorf("ssd: submit to queue %d of %d", q, len(m.queues))
+	}
+	// Sequence assignment and the ring send are one atomic step: SQEs
+	// enter the rings in global sequence order, so the entries ahead of
+	// any sequence in its ring are exactly the lower sequences routed to
+	// the same queue — the ticket can never wait on an entry stuck
+	// *behind* it, which is what makes a blocking send here deadlock-free.
+	m.submitMu.Lock()
+	defer m.submitMu.Unlock()
+	if m.closed {
+		return ErrQueueClosed
+	}
+	if m.aborted() {
+		return ErrAborted
+	}
+	e := SQE{Seq: m.nextSeq, Op: op, LPA: lpa, Pages: pages, Arrival: arrival}
+	m.queues[q].sq <- e
+	m.nextSeq++
+	m.submitted++
+	return nil
+}
+
+// runWorker is one per-core worker: claim a batch, apply it in sequence
+// order, stamp completions, publish the epoch.
+func (m *MultiQueue) runWorker(w *mqWorker, q *QueuePair) {
+	defer m.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			// A crash escaped the device mid-apply (crash-torture hook or
+			// a genuine bug). Record it, release every ticket waiter, and
+			// keep consuming the ring so blocked submitters unwind; the
+			// payload is re-thrown from Drain.
+			m.recordPanic(r)
+			m.ticket.abort()
+			for e := range q.sq {
+				q.cq = append(q.cq, CQE{SQE: e, Err: ErrAborted})
+			}
+		}
+		m.clock.publish(w.id, w.clock)
+	}()
+	batch := make([]SQE, 0, m.cfg.Batch)
+	for {
+		e, ok := <-q.sq
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], e)
+		// Claim whatever else is already queued, up to the batch cap.
+	claim:
+		for len(batch) < m.cfg.Batch {
+			select {
+			case e2, ok2 := <-q.sq:
+				if !ok2 {
+					break claim
+				}
+				batch = append(batch, e2)
+			default:
+				break claim
+			}
+		}
+		if len(batch) > w.maxBatch {
+			w.maxBatch = len(batch)
+		}
+		w.batches++
+		for _, e := range batch {
+			q.cq = append(q.cq, m.apply(w, e))
+		}
+		// Epoch boundary: merge this worker's clock into the coherent
+		// device horizon.
+		m.clock.publish(w.id, w.clock)
+	}
+}
+
+// apply runs one SQE against the device once its sequence comes up. The
+// request starts at its arrival or when this worker's previous request
+// completed, whichever is later — the per-queue FIFO a real CQ imposes —
+// while the ticket pins the state-mutation order globally.
+func (m *MultiQueue) apply(w *mqWorker, e SQE) CQE {
+	start := m.base + e.Arrival
+	if w.clock > start {
+		start = w.clock
+	}
+	cqe := CQE{SQE: e, Start: start, Complete: start}
+	if !m.ticket.wait(e.Seq) {
+		cqe.Err = ErrAborted
+		return cqe
+	}
+	// No deferred done: a panic below must leave the ticket held so the
+	// crashed device stops cold (runWorker aborts the ticket instead).
+	var lat time.Duration
+	var err error
+	switch e.Op {
+	case OpRead:
+		lat, err = m.dev.ReadAt(e.LPA, e.Pages, start)
+	case OpWrite:
+		lat, err = m.dev.WriteAt(e.LPA, e.Pages, start)
+	case OpFlush:
+		err = m.dev.Flush()
+		if done := m.dev.Now(); done > start {
+			lat = done - start
+		}
+	default:
+		err = fmt.Errorf("ssd: unknown opcode %d", e.Op)
+	}
+	m.ticket.done()
+	cqe.Complete = start + lat
+	cqe.Err = err
+	if cqe.Complete > w.clock {
+		w.clock = cqe.Complete
+	}
+	w.reqs++
+	switch e.Op {
+	case OpRead:
+		w.reads++
+	case OpWrite:
+		w.writes++
+	case OpFlush:
+		w.flushes++
+	}
+	return cqe
+}
+
+// Drain closes the submission rings, waits for every worker to finish,
+// and settles the device clock on the merged epoch horizon. A device
+// crash captured by a worker is re-thrown here, on the caller's
+// goroutine, so crash-torture harnesses see the same panic the serial
+// path would surface. Drain is idempotent.
+func (m *MultiQueue) Drain() error {
+	m.submitMu.Lock()
+	if !m.closed {
+		m.closed = true
+		for _, q := range m.queues {
+			close(q.sq)
+		}
+	}
+	m.submitMu.Unlock()
+	m.wg.Wait()
+	m.panicMu.Lock()
+	r := m.panicVal
+	m.panicVal = nil // re-throw once
+	m.panicMu.Unlock()
+	if r != nil {
+		panic(r)
+	}
+	m.dev.AdvanceTo(m.clock.Horizon())
+	return nil
+}
+
+// Completions invokes fn for each of queue q's stamped completions in
+// apply order, with times rebased to the front end's attach point (the
+// trace-relative frame arrivals were submitted in). Call after Drain.
+func (m *MultiQueue) Completions(q int, fn func(write bool, arrival, start, complete time.Duration, err error)) {
+	for _, c := range m.queues[q].cq {
+		fn(c.Op == OpWrite, c.Arrival, c.Start-m.base, c.Complete-m.base, c.Err)
+	}
+}
+
+// FirstError returns the first per-request error in apply order, if any.
+// Call after Drain.
+func (m *MultiQueue) FirstError() error {
+	var first *CQE
+	for _, q := range m.queues {
+		for i := range q.cq {
+			c := &q.cq[i]
+			if c.Err == nil {
+				continue
+			}
+			if first == nil || c.Seq < first.Seq {
+				first = c
+			}
+		}
+	}
+	if first == nil {
+		return nil
+	}
+	return fmt.Errorf("ssd: request %d (%s %d+%d): %w", first.Seq, first.Op, first.LPA, first.Pages, first.Err)
+}
+
+// Read drives the device directly — a serial convenience for code
+// holding a MultiQueue where a Device is expected. Never call with
+// submissions in flight.
+func (m *MultiQueue) Read(lpa addr.LPA, pages int) (time.Duration, error) {
+	return m.dev.Read(lpa, pages)
+}
+
+// Write is the serial convenience counterpart of Read.
+func (m *MultiQueue) Write(lpa addr.LPA, pages int) (time.Duration, error) {
+	return m.dev.Write(lpa, pages)
+}
+
+// Now returns the wrapped device's virtual clock.
+func (m *MultiQueue) Now() time.Duration { return m.dev.Now() }
+
+// AdvanceTo forwards to the wrapped device; open-loop replay uses it for
+// idle-gap advances when it falls back to the simulated-queue path.
+func (m *MultiQueue) AdvanceTo(t time.Duration) { m.dev.AdvanceTo(t) }
+
+func (m *MultiQueue) recordPanic(r any) {
+	m.panicMu.Lock()
+	if m.panicVal == nil {
+		m.panicVal = r
+	}
+	m.crashed = true
+	m.panicMu.Unlock()
+}
+
+func (m *MultiQueue) aborted() bool {
+	m.panicMu.Lock()
+	defer m.panicMu.Unlock()
+	return m.crashed
+}
+
+// QueueStats is one worker's share of the front end's traffic.
+type QueueStats struct {
+	Requests, Reads, Writes, Flushes uint64
+	// Batches counts the worker's epochs; MaxBatch is the largest batch
+	// it claimed in one epoch.
+	Batches  uint64
+	MaxBatch int
+	// Clock is the worker's final logical clock, relative to attach.
+	Clock time.Duration
+}
+
+// MQStats is the merged front-end view: per-queue attribution that sums
+// to the device's host counters, plus the epoch coordinator's horizon
+// and frontier. Call after Drain.
+type MQStats struct {
+	Queues               int
+	Submitted, Completed uint64
+	Epochs               uint64
+	MaxBatch             int
+	// Horizon and Frontier are the epoch clock's max and min merged
+	// worker clocks, relative to attach.
+	Horizon, Frontier time.Duration
+	PerQueue          []QueueStats
+}
+
+// MQStats reports the front end's merged statistics. Call after Drain;
+// worker fields are unsynchronized while workers run.
+func (m *MultiQueue) MQStats() MQStats {
+	s := MQStats{
+		Queues:    m.cfg.Queues,
+		Submitted: m.submitted,
+		Epochs:    m.clock.Epochs(),
+		Horizon:   m.clock.Horizon() - m.base,
+		Frontier:  m.clock.Frontier() - m.base,
+	}
+	for i, w := range m.work {
+		qs := QueueStats{
+			Requests: w.reqs,
+			Reads:    w.reads,
+			Writes:   w.writes,
+			Flushes:  w.flushes,
+			Batches:  w.batches,
+			MaxBatch: w.maxBatch,
+			Clock:    w.clock - m.base,
+		}
+		s.Completed += uint64(len(m.queues[i].cq))
+		if qs.MaxBatch > s.MaxBatch {
+			s.MaxBatch = qs.MaxBatch
+		}
+		s.PerQueue = append(s.PerQueue, qs)
+	}
+	return s
+}

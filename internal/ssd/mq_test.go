@@ -1,0 +1,413 @@
+package ssd
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/leaftl"
+)
+
+// mqOp is one request of a generated multi-queue workload trace.
+type mqOp struct {
+	write   bool
+	lpa     addr.LPA
+	pages   int
+	arrival time.Duration
+}
+
+// mqTrace generates a seeded mixed workload: write-heavy with a hot
+// region (so flushes and GC trigger), reads over previously written
+// LPAs, and bursty arrivals.
+func mqTrace(rng *rand.Rand, logical, n int) []mqOp {
+	ops := make([]mqOp, 0, n)
+	written := make(map[int]bool)
+	var arrival time.Duration
+	hot := logical / 5
+	for i := 0; i < n; i++ {
+		arrival += time.Duration(rng.Intn(20)) * time.Microsecond
+		lpa := rng.Intn(logical - 8)
+		if rng.Intn(100) < 70 {
+			lpa = rng.Intn(hot)
+		}
+		pages := 1 + rng.Intn(8)
+		if rng.Intn(100) < 60 || !written[lpa] {
+			for j := 0; j < pages; j++ {
+				written[lpa+j] = true
+			}
+			ops = append(ops, mqOp{write: true, lpa: addr.LPA(lpa), pages: pages, arrival: arrival})
+		} else {
+			ops = append(ops, mqOp{write: false, lpa: addr.LPA(lpa), pages: 1, arrival: arrival})
+		}
+	}
+	return ops
+}
+
+// counters returns s with its virtual-time durations zeroed: GC work and
+// stall times depend on when requests run, which worker counts change;
+// every remaining field counts state transitions, which they must not.
+func counters(s Stats) Stats {
+	s.GCTime = 0
+	s.GCStall = 0
+	return s
+}
+
+// TestMultiQueueDeterministic is the determinism harness of the
+// multi-queue front end: one seeded trace replayed serially and through
+// 1, 2, 4 and 8 queue pairs must leave bit-identical device state —
+// same ground truth, PVT/BVC, free-pool order, buffer, GC and
+// reliability bookkeeping (StateDigest), and the same transition
+// counters — because the submission-order ticket makes worker scheduling
+// invisible to state. Run it with -race: it is also the concurrency
+// smoke over the queue/epoch machinery.
+func TestMultiQueueDeterministic(t *testing.T) {
+	cfg := testConfig()
+	rng := seededRand(t, 71)
+	mkScheme := func() *leaftl.Scheme {
+		return leaftl.New(4, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000))
+	}
+	var logical int
+	{
+		d := newTestDevice(t, cfg, mkScheme())
+		logical = d.LogicalPages()
+	}
+	ops := mqTrace(rng, logical, 20000)
+
+	// Serial baseline: the plain closed-loop device.
+	serial := newTestDevice(t, cfg, mkScheme())
+	for i, op := range ops {
+		var err error
+		if op.write {
+			_, err = serial.Write(op.lpa, op.pages)
+		} else {
+			_, err = serial.Read(op.lpa, op.pages)
+		}
+		if err != nil {
+			t.Fatalf("serial op %d: %v", i, err)
+		}
+	}
+	if err := serial.CheckInvariants(); err != nil {
+		t.Fatalf("serial invariants: %v", err)
+	}
+	wantDigest := serial.StateDigest()
+	wantStats := counters(serial.Stats())
+	if wantStats.GCErases == 0 {
+		t.Fatal("trace did not exercise GC; determinism coverage too shallow")
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+			d := newTestDevice(t, cfg, mkScheme())
+			mq := NewMultiQueue(d, MQConfig{Queues: workers, QueueDepth: 32, Batch: 8})
+			for i, op := range ops {
+				if err := mq.Submit(i%workers, op.write, op.lpa, op.pages, op.arrival); err != nil {
+					t.Fatalf("submit %d: %v", i, err)
+				}
+			}
+			if err := mq.Drain(); err != nil {
+				t.Fatalf("drain: %v", err)
+			}
+			if err := mq.FirstError(); err != nil {
+				t.Fatal(err)
+			}
+			if err := d.CheckInvariants(); err != nil {
+				t.Fatalf("invariants: %v", err)
+			}
+			if got := d.StateDigest(); got != wantDigest {
+				t.Errorf("state digest %#x != serial %#x: worker count changed device state", got, wantDigest)
+			}
+			if got := counters(d.Stats()); got != wantStats {
+				t.Errorf("counters diverged from serial:\n got %+v\nwant %+v", got, wantStats)
+			}
+			ms := mq.MQStats()
+			if ms.Completed != uint64(len(ops)) || ms.Submitted != uint64(len(ops)) {
+				t.Errorf("front end saw %d/%d of %d requests", ms.Completed, ms.Submitted, len(ops))
+			}
+			// Attribution: per-queue splits must sum to the device's host
+			// request counters ("same totals modulo attribution").
+			var reqs uint64
+			for _, qs := range ms.PerQueue {
+				reqs += qs.Requests
+			}
+			st := d.Stats()
+			if reqs != st.HostReadReqs+st.HostWriteReqs {
+				t.Errorf("per-queue requests sum %d != host requests %d", reqs, st.HostReadReqs+st.HostWriteReqs)
+			}
+			if ms.Frontier > ms.Horizon {
+				t.Errorf("epoch frontier %v ahead of horizon %v", ms.Frontier, ms.Horizon)
+			}
+		})
+	}
+}
+
+// TestMultiQueueRaceStress hammers one shared device through 4 queue
+// pairs from 4 concurrent submitter goroutines mixing reads, writes and
+// flushes. There is nothing deterministic about the interleaving — the
+// point is the -race detector over the submit/ticket/epoch machinery,
+// plus the post-drain audit: no torn stats (per-queue attribution sums
+// to the device counters, every submission completed) and no invariant
+// violations.
+func TestMultiQueueRaceStress(t *testing.T) {
+	cfg := testConfig()
+	d := newTestDevice(t, cfg, leaftl.New(4, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000)))
+	logical := d.LogicalPages()
+	const queues = 4
+	const perQueue = 4000
+	mq := NewMultiQueue(d, MQConfig{Queues: queues, QueueDepth: 16, Batch: 8})
+
+	var wg sync.WaitGroup
+	errs := make([]error, queues)
+	for q := 0; q < queues; q++ {
+		wg.Add(1)
+		go func(q int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + q)))
+			var arrival time.Duration
+			for i := 0; i < perQueue; i++ {
+				arrival += time.Duration(rng.Intn(30)) * time.Microsecond
+				var err error
+				switch {
+				case rng.Intn(200) == 0:
+					err = mq.SubmitOp(q, OpFlush, 0, 0, arrival)
+				case rng.Intn(100) < 60:
+					err = mq.Submit(q, true, addr.LPA(rng.Intn(logical-8)), 1+rng.Intn(8), arrival)
+				default:
+					err = mq.Submit(q, false, addr.LPA(rng.Intn(logical)), 1, arrival)
+				}
+				if err != nil {
+					errs[q] = fmt.Errorf("queue %d op %d: %w", q, i, err)
+					return
+				}
+			}
+		}(q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mq.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := mq.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after concurrent hammering: %v", err)
+	}
+	ms := mq.MQStats()
+	if ms.Submitted != queues*perQueue || ms.Completed != queues*perQueue {
+		t.Errorf("submitted %d completed %d, want %d", ms.Submitted, ms.Completed, queues*perQueue)
+	}
+	var reads, writes, flushes uint64
+	for q, qs := range ms.PerQueue {
+		if qs.Requests != perQueue {
+			t.Errorf("queue %d served %d requests, want %d", q, qs.Requests, perQueue)
+		}
+		reads += qs.Reads
+		writes += qs.Writes
+		flushes += qs.Flushes
+	}
+	st := d.Stats()
+	if reads != st.HostReadReqs || writes != st.HostWriteReqs {
+		t.Errorf("torn stats: per-queue reads/writes %d/%d != device %d/%d",
+			reads, writes, st.HostReadReqs, st.HostWriteReqs)
+	}
+	if reads+writes+flushes != queues*perQueue {
+		t.Errorf("per-queue op split %d+%d+%d != %d", reads, writes, flushes, queues*perQueue)
+	}
+	if st.GCErases == 0 {
+		t.Error("stress load did not exercise GC")
+	}
+}
+
+// TestMultiQueueSingleMatchesSimulatedQueue pins the replay equivalence
+// the QueueDevice arm of ReplayOpenLoop relies on: one real queue pair
+// produces the exact schedule the simulated single-queue open loop
+// computes — same per-request start and completion times, not just the
+// same state.
+func TestMultiQueueSingleMatchesSimulatedQueue(t *testing.T) {
+	cfg := testConfig()
+	rng := seededRand(t, 23)
+	mk := func() *Device {
+		return newTestDevice(t, cfg, leaftl.New(4, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000)))
+	}
+	sim := mk()
+	ops := mqTrace(rng, sim.LogicalPages(), 6000)
+
+	// Simulated single host queue, as ReplayOpenLoop's fallback arm runs it.
+	var simEnd time.Duration
+	var free time.Duration
+	for i, op := range ops {
+		start := op.arrival
+		if free > start {
+			start = free
+		}
+		sim.AdvanceTo(start)
+		var service time.Duration
+		var err error
+		if op.write {
+			service, err = sim.Write(op.lpa, op.pages)
+		} else {
+			service, err = sim.Read(op.lpa, op.pages)
+		}
+		if err != nil {
+			t.Fatalf("sim op %d: %v", i, err)
+		}
+		free = start + service
+		if free > simEnd {
+			simEnd = free
+		}
+	}
+
+	d := mk()
+	mq := NewMultiQueue(d, MQConfig{Queues: 1})
+	for i, op := range ops {
+		if err := mq.Submit(0, op.write, op.lpa, op.pages, op.arrival); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := mq.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mq.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	var i int
+	mq.Completions(0, func(write bool, arrival, start, complete time.Duration, err error) {
+		_ = write
+		i++
+	})
+	if i != len(ops) {
+		t.Fatalf("completions: %d of %d", i, len(ops))
+	}
+	if got := mq.MQStats().Horizon; got != simEnd {
+		t.Errorf("one-queue horizon %v != simulated makespan %v", got, simEnd)
+	}
+	if got, want := d.StateDigest(), sim.StateDigest(); got != want {
+		t.Errorf("one-queue state digest %#x != simulated %#x", got, want)
+	}
+}
+
+// TestMultiQueueCrashAbort installs a crash hook that panics mid-run
+// (the crash-torture sentinel pattern) and verifies the front end's
+// containment contract: the panic is re-thrown from Drain on the
+// draining goroutine, in-flight requests on other queues are stamped
+// aborted without touching the device, and the device afterwards
+// recovers to a state that passes its invariant audit.
+func TestMultiQueueCrashAbort(t *testing.T) {
+	cfg := testConfig()
+	d := newTestDevice(t, cfg, leaftl.New(0, cfg.Flash.PageSize))
+	logical := d.LogicalPages()
+	type crashMark struct{ point string }
+	countdown := 40
+	d.SetCrashHook(func(point string) {
+		countdown--
+		if countdown == 0 {
+			panic(crashMark{point})
+		}
+	})
+
+	const queues = 4
+	mq := NewMultiQueue(d, MQConfig{Queues: queues, QueueDepth: 8, Batch: 4})
+	rng := seededRand(t, 91)
+	// Submit until the crash aborts the front end (or the load runs out,
+	// which would mean the hook never fired).
+	var submitErr error
+	for i := 0; i < 40000 && submitErr == nil; i++ {
+		submitErr = mq.Submit(i%queues, true, addr.LPA(rng.Intn(logical-8)), 1+rng.Intn(8), 0)
+	}
+	if submitErr != ErrAborted {
+		t.Fatalf("submit after crash: %v, want ErrAborted", submitErr)
+	}
+
+	var recovered any
+	func() {
+		defer func() { recovered = recover() }()
+		_ = mq.Drain()
+	}()
+	mark, ok := recovered.(crashMark)
+	if !ok {
+		t.Fatalf("Drain re-threw %#v, want the crash sentinel", recovered)
+	}
+	if mark.point == "" {
+		t.Fatal("crash sentinel lost its crash point")
+	}
+	// Aborted requests must be visibly aborted, not silently dropped.
+	var aborted int
+	for q := 0; q < queues; q++ {
+		mq.Completions(q, func(write bool, arrival, start, complete time.Duration, err error) {
+			if err == ErrAborted {
+				aborted++
+			}
+		})
+	}
+	if aborted == 0 {
+		t.Error("no request was stamped aborted despite a mid-run crash")
+	}
+
+	d.SetCrashHook(nil)
+	if _, err := d.Recover(leaftl.New(0, cfg.Flash.PageSize)); err != nil {
+		t.Fatalf("recover after multi-queue crash: %v", err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after recovery: %v", err)
+	}
+}
+
+// TestMultiQueueEpochClock covers the phase coordinator's merge
+// semantics directly.
+func TestMultiQueueEpochClock(t *testing.T) {
+	c := newEpochClock(3)
+	c.publish(0, 10*time.Microsecond)
+	c.publish(1, 30*time.Microsecond)
+	c.publish(2, 20*time.Microsecond)
+	if got := c.Horizon(); got != 30*time.Microsecond {
+		t.Errorf("horizon %v, want 30µs", got)
+	}
+	if got := c.Frontier(); got != 10*time.Microsecond {
+		t.Errorf("frontier %v, want 10µs", got)
+	}
+	// A stale publish must not roll a worker's clock back.
+	c.publish(1, 5*time.Microsecond)
+	if got := c.Horizon(); got != 30*time.Microsecond {
+		t.Errorf("horizon rolled back to %v", got)
+	}
+	if got := c.Epochs(); got != 4 {
+		t.Errorf("epochs %d, want 4", got)
+	}
+}
+
+// TestMultiQueueSeqTicket proves the ticket hands out the device in
+// strict sequence order under adversarial goroutine scheduling.
+func TestMultiQueueSeqTicket(t *testing.T) {
+	tk := newSeqTicket()
+	const n = 200
+	order := make([]uint64, 0, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for seq := uint64(0); seq < n; seq++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			if !tk.wait(seq) {
+				t.Errorf("seq %d aborted", seq)
+				return
+			}
+			mu.Lock()
+			order = append(order, seq)
+			mu.Unlock()
+			tk.done()
+		}(seq)
+	}
+	wg.Wait()
+	for i, seq := range order {
+		if seq != uint64(i) {
+			t.Fatalf("position %d applied seq %d", i, seq)
+		}
+	}
+}

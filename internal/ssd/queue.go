@@ -1,0 +1,73 @@
+package ssd
+
+import (
+	"time"
+
+	"leaftl/internal/addr"
+)
+
+// Op is a multi-queue submission opcode.
+type Op uint8
+
+const (
+	// OpRead reads Pages pages starting at LPA.
+	OpRead Op = iota
+	// OpWrite writes Pages pages starting at LPA.
+	OpWrite
+	// OpFlush drains the write buffer, including a partial block.
+	OpFlush
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFlush:
+		return "flush"
+	default:
+		return "op?"
+	}
+}
+
+// SQE is one submission-queue entry. Seq is the global submission
+// sequence the front end assigns — the apply order, and therefore the
+// replayed history, regardless of which queue carries the entry.
+// Arrival is the request's arrival time relative to the front end's
+// attach point.
+type SQE struct {
+	Seq     uint64
+	Op      Op
+	LPA     addr.LPA
+	Pages   int
+	Arrival time.Duration
+}
+
+// CQE is the completion stamped for one SQE: when the request actually
+// started (arrival plus any queue wait), when it completed on the
+// device's virtual clock, and its error if it failed. Times are
+// absolute device time; MultiQueue.Completions rebases them for
+// callers working trace-relative.
+type CQE struct {
+	SQE
+	Start    time.Duration
+	Complete time.Duration
+	Err      error
+}
+
+// QueuePair is one NVMe-style submission/completion queue pair, owned by
+// exactly one worker. The submission side is a bounded ring (a channel);
+// the completion side is stamped in apply order by the worker and read
+// after Drain.
+type QueuePair struct {
+	id int
+	sq chan SQE
+	cq []CQE
+}
+
+// ID returns the pair's index.
+func (q *QueuePair) ID() int { return q.id }
+
+// Depth returns the submission ring's capacity.
+func (q *QueuePair) Depth() int { return cap(q.sq) }

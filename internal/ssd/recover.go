@@ -78,6 +78,7 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 	preTruth := append([]addr.PPA(nil), d.truth...)
 
 	d.buffer = make(map[addr.LPA]uint64, d.cfg.BufferPages)
+	d.bufOrder = nil
 	d.cache.Resize(0)
 	for i := range d.streams {
 		d.streams[i] = gcStream{}

@@ -30,6 +30,29 @@ type ClockedDevice interface {
 	AdvanceTo(t time.Duration)
 }
 
+// QueueDevice is a device fronted by real submission/completion queue
+// pairs with their own workers (implemented by *ssd.MultiQueue). When
+// ReplayOpenLoop receives one, it submits requests to the queues instead
+// of simulating queueing itself, and reads latencies back from the
+// stamped completions. All times are trace-relative (the front end
+// rebases onto its own clock).
+type QueueDevice interface {
+	Device
+	// QueueCount returns the number of queue pairs.
+	QueueCount() int
+	// Submit enqueues a request on queue q at the given arrival time,
+	// blocking when the queue is full.
+	Submit(q int, write bool, lpa addr.LPA, pages int, arrival time.Duration) error
+	// Drain waits for every submitted request to complete and stops the
+	// workers; only then may Completions be read.
+	Drain() error
+	// Completions replays queue q's stamped completions to fn in apply
+	// order.
+	Completions(q int, fn func(write bool, arrival, start, complete time.Duration, err error))
+	// FirstError returns the first per-request error in apply order.
+	FirstError() error
+}
+
 // Replay applies every request in order (closed loop: each request
 // starts when the previous one finished; arrival timestamps are
 // ignored).
@@ -121,8 +144,14 @@ func (r *OpenLoopResult) IOPS() float64 {
 // service times are measured one request at a time on its virtual
 // clock; if the device is a ClockedDevice its clock is advanced through
 // arrival gaps so background flash work completes during idle periods.
+// A QueueDevice bypasses the simulated queues entirely: requests are
+// dispatched round-robin to its real queue pairs and latencies come
+// from the completions its workers stamp.
 func ReplayOpenLoop(d Device, reqs []Request, cfg OpenLoopConfig) (*OpenLoopResult, error) {
 	cfg = cfg.withDefaults()
+	if qd, ok := d.(QueueDevice); ok {
+		return replayQueues(qd, reqs, cfg)
+	}
 	res := &OpenLoopResult{
 		Latency:      metrics.NewHistogram(),
 		ReadLatency:  metrics.NewHistogram(),
@@ -174,6 +203,59 @@ func ReplayOpenLoop(d Device, reqs []Request, cfg OpenLoopConfig) (*OpenLoopResu
 			res.Writes++
 			res.WriteLatency.Observe(lat)
 		}
+	}
+	res.Elapsed = end
+	return res, nil
+}
+
+// replayQueues is the QueueDevice arm of ReplayOpenLoop: requests are
+// submitted round-robin to the device's real queue pairs in trace order
+// (which fixes the global apply order), the front end's workers time and
+// apply them, and the stamped completions are folded into the same
+// histograms the simulated-queue path fills. Submission order per queue
+// matches the simulated path exactly, so a one-queue QueueDevice replays
+// the same schedule the single-queue simulation would.
+func replayQueues(qd QueueDevice, reqs []Request, cfg OpenLoopConfig) (*OpenLoopResult, error) {
+	queues := qd.QueueCount()
+	for i, r := range reqs {
+		arrival := time.Duration(float64(r.Arrival) / cfg.Speedup)
+		if cfg.Interarrival > 0 {
+			arrival = time.Duration(float64(i) * float64(cfg.Interarrival) / cfg.Speedup)
+		}
+		if err := qd.Submit(i%queues, r.Op != OpRead, r.LPA, r.Pages, arrival); err != nil {
+			return nil, fmt.Errorf("trace: request %d (%s): %w", i, r, err)
+		}
+	}
+	if err := qd.Drain(); err != nil {
+		return nil, err
+	}
+	if err := qd.FirstError(); err != nil {
+		return nil, err
+	}
+	res := &OpenLoopResult{
+		Latency:      metrics.NewHistogram(),
+		ReadLatency:  metrics.NewHistogram(),
+		WriteLatency: metrics.NewHistogram(),
+		QueueWait:    metrics.NewHistogram(),
+	}
+	var end time.Duration
+	for q := 0; q < queues; q++ {
+		qd.Completions(q, func(write bool, arrival, start, complete time.Duration, err error) {
+			lat := complete - arrival
+			res.Requests++
+			res.Latency.Observe(lat)
+			res.QueueWait.Observe(start - arrival)
+			if write {
+				res.Writes++
+				res.WriteLatency.Observe(lat)
+			} else {
+				res.Reads++
+				res.ReadLatency.Observe(lat)
+			}
+			if complete > end {
+				end = complete
+			}
+		})
 	}
 	res.Elapsed = end
 	return res, nil

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -163,6 +164,127 @@ func TestReplayOpenLoopInterarrivalSpeedup(t *testing.T) {
 		t.Errorf("elapsed %v, want 11µs", res.Elapsed)
 	}
 }
+
+// queueDev is a deterministic QueueDevice fake: each queue serves its
+// submissions in order at a fixed service time, stamping completions
+// the way a real multi-queue front end would.
+type queueDev struct {
+	queues    int
+	service   time.Duration
+	subs      [][]queueSub
+	drained   bool
+	firstErr  error
+	submitErr error
+}
+
+type queueSub struct {
+	write   bool
+	lpa     addr.LPA
+	pages   int
+	arrival time.Duration
+}
+
+func newQueueDev(queues int, service time.Duration) *queueDev {
+	return &queueDev{queues: queues, service: service, subs: make([][]queueSub, queues)}
+}
+
+func (f *queueDev) Read(lpa addr.LPA, pages int) (time.Duration, error)  { return f.service, nil }
+func (f *queueDev) Write(lpa addr.LPA, pages int) (time.Duration, error) { return f.service, nil }
+func (f *queueDev) QueueCount() int                                      { return f.queues }
+
+func (f *queueDev) Submit(q int, write bool, lpa addr.LPA, pages int, arrival time.Duration) error {
+	if f.submitErr != nil {
+		return f.submitErr
+	}
+	f.subs[q] = append(f.subs[q], queueSub{write, lpa, pages, arrival})
+	return nil
+}
+
+func (f *queueDev) Drain() error { f.drained = true; return nil }
+
+func (f *queueDev) Completions(q int, fn func(write bool, arrival, start, complete time.Duration, err error)) {
+	var free time.Duration
+	for _, s := range f.subs[q] {
+		start := s.arrival
+		if free > start {
+			start = free
+		}
+		complete := start + f.service
+		free = complete
+		fn(s.write, s.arrival, start, complete, nil)
+	}
+}
+
+func (f *queueDev) FirstError() error { return f.firstErr }
+
+func TestReplayOpenLoopQueueDevice(t *testing.T) {
+	d := newQueueDev(2, 10*time.Microsecond)
+	reqs := []Request{
+		{Op: OpWrite, LPA: 0, Pages: 1, Arrival: 0},
+		{Op: OpRead, LPA: 1, Pages: 1, Arrival: 0},
+		{Op: OpRead, LPA: 2, Pages: 1, Arrival: 5 * time.Microsecond},
+		{Op: OpRead, LPA: 3, Pages: 1, Arrival: 5 * time.Microsecond},
+	}
+	res, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.drained {
+		t.Error("replay never drained the queue device")
+	}
+	// Round-robin: queue 0 got requests 0 and 2, queue 1 got 1 and 3.
+	if len(d.subs[0]) != 2 || len(d.subs[1]) != 2 {
+		t.Fatalf("submissions split %d/%d, want 2/2", len(d.subs[0]), len(d.subs[1]))
+	}
+	if d.subs[0][1].lpa != 2 || d.subs[1][1].lpa != 3 {
+		t.Errorf("round-robin order broken: q0=%v q1=%v", d.subs[0], d.subs[1])
+	}
+	if res.Requests != 4 || res.Reads != 3 || res.Writes != 1 {
+		t.Errorf("counts %d/%d/%d, want 4/3/1", res.Requests, res.Reads, res.Writes)
+	}
+	// Request 2 arrives at 5µs but waits behind request 0 (queue 0 busy
+	// until 10µs): 5µs wait, 15µs latency, complete at 20µs = makespan.
+	if got := res.QueueWait.Summary().Peak; got != 5*time.Microsecond {
+		t.Errorf("max queue wait %v, want 5µs", got)
+	}
+	if got := res.Latency.Summary().Peak; got != 15*time.Microsecond {
+		t.Errorf("max latency %v, want 15µs", got)
+	}
+	if res.Elapsed != 20*time.Microsecond {
+		t.Errorf("elapsed %v, want 20µs", res.Elapsed)
+	}
+}
+
+func TestReplayOpenLoopQueueDeviceSpeedup(t *testing.T) {
+	d := newQueueDev(1, time.Microsecond)
+	reqs := []Request{
+		{Op: OpRead, LPA: 0, Pages: 1, Arrival: 0},
+		{Op: OpRead, LPA: 1, Pages: 1, Arrival: 100 * time.Microsecond},
+	}
+	if _, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{Speedup: 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Arrival scaling happens before submission, same as the simulated path.
+	if got := d.subs[0][1].arrival; got != 50*time.Microsecond {
+		t.Errorf("submitted arrival %v, want 50µs", got)
+	}
+}
+
+func TestReplayOpenLoopQueueDeviceErrors(t *testing.T) {
+	d := newQueueDev(1, time.Microsecond)
+	d.firstErr = errSentinel
+	reqs := []Request{{Op: OpRead, LPA: 0, Pages: 1}}
+	if _, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{}); !errors.Is(err, errSentinel) {
+		t.Errorf("completion error not propagated: %v", err)
+	}
+	d = newQueueDev(1, time.Microsecond)
+	d.submitErr = errSentinel
+	if _, err := ReplayOpenLoop(d, reqs, OpenLoopConfig{}); !errors.Is(err, errSentinel) {
+		t.Errorf("submit error not propagated: %v", err)
+	}
+}
+
+var errSentinel = errors.New("queue device failure")
 
 func TestReplayOpenLoopPropagatesError(t *testing.T) {
 	d := &fakeDev{failAt: 2}

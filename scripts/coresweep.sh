@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# coresweep.sh — replay a timed workload through the real multi-queue
+# front end at each worker/queue-pair count and record the kIOPS-vs-cores
+# curve plus the cross-count state-digest determinism check.
+#
+# Usage: scripts/coresweep.sh [PR-number] [workers]
+#   scripts/coresweep.sh 7          → writes BENCH_PR7.json (and prints the table)
+#   scripts/coresweep.sh 7 1,2,4    → sweep only those worker counts
+#
+# Env knobs:
+#   GAMMA     LeaFTL error bound             (default 0)
+#   WORKLOAD  timed workload to replay       (default zipf-hot)
+#   SEED      workload generation seed       (default 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PR="${1:-7}"
+WORKERS="${2:-1,2,4,8}"
+GAMMA="${GAMMA:-0}"
+WORKLOAD="${WORKLOAD:-zipf-hot}"
+SEED="${SEED:-1}"
+
+echo "building..." >&2
+go build ./cmd/leaftl-bench
+
+out="BENCH_PR${PR}.json"
+echo "== core sweep (workers=$WORKERS workload=$WORKLOAD gamma=$GAMMA seed=$SEED) ==" >&2
+./leaftl-bench -coresweep \
+  -workers "$WORKERS" -sweep-workload "$WORKLOAD" \
+  -gamma "$GAMMA" -seed "$SEED" \
+  -json "$out"
+rm -f leaftl-bench
+
+echo "wrote $out" >&2
