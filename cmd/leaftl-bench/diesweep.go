@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"leaftl/internal/experiments"
+)
+
+// dieSweepJSON is the machine-readable form of one die-scaling sweep
+// (scripts/diesweep.sh writes it to BENCH_PR8.json).
+type dieSweepJSON struct {
+	Mode     string  `json:"mode"`
+	Scale    string  `json:"scale"`
+	Workload string  `json:"workload"`
+	Speedup  float64 `json:"speedup"`
+	Workers  int     `json:"workers"`
+	Planes   int     `json:"planes"`
+	Gamma    int     `json:"gamma"`
+	// MappingBudget is the budgeted arm's fraction of the full mapping
+	// size.
+	MappingBudget float64 `json:"mapping_budget"`
+	// MonotoneTo4Dies reports whether kIOPS never decreased with any
+	// die-count step up to 4 dies (the die-scaling acceptance gate).
+	MonotoneTo4Dies bool `json:"monotone_kiops_to_4_dies"`
+	// Speedup4v1 is kIOPS at 4 dies over kIOPS at 1 die (0 when the
+	// sweep does not include both endpoints).
+	Speedup4v1 float64 `json:"kiops_speedup_4_dies_vs_1"`
+	// MetaOverlapPositive reports whether every multi-die row's budgeted
+	// arm overlapped translation-page writes with data traffic.
+	MetaOverlapPositive bool         `json:"meta_overlap_positive"`
+	Runs                []dieRunJSON `json:"runs"`
+}
+
+// dieRunJSON is one geometry's row.
+type dieRunJSON struct {
+	Dies          int     `json:"dies"`
+	Planes        int     `json:"planes"`
+	KIOPS         float64 `json:"kiops"`
+	ElapsedUs     float64 `json:"elapsed_us"`
+	P50us         float64 `json:"p50_us"`
+	P99us         float64 `json:"p99_us"`
+	P999us        float64 `json:"p999_us"`
+	WaitP99us     float64 `json:"queue_wait_p99_us"`
+	StateDigest   string  `json:"state_digest"`
+	BudgetKIOPS   float64 `json:"budget_kiops"`
+	MetaReads     uint64  `json:"budget_meta_reads"`
+	MetaWrites    uint64  `json:"budget_meta_writes"`
+	MetaOverlapUs float64 `json:"budget_meta_overlap_us"`
+}
+
+// runDieSweep is the leaftl-bench -diesweep mode: replay one timed
+// workload open-loop across channel × die × plane geometries and report
+// the kIOPS-vs-dies curve plus the budgeted-arm map-op pipelining.
+func runDieSweep(scale experiments.Scale, dies string, planes int, workers, workload string, gamma int, speedup float64, seed int64, markdown bool, jsonPath string) error {
+	dieCounts, err := parseIntList(dies)
+	if err != nil {
+		return err
+	}
+	w := 0
+	if workers != "" {
+		if w, err = strconv.Atoi(workers); err != nil {
+			return fmt.Errorf("-workers %q: want a single integer", workers)
+		}
+	}
+	spec := experiments.DieSweepSpec{
+		Dies:     dieCounts,
+		Planes:   planes,
+		Workers:  w,
+		Workload: workload,
+		Gamma:    gamma,
+		Speedup:  speedup,
+	}
+	s := experiments.NewSuite(scale, seed)
+	runs, table, err := s.DieSweep(spec)
+	if err != nil {
+		return err
+	}
+	if markdown {
+		fmt.Println(table.Markdown())
+	} else {
+		fmt.Println(table.String())
+	}
+
+	monotone := true
+	for i := 1; i < len(runs); i++ {
+		if runs[i].Dies > 4 || runs[i-1].Dies > 4 {
+			continue
+		}
+		if runs[i].Result.IOPS() < runs[i-1].Result.IOPS() {
+			monotone = false
+		}
+	}
+	var kiops1, kiops4, ratio float64
+	for _, r := range runs {
+		switch r.Dies {
+		case 1:
+			kiops1 = r.Result.IOPS() / 1e3
+		case 4:
+			kiops4 = r.Result.IOPS() / 1e3
+		}
+	}
+	if kiops1 > 0 && kiops4 > 0 {
+		ratio = kiops4 / kiops1
+	}
+	overlapOK := true
+	for _, r := range runs {
+		if r.Dies > 1 && r.BudgetStats.MetaOverlap <= 0 {
+			overlapOK = false
+		}
+	}
+	if !monotone {
+		fmt.Fprintln(os.Stderr, "leaftl-bench: diesweep: WARNING: kIOPS decreased with added dies")
+	}
+	if !overlapOK {
+		fmt.Fprintln(os.Stderr, "leaftl-bench: diesweep: WARNING: no meta/data overlap on a multi-die geometry under budget")
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	spec = spec.WithDefaults()
+	out := dieSweepJSON{
+		Mode: "diesweep", Scale: scale.Name,
+		Workload: spec.Workload, Speedup: spec.Speedup,
+		Workers: spec.Workers, Planes: spec.Planes, Gamma: gamma,
+		MappingBudget:   spec.MappingBudget,
+		MonotoneTo4Dies: monotone, Speedup4v1: ratio,
+		MetaOverlapPositive: overlapOK,
+	}
+	for _, r := range runs {
+		sum := r.Result.Latency.Summary()
+		out.Runs = append(out.Runs, dieRunJSON{
+			Dies:          r.Dies,
+			Planes:        r.Planes,
+			KIOPS:         r.Result.IOPS() / 1e3,
+			ElapsedUs:     usF(r.Result.Elapsed),
+			P50us:         usF(sum.P50),
+			P99us:         usF(sum.P99),
+			P999us:        usF(sum.P999),
+			WaitP99us:     usF(r.Result.QueueWait.Summary().P99),
+			StateDigest:   fmt.Sprintf("%016x", r.Digest),
+			BudgetKIOPS:   r.BudgetResult.IOPS() / 1e3,
+			MetaReads:     r.BudgetStats.MetaReads,
+			MetaWrites:    r.BudgetStats.MetaWrites,
+			MetaOverlapUs: usF(r.BudgetStats.MetaOverlap),
+		})
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if jsonPath == "-" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(jsonPath, enc, 0o644)
+}

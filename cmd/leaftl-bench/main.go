@@ -69,8 +69,11 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 0, "-torture mode: fault-model seed (0 = use -seed)")
 	scrubThreshold := flag.Int("scrub-threshold", 0, "-torture mode: read-disturb scrub threshold in block reads (0 = default 5000)")
 	coreSweep := flag.Bool("coresweep", false, "core-count sweep mode: replay a timed workload through the real multi-queue front end at each -workers count (skips figures)")
-	workers := flag.String("workers", "", "-coresweep mode: comma-separated worker/queue-pair counts (default 1,2,4,8); single value in -openloop/-torture modes drives replay through that many real queue pairs")
-	sweepWorkload := flag.String("sweep-workload", "zipf-hot", "-coresweep mode: timed workload to replay")
+	workers := flag.String("workers", "", "-coresweep mode: comma-separated worker/queue-pair counts (default 1,2,4,8); single value in -openloop/-torture/-diesweep modes drives replay through that many real queue pairs")
+	sweepWorkload := flag.String("sweep-workload", "zipf-hot", "-coresweep/-diesweep modes: timed workload to replay")
+	dieSweep := flag.Bool("diesweep", false, "die sweep mode: replay a timed workload across -dies × -planes flash geometries, with a budgeted arm measuring map-op/data-op overlap (skips figures)")
+	dieCounts := flag.String("dies", "", "-diesweep mode: comma-separated dies-per-channel counts (default 1,2,4)")
+	planes := flag.Int("planes", 0, "-diesweep mode: planes per die, applied to every row (default 2)")
 	flag.Parse()
 
 	scaleOf := func() experiments.Scale {
@@ -84,6 +87,21 @@ func main() {
 		}
 	}
 
+	if *dieSweep {
+		// Like -coresweep, the sweep saturates the one-die baseline by
+		// default (4x); an explicit -speedup still wins.
+		sp := 0.0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "speedup" {
+				sp = *speedup
+			}
+		})
+		if err := runDieSweep(scaleOf(), *dieCounts, *planes, *workers, *sweepWorkload, *gamma, sp, *seed, *markdown, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "leaftl-bench: diesweep: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *coreSweep {
 		list := *workers
 		if list == "" {

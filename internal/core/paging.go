@@ -43,12 +43,31 @@ type groupStore interface {
 type PageCost struct {
 	MetaReads  int
 	MetaWrites int
+
+	// ReadIDs/WriteIDs name the virtual translation PPA behind each
+	// counted operation, in charge order, so the device can route the op
+	// to the die holding that page (multi-page images get one id per
+	// constituent page).
+	ReadIDs  []uint64
+	WriteIDs []uint64
 }
 
 // Add accumulates o into c.
 func (c *PageCost) Add(o PageCost) {
 	c.MetaReads += o.MetaReads
 	c.MetaWrites += o.MetaWrites
+	c.ReadIDs = append(c.ReadIDs, o.ReadIDs...)
+	c.WriteIDs = append(c.WriteIDs, o.WriteIDs...)
+}
+
+// pageIDs expands a group image's virtual translation PPA into one
+// identity per constituent flash page.
+func pageIDs(ppa uint32, n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(ppa)<<8 | uint64(i&0xff)
+	}
+	return ids
 }
 
 // PagerStats counts paging events since the pager was created.
@@ -232,7 +251,8 @@ func (p *Pager) load(gid addr.GroupID, e *gmdEntry) PageCost {
 	p.evictedBytes -= e.dramBytes
 	p.stats.Faults++
 	p.fast = false // a fault implies pressure; Enforce will re-evaluate
-	return PageCost{MetaReads: p.imagePages(len(e.image))}
+	n := p.imagePages(len(e.image))
+	return PageCost{MetaReads: n, ReadIDs: pageIDs(e.ppa, n)}
 }
 
 // Enforce evicts CLOCK victims until the resident set fits the budget.
@@ -309,7 +329,8 @@ func (p *Pager) writeback(gid addr.GroupID, e *gmdEntry) PageCost {
 	p.flashPages += p.imagePages(len(img))
 	e.dirty = false
 	p.stats.DirtyWritebacks++
-	return PageCost{MetaWrites: p.imagePages(len(img))}
+	n := p.imagePages(len(img))
+	return PageCost{MetaWrites: n, WriteIDs: pageIDs(e.ppa, n)}
 }
 
 // unring removes gid from the CLOCK ring, keeping the hand on the

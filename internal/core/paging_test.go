@@ -7,6 +7,26 @@ import (
 	"leaftl/internal/addr"
 )
 
+// costEq compares PageCosts including their flash-page identities (the
+// struct holds slices, so == no longer applies).
+func costEq(a, b PageCost) bool {
+	if a.MetaReads != b.MetaReads || a.MetaWrites != b.MetaWrites ||
+		len(a.ReadIDs) != len(b.ReadIDs) || len(a.WriteIDs) != len(b.WriteIDs) {
+		return false
+	}
+	for i := range a.ReadIDs {
+		if a.ReadIDs[i] != b.ReadIDs[i] {
+			return false
+		}
+	}
+	for i := range a.WriteIDs {
+		if a.WriteIDs[i] != b.WriteIDs[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // buildMixedTable commits a mix of sequential, strided and irregular
 // batches so groups carry multiple levels, approximate segments and CRB
 // entries — the state a round trip must preserve exactly.
@@ -193,7 +213,7 @@ func TestPagerBudgetAndClock(t *testing.T) {
 	}
 
 	// Unknown groups stay unknown (and free).
-	if cost, known := p.EnsureRead(9999); known || cost != (PageCost{}) {
+	if cost, known := p.EnsureRead(9999); known || cost.MetaReads != 0 || cost.MetaWrites != 0 {
 		t.Fatalf("unknown group: known=%v cost=%+v", known, cost)
 	}
 }
@@ -237,7 +257,7 @@ func TestPagerShardedMatchesPlain(t *testing.T) {
 				sharded.Update(pairs[i:j])
 				ca.Add(pp.Enforce())
 				cb.Add(ps.Enforce())
-				if ca != cb {
+				if !costEq(ca, cb) {
 					t.Fatalf("op %d: commit costs diverge: %+v vs %+v", op, ca, cb)
 				}
 				i = j
@@ -246,7 +266,7 @@ func TestPagerShardedMatchesPlain(t *testing.T) {
 			l := addr.LPA(rng.Intn(16 * 256))
 			ca, ka := pp.EnsureRead(addr.Group(l))
 			cb, kb := ps.EnsureRead(addr.Group(l))
-			if ka != kb || ca != cb {
+			if ka != kb || !costEq(ca, cb) {
 				t.Fatalf("op %d: read costs diverge: %v/%+v vs %v/%+v", op, ka, ca, kb, cb)
 			}
 			var pa, pb addr.PPA
@@ -257,7 +277,7 @@ func TestPagerShardedMatchesPlain(t *testing.T) {
 			}
 			ca = pp.Enforce()
 			cb = ps.Enforce()
-			if ca != cb || oka != okb || pa != pb {
+			if !costEq(ca, cb) || oka != okb || pa != pb {
 				t.Fatalf("op %d: lookup diverges: %d/%v/%+v vs %d/%v/%+v", op, pa, oka, ca, pb, okb, cb)
 			}
 		}

@@ -65,7 +65,7 @@ func (d *DFTL) Translate(lpa addr.LPA) (ftl.Translation, bool) {
 	if !ok {
 		return tr, false
 	}
-	tr.Cost.MetaReads++ // demand-load the translation page
+	tr.Cost.AddRead(uint64(d.transPage(lpa))) // demand-load the translation page
 	tr.Cost.Add(d.install(lpa, ppa, false))
 	tr.PPA = ppa
 	return tr, true
@@ -82,7 +82,7 @@ func (d *DFTL) install(lpa addr.LPA, ppa addr.PPA, dirty bool) ftl.Cost {
 		// Write back the victim's translation page; every cached dirty
 		// entry of that page rides along (DFTL's batching).
 		tp := d.transPage(ev.Key)
-		cost.MetaWrites++
+		cost.AddWrite(uint64(tp))
 		d.cmt.CleanMatching(func(k addr.LPA) bool { return d.transPage(k) == tp })
 	}
 	return cost

@@ -3,13 +3,18 @@
 // erase counting, and the out-of-band (OOB) metadata area LeaFTL uses to
 // store reverse mappings (paper §2, §3.5, Table 1).
 //
-// The model is deliberately first-order: each channel is an independent
-// service timeline, every operation occupies its channel for the
-// operation's nominal latency, and requests issued to a busy channel
-// queue behind it. This reproduces the contention effects the paper's
-// evaluation depends on (flush and GC traffic delaying reads) without a
-// full event-driven simulator; DESIGN.md §2 records the substitution for
-// WiscSim.
+// The model is deliberately first-order: each die (channel × die) is an
+// independent service timeline, every cell operation occupies its die
+// for the operation's nominal latency, and requests issued to a busy die
+// queue behind it. With DiesPerChan or PlanesPerDie above one, the
+// channel bus becomes a separate, shorter transfer-occupancy resource
+// (BusXfer per page), programs to distinct planes of one die can join a
+// multi-plane window, and completions across dies are naturally out of
+// order. With one die and one plane per channel the arithmetic reduces
+// exactly to the original per-channel scalar-horizon model. This
+// reproduces the contention effects the paper's evaluation depends on
+// (flush and GC traffic delaying reads) without a full event-driven
+// simulator; DESIGN.md §2 records the substitution for WiscSim.
 package flash
 
 import (
@@ -29,6 +34,21 @@ type Config struct {
 	ReadLatency   time.Duration // page read (20µs in Table 1)
 	WriteLatency  time.Duration // page program (200µs)
 	EraseLatency  time.Duration // block erase (1.5ms)
+
+	// DiesPerChan is the number of NAND dies (LUNs) sharing each channel
+	// bus. Zero or one keeps the original one-timeline-per-channel model;
+	// above one, cell operations occupy only their die and the channel
+	// bus carries per-page transfers (BusXfer).
+	DiesPerChan int
+	// PlanesPerDie enables multi-plane programs: programs to distinct
+	// planes of one die issued while a program window is open complete
+	// together. Zero or one disables plane interleave.
+	PlanesPerDie int
+	// BusXfer is the channel-bus occupancy of moving one page between
+	// controller and die. Only charged when the geometry is die-aware
+	// (DiesPerChan or PlanesPerDie above one); zero defaults to
+	// ReadLatency/4.
+	BusXfer time.Duration
 
 	// Fault selects the seeded reliability model (see fault.go). The
 	// zero value is perfect flash.
@@ -72,8 +92,71 @@ func (c Config) Validate() error {
 		return fmt.Errorf("flash: PageSize = %d, must be positive", c.PageSize)
 	case c.TotalPages() > int(addr.InvalidPPA):
 		return fmt.Errorf("flash: %d pages exceed the PPA space", c.TotalPages())
+	case c.DiesPerChan < 0:
+		return fmt.Errorf("flash: DiesPerChan = %d, must be non-negative", c.DiesPerChan)
+	case c.PlanesPerDie < 0:
+		return fmt.Errorf("flash: PlanesPerDie = %d, must be non-negative", c.PlanesPerDie)
+	case c.Dies() > 1 && c.BlocksPerChan%c.Dies() != 0:
+		return fmt.Errorf("flash: BlocksPerChan = %d not divisible by DiesPerChan = %d", c.BlocksPerChan, c.Dies())
+	case c.Planes() > 1 && c.PagesPerBlock%c.Planes() != 0:
+		return fmt.Errorf("flash: PagesPerBlock = %d not divisible by PlanesPerDie = %d", c.PagesPerBlock, c.Planes())
+	case c.Planes() > 32:
+		return fmt.Errorf("flash: PlanesPerDie = %d exceeds 32", c.Planes())
+	case c.BusXfer < 0:
+		return fmt.Errorf("flash: BusXfer = %v, must be non-negative", c.BusXfer)
 	}
 	return c.Fault.Validate()
+}
+
+// Dies returns the dies per channel, normalizing 0 to 1.
+func (c Config) Dies() int {
+	if c.DiesPerChan > 1 {
+		return c.DiesPerChan
+	}
+	return 1
+}
+
+// Planes returns the planes per die, normalizing 0 to 1.
+func (c Config) Planes() int {
+	if c.PlanesPerDie > 1 {
+		return c.PlanesPerDie
+	}
+	return 1
+}
+
+// Units returns the number of independent service timelines
+// (channels × dies): blocks stripe over units exactly as they striped
+// over channels before, so unit u serves block b iff b % Units() == u
+// and ChannelOf is unchanged (b % (C·D) ≡ b (mod C)).
+func (c Config) Units() int { return c.Channels * c.Dies() }
+
+// UnitOfBlock returns the die timeline serving block b.
+func (c Config) UnitOfBlock(b BlockID) int {
+	return int(uint32(b) % uint32(c.Units()))
+}
+
+// UnitOf returns the die timeline serving ppa.
+func (c Config) UnitOf(ppa addr.PPA) int { return c.UnitOfBlock(c.BlockOf(ppa)) }
+
+// DieOfBlock returns block b's die index within its channel
+// (0 ≤ die < Dies()).
+func (c Config) DieOfBlock(b BlockID) int { return c.UnitOfBlock(b) / c.Channels }
+
+// PlaneOf returns ppa's plane within its die. A block spans all planes
+// of its die with consecutive page offsets alternating planes, so
+// sequential programs naturally form multi-plane pairs.
+func (c Config) PlaneOf(ppa addr.PPA) int { return c.PageOf(ppa) % c.Planes() }
+
+// dieAware reports whether the bus/cell split and plane windows are
+// active. When false, timing is the original per-channel arithmetic.
+func (c Config) dieAware() bool { return c.Dies() > 1 || c.Planes() > 1 }
+
+// busXfer returns the effective per-page bus occupancy.
+func (c Config) busXfer() time.Duration {
+	if c.BusXfer > 0 {
+		return c.BusXfer
+	}
+	return c.ReadLatency / 4
 }
 
 // Blocks returns the total number of erase blocks.
@@ -132,10 +215,19 @@ type Stats struct {
 	EraseFails     uint64 // failed block erases
 }
 
+// progWindow is one die's open multi-plane program window: programs to
+// distinct planes of the die that arrive while the window is still the
+// tail of the die's backlog complete together with it.
+type progWindow struct {
+	done      time.Duration // completion of the joint program
+	planeMask uint32        // planes already claimed
+	count     int           // programs joined so far
+}
+
 // Array is the simulated flash array. It stores, per page, an opaque
 // 8-byte payload token standing in for page contents (enough for
 // end-to-end integrity checking without 4KB of host memory per page) and
-// the OOB reverse mapping, plus per-block erase counts and per-channel
+// the OOB reverse mapping, plus per-block erase counts and per-die
 // service timelines.
 //
 // Array enforces NAND ordering rules: a page must be free to be
@@ -150,14 +242,22 @@ type Array struct {
 	written []bool          // page has been programmed since last erase
 	nextPg  []int           // next programmable page index per block
 	erases  []uint32        // per-block erase count (wear leveling)
-	busy    []time.Duration // per-channel: time the channel frees up
-	// tailErase records whether the operation at the tail of each
-	// channel's backlog is a block erase. Program suspension lets a read
-	// preempt a queued *program* burst, but an in-flight erase cannot be
+	busy    []time.Duration // per-die unit: time the die frees up
+	// eraseDone is the completion time of the most recent erase issued on
+	// each die unit. The operation at the tail of a unit's backlog is that
+	// erase iff busy[u] == eraseDone[u] (and non-zero): program suspension
+	// lets a read preempt a queued *program* burst, but an erase cannot be
 	// suspended in this model — a read arriving behind one must wait for
-	// the channel to drain (serveRead).
-	tailErase []bool
-	stats     Stats
+	// the unit to drain, and even behind a later program a read can start
+	// no earlier than the erase's completion (serveRead).
+	eraseDone []time.Duration
+	// busBusy is the per-channel bus-transfer horizon; only used when the
+	// geometry is die-aware.
+	busBusy []time.Duration
+	// progWin is each die's open multi-plane program window; only used
+	// when the geometry is die-aware.
+	progWin []progWindow
+	stats   Stats
 
 	// Reliability state: per-block read counts since the last erase
 	// (read disturb), per-page program times (retention aging), and the
@@ -181,8 +281,10 @@ func NewArray(cfg Config) (*Array, error) {
 		written:    make([]bool, n),
 		nextPg:     make([]int, cfg.Blocks()),
 		erases:     make([]uint32, cfg.Blocks()),
-		busy:       make([]time.Duration, cfg.Channels),
-		tailErase:  make([]bool, cfg.Channels),
+		busy:       make([]time.Duration, cfg.Units()),
+		eraseDone:  make([]time.Duration, cfg.Units()),
+		busBusy:    make([]time.Duration, cfg.Channels),
+		progWin:    make([]progWindow, cfg.Units()),
 		blockReads: make([]uint32, cfg.Blocks()),
 		progAt:     make([]time.Duration, n),
 		fault:      newFaultModel(cfg.Fault),
@@ -198,57 +300,135 @@ func (a *Array) Stats() Stats { return a.stats }
 // EraseCount returns how many times block b has been erased.
 func (a *Array) EraseCount(b BlockID) uint32 { return a.erases[b] }
 
-// serve charges one operation of the given latency on ppa's channel
+// tailIsErase reports whether the operation at the tail of unit u's
+// backlog is the most recent erase (nothing has queued after it).
+func (a *Array) tailIsErase(u int) bool {
+	return a.eraseDone[u] > 0 && a.busy[u] == a.eraseDone[u]
+}
+
+// serve charges one cell operation of the given latency on die unit u
 // starting no earlier than now, returning the completion time. erase
-// records what kind of operation now sits at the tail of the backlog
-// (see tailErase).
-func (a *Array) serve(ch int, now, latency time.Duration, erase bool) time.Duration {
+// records the erase completion so serveRead can refuse to start reads
+// mid-erase (see eraseDone).
+func (a *Array) serve(u int, now, latency time.Duration, erase bool) time.Duration {
 	start := now
-	if a.busy[ch] > start {
-		start = a.busy[ch]
+	if a.busy[u] > start {
+		start = a.busy[u]
 	}
 	done := start + latency
-	a.busy[ch] = done
-	a.tailErase[ch] = erase
+	a.busy[u] = done
+	if erase {
+		a.eraseDone[u] = done
+	}
+	a.progWin[u] = progWindow{}
 	return done
 }
 
-// serveRead charges a read with program suspension: modern NAND lets a
-// read preempt a queued program burst, so a read waits for at most one
-// in-flight program operation rather than the channel's whole write
-// backlog. The read still occupies the channel for its own latency.
+// serveRead charges a read's cell time with program suspension: modern
+// NAND lets a read preempt a queued program burst, so a read waits for
+// at most one in-flight program operation rather than the die's whole
+// write backlog. The read still occupies the die for its own latency.
 //
 // The suspension shortcut applies only to program bursts. When the tail
-// of the channel's backlog is a block *erase*, the read waits for the
-// channel to drain: erases are not suspendable here, and letting reads
-// start mid-erase understated GC-induced read tails. (The backlog is a
-// scalar horizon, so only its tail operation is known; a read behind an
-// erase that is itself followed by programs still sees the capped wait —
-// the tail is a program.)
-func (a *Array) serveRead(ch int, now time.Duration) time.Duration {
+// of the unit's backlog is a block *erase*, the read waits for the unit
+// to drain: erases are not suspendable here, and letting reads start
+// mid-erase understated GC-induced read tails. When programs queued
+// *behind* an erase (the tail is a program), the capped wait still may
+// not move the read's start before the erase's own completion — the
+// erase is in flight underneath the whole backlog.
+func (a *Array) serveRead(u int, now time.Duration) time.Duration {
 	start := now
-	if wait := a.busy[ch] - now; wait > 0 {
-		if wait > a.cfg.WriteLatency && !a.tailErase[ch] {
+	if wait := a.busy[u] - now; wait > 0 {
+		if wait > a.cfg.WriteLatency && !a.tailIsErase(u) {
 			wait = a.cfg.WriteLatency
+			if s := a.eraseDone[u] - now; s > wait {
+				wait = s
+			}
 		}
 		start = now + wait
 	}
 	done := start + a.cfg.ReadLatency
 	// The preempting read delays the outstanding program queue.
-	if a.busy[ch] > start {
-		a.busy[ch] += a.cfg.ReadLatency
+	if a.busy[u] > start {
+		a.busy[u] += a.cfg.ReadLatency
 	} else {
-		a.busy[ch] = done
-		a.tailErase[ch] = false
+		a.busy[u] = done
 	}
+	a.progWin[u] = progWindow{}
+	return done
+}
+
+// chargeRetries extends a read by whole-page retry rounds on its own
+// die: each round re-senses the page right where the first attempt
+// finished, so the rounds run back to back from the read's own
+// completion and push any outstanding backlog by the same amount. (They
+// do not re-enter channel arbitration: a retry behind a queued erase
+// must not re-pay the erase wait per round.)
+func (a *Array) chargeRetries(u int, done time.Duration, retries int) time.Duration {
+	if retries == 0 {
+		return done
+	}
+	extra := time.Duration(retries) * a.cfg.ReadLatency
+	if a.busy[u] > done {
+		a.busy[u] += extra
+	} else {
+		a.busy[u] = done + extra
+	}
+	a.progWin[u] = progWindow{}
+	return done + extra
+}
+
+// busTransfer charges one page movement on ch's channel bus starting no
+// earlier than ready; die-aware geometry only.
+func (a *Array) busTransfer(ch int, ready time.Duration) time.Duration {
+	start := ready
+	if a.busBusy[ch] > start {
+		start = a.busBusy[ch]
+	}
+	done := start + a.cfg.busXfer()
+	a.busBusy[ch] = done
+	return done
+}
+
+// serveWrite charges one page program. In the die-aware geometry the
+// page's data first crosses the channel bus, then programs the cell on
+// its die — unless the die has an open multi-plane window (its last
+// program is still the tail of its backlog, this page's plane is free,
+// and the window completes after the transfer), in which case the
+// program joins the window and completes with it: the idealized
+// multi-plane interleave that lets back-to-back programs to alternating
+// planes finish Planes() pages per WriteLatency.
+func (a *Array) serveWrite(ppa addr.PPA, now time.Duration) time.Duration {
+	u := a.cfg.UnitOf(ppa)
+	if !a.cfg.dieAware() {
+		return a.serve(u, now, a.cfg.WriteLatency, false)
+	}
+	xferDone := a.busTransfer(a.cfg.ChannelOf(ppa), now)
+	plane := a.cfg.PlaneOf(ppa)
+	w := &a.progWin[u]
+	if w.count > 0 && w.count < a.cfg.Planes() &&
+		w.planeMask&(1<<uint(plane)) == 0 &&
+		a.busy[u] == w.done && xferDone <= w.done {
+		w.count++
+		w.planeMask |= 1 << uint(plane)
+		return w.done
+	}
+	start := xferDone
+	if a.busy[u] > start {
+		start = a.busy[u]
+	}
+	done := start + a.cfg.WriteLatency
+	a.busy[u] = done
+	*w = progWindow{done: done, planeMask: 1 << uint(plane), count: 1}
 	return done
 }
 
 // sampleRead runs the fault model for one page read: charges retry
-// rounds on ch (each a full page-read latency), counts correction
-// stats, and reports whether the data and/or OOB region is
-// uncorrectable. Unwritten (erased) pages never fault.
-func (a *Array) sampleRead(ppa addr.PPA, ch int, done time.Duration, wantData, wantOOB bool) (time.Duration, bool, bool) {
+// rounds on die unit u (each a full page-read latency extending the
+// read's own completion), counts correction stats, and reports whether
+// the data and/or OOB region is uncorrectable. Unwritten (erased) pages
+// never fault.
+func (a *Array) sampleRead(ppa addr.PPA, u int, done time.Duration, wantData, wantOOB bool) (time.Duration, bool, bool) {
 	if a.fault == nil || !a.written[ppa] {
 		return done, false, false
 	}
@@ -267,9 +447,7 @@ func (a *Array) sampleRead(ppa addr.PPA, ch int, done time.Duration, wantData, w
 		r, c, u := a.fault.readOutcome(rber, oobBits, hard, soft)
 		retries, corrected, oobUECC = retries+r, corrected || c, u
 	}
-	for i := 0; i < retries; i++ {
-		done = a.serveRead(ch, done)
-	}
+	done = a.chargeRetries(u, done, retries)
 	a.stats.ECCRetries += uint64(retries)
 	if corrected && !dataUECC && !oobUECC {
 		a.stats.CorrectedReads++
@@ -301,8 +479,12 @@ func (a *Array) busyAge(ppa addr.PPA, now time.Duration) time.Duration {
 func (a *Array) Read(ppa addr.PPA, now time.Duration) (token uint64, reverse addr.LPA, done time.Duration, err error) {
 	a.stats.PageReads++
 	a.blockReads[a.cfg.BlockOf(ppa)]++
-	done = a.serveRead(a.cfg.ChannelOf(ppa), now)
-	done, dataUECC, oobUECC := a.sampleRead(ppa, a.cfg.ChannelOf(ppa), done, true, true)
+	u := a.cfg.UnitOf(ppa)
+	done = a.serveRead(u, now)
+	done, dataUECC, oobUECC := a.sampleRead(ppa, u, done, true, true)
+	if a.cfg.dieAware() {
+		done = a.busTransfer(a.cfg.ChannelOf(ppa), done)
+	}
 	switch {
 	case dataUECC:
 		return 0, addr.InvalidLPA, done, fmt.Errorf("%w: PPA %d", ErrUncorrectable, ppa)
@@ -318,8 +500,12 @@ func (a *Array) Read(ppa addr.PPA, now time.Duration) (token uint64, reverse add
 func (a *Array) ReadOOB(ppa addr.PPA, now time.Duration) (addr.LPA, time.Duration, error) {
 	a.stats.PageReads++
 	a.blockReads[a.cfg.BlockOf(ppa)]++
-	done := a.serveRead(a.cfg.ChannelOf(ppa), now)
-	done, _, oobUECC := a.sampleRead(ppa, a.cfg.ChannelOf(ppa), done, false, true)
+	u := a.cfg.UnitOf(ppa)
+	done := a.serveRead(u, now)
+	done, _, oobUECC := a.sampleRead(ppa, u, done, false, true)
+	if a.cfg.dieAware() {
+		done = a.busTransfer(a.cfg.ChannelOf(ppa), done)
+	}
 	if oobUECC {
 		return addr.InvalidLPA, done, fmt.Errorf("%w: PPA %d", ErrOOBUncorrectable, ppa)
 	}
@@ -347,7 +533,7 @@ func (a *Array) Write(ppa addr.PPA, lpa addr.LPA, token uint64, now time.Duratio
 	a.nextPg[b] = pg + 1
 	a.written[ppa] = true
 	a.progAt[ppa] = now
-	done := a.serve(a.cfg.ChannelOf(ppa), now, a.cfg.WriteLatency, false)
+	done := a.serveWrite(ppa, now)
 	if a.fault != nil && a.fault.opFails(a.fault.cfg.ProgramFailBase, a.fault.cfg.ProgramFailWear, a.erases[b]) {
 		a.token[ppa] = 0
 		a.reverse[ppa] = addr.InvalidLPA
@@ -367,7 +553,7 @@ func (a *Array) Write(ppa addr.PPA, lpa addr.LPA, token uint64, now time.Duratio
 // can fail with wear-growing probability (ErrEraseFail): the block
 // keeps its stale contents and must be retired by the layer above.
 func (a *Array) Erase(b BlockID, now time.Duration) (time.Duration, error) {
-	done := a.serve(int(uint32(b)%uint32(a.cfg.Channels)), now, a.cfg.EraseLatency, true)
+	done := a.serve(a.cfg.UnitOfBlock(b), now, a.cfg.EraseLatency, true)
 	if a.fault != nil && a.fault.opFails(a.fault.cfg.EraseFailBase, a.fault.cfg.EraseFailWear, a.erases[b]) {
 		a.stats.EraseFails++
 		a.erases[b]++ // the cycle was attempted; it wears the block
@@ -402,9 +588,10 @@ func (a *Array) Reverse(ppa addr.PPA) addr.LPA {
 	return a.reverse[ppa]
 }
 
-// BusyUntil returns channel ch's next free time (for tests and for
-// completion accounting in the device).
-func (a *Array) BusyUntil(ch int) time.Duration { return a.busy[ch] }
+// BusyUntil returns die unit u's next free time (for tests and for
+// completion accounting in the device). With one die per channel, unit
+// indices coincide with channel indices.
+func (a *Array) BusyUntil(u int) time.Duration { return a.busy[u] }
 
 // WriteSeq returns the OOB write-sequence number of ppa (0 if unwritten).
 // Recovery scans use it to order copies of the same LPA; real SSDs stamp
@@ -421,25 +608,47 @@ func (a *Array) WriteSeq(ppa addr.PPA) uint64 {
 // never the data path.
 func (a *Array) TokenAt(ppa addr.PPA) uint64 { return a.token[ppa] }
 
-// MetaRead charges one translation-page read on a rotating channel and
-// returns its completion time. Translation metadata I/O (DFTL/SFTL
-// translation pages, LeaFTL table persistence) is modeled as latency and
-// wear without occupying data blocks; DESIGN.md §2 records the
-// simplification.
-func (a *Array) MetaRead(now time.Duration) time.Duration {
+// metaUnit maps a translation page's identity (its virtual translation
+// PPA, or region/group number) onto the die unit holding it. Meta
+// placement is a pure function of the page's identity — never of how
+// much data traffic happens to interleave — so identical meta sequences
+// land on identical dies across schemes and runs.
+func (a *Array) metaUnit(id uint64) int {
+	return int(id % uint64(a.cfg.Units()))
+}
+
+// MetaRead charges one translation-page read on the die derived from the
+// page's identity and returns its completion time. Translation metadata
+// I/O (DFTL/SFTL translation pages, LeaFTL group images) is modeled as
+// latency and wear without occupying data blocks; DESIGN.md §2 records
+// the simplification.
+func (a *Array) MetaRead(id uint64, now time.Duration) time.Duration {
 	a.stats.PageReads++
-	return a.serveRead(a.metaChannel(), now)
+	u := a.metaUnit(id)
+	done := a.serveRead(u, now)
+	if a.cfg.dieAware() {
+		done = a.busTransfer(u%a.cfg.Channels, done)
+	}
+	return done
 }
 
-// MetaWrite charges one translation-page write on a rotating channel.
-func (a *Array) MetaWrite(now time.Duration) time.Duration {
+// MetaWrite charges one translation-page write on the die derived from
+// the page's identity.
+func (a *Array) MetaWrite(id uint64, now time.Duration) time.Duration {
 	a.stats.PageWrites++
-	return a.serve(a.metaChannel(), now, a.cfg.WriteLatency, false)
-}
-
-// metaChannel rotates metadata traffic across channels.
-func (a *Array) metaChannel() int {
-	return int((a.stats.PageReads + a.stats.PageWrites) % uint64(a.cfg.Channels))
+	u := a.metaUnit(id)
+	if !a.cfg.dieAware() {
+		return a.serve(u, now, a.cfg.WriteLatency, false)
+	}
+	xferDone := a.busTransfer(u%a.cfg.Channels, now)
+	start := xferDone
+	if a.busy[u] > start {
+		start = a.busy[u]
+	}
+	done := start + a.cfg.WriteLatency
+	a.busy[u] = done
+	a.progWin[u] = progWindow{}
+	return done
 }
 
 // OOBWindow models the paper's §3.5 misprediction recovery: the OOB of
@@ -459,8 +668,12 @@ func (a *Array) metaChannel() int {
 func (a *Array) OOBWindow(center addr.PPA, gamma int, now time.Duration) (window []addr.LPA, done time.Duration, err error) {
 	a.stats.PageReads++
 	a.blockReads[a.cfg.BlockOf(center)]++
-	done = a.serveRead(a.cfg.ChannelOf(center), now)
-	done, _, oobUECC := a.sampleRead(center, a.cfg.ChannelOf(center), done, false, true)
+	u := a.cfg.UnitOf(center)
+	done = a.serveRead(u, now)
+	done, _, oobUECC := a.sampleRead(center, u, done, false, true)
+	if a.cfg.dieAware() {
+		done = a.busTransfer(a.cfg.ChannelOf(center), done)
+	}
 	if oobUECC {
 		return nil, done, fmt.Errorf("%w: PPA %d (OOB window)", ErrOOBUncorrectable, center)
 	}

@@ -136,11 +136,11 @@ func TestOOBWindow(t *testing.T) {
 func TestMetaOpsCountAndCharge(t *testing.T) {
 	a, _ := NewArray(testCfg())
 	before := a.Stats()
-	done := a.MetaRead(0)
+	done := a.MetaRead(0, 0)
 	if done < a.Config().ReadLatency {
 		t.Errorf("meta read done at %v", done)
 	}
-	a.MetaWrite(0)
+	a.MetaWrite(0, 0)
 	st := a.Stats()
 	if st.PageReads != before.PageReads+1 || st.PageWrites != before.PageWrites+1 {
 		t.Errorf("meta ops not counted: %+v", st)
@@ -205,17 +205,39 @@ func TestReadWaitsForErase(t *testing.T) {
 	}
 }
 
-// TestReadBehindEraseThenProgram documents the tail-only semantics: an
-// erase followed by a queued program leaves a program at the tail, so
-// the suspension shortcut applies again.
+// TestReadBehindEraseThenProgram is the regression for the stale-tail
+// bug: with a program at the tail but an erase still earlier in the
+// queue, the suspension shortcut used to cap the wait at one
+// WriteLatency — starting the read mid-erase. The cap may shorten the
+// wait behind the tail program, but never below the erase's completion.
 func TestReadBehindEraseThenProgram(t *testing.T) {
 	a, _ := NewArray(testCfg())
 	cfg := a.Config()
 	a.Write(0, 0, 0, 0)
 	a.Erase(0, cfg.WriteLatency)
 	a.Write(0, 9, 9, 0) // re-program after the erase; tail is a program
+	eraseDone := cfg.WriteLatency + cfg.EraseLatency
 	_, _, done, _ := a.Read(16, 0)
-	if want := cfg.WriteLatency + cfg.ReadLatency; done != want {
-		t.Errorf("read behind erase+program done at %v, want capped %v", done, want)
+	if want := eraseDone + cfg.ReadLatency; done != want {
+		t.Errorf("read behind erase+program done at %v, want %v (no mid-erase start)", done, want)
+	}
+}
+
+// TestReadBehindProgramThenErase covers the opposite ordering: the
+// erase is at the tail, so the suspension shortcut must not apply at
+// all — the read drains the whole backlog.
+func TestReadBehindProgramThenErase(t *testing.T) {
+	a, _ := NewArray(testCfg())
+	cfg := a.Config()
+	a.Write(0, 0, 0, 0)
+	a.Write(1, 1, 0, 0)
+	a.Erase(2, 0) // block 2 shares unit 0; erase is the tail
+	busy := 2*cfg.WriteLatency + cfg.EraseLatency
+	if a.BusyUntil(0) != busy {
+		t.Fatalf("BusyUntil = %v, want %v", a.BusyUntil(0), busy)
+	}
+	_, _, done, _ := a.Read(16, 0)
+	if want := busy + cfg.ReadLatency; done != want {
+		t.Errorf("read behind program+erase done at %v, want %v", done, want)
 	}
 }

@@ -19,12 +19,35 @@ import "leaftl/internal/addr"
 type Cost struct {
 	MetaReads  int
 	MetaWrites int
+
+	// ReadIDs/WriteIDs name the translation page behind each counted
+	// operation, in charge order: a scheme-stable identity (virtual
+	// translation PPA, region or group number) the device maps onto the
+	// die actually holding the page. Producers that cannot name a page
+	// may leave these shorter than the counts; the device falls back to
+	// a device-wide sequence for the remainder.
+	ReadIDs  []uint64
+	WriteIDs []uint64
 }
 
 // Add accumulates o into c.
 func (c *Cost) Add(o Cost) {
 	c.MetaReads += o.MetaReads
 	c.MetaWrites += o.MetaWrites
+	c.ReadIDs = append(c.ReadIDs, o.ReadIDs...)
+	c.WriteIDs = append(c.WriteIDs, o.WriteIDs...)
+}
+
+// AddRead charges one translation-page read of page id.
+func (c *Cost) AddRead(id uint64) {
+	c.MetaReads++
+	c.ReadIDs = append(c.ReadIDs, id)
+}
+
+// AddWrite charges one translation-page write of page id.
+func (c *Cost) AddWrite(id uint64) {
+	c.MetaWrites++
+	c.WriteIDs = append(c.WriteIDs, id)
 }
 
 // Translation is the result of one LPA lookup.

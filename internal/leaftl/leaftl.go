@@ -107,9 +107,23 @@ func (s *Scheme) Gamma() int { return s.table.Gamma() }
 // only the resident groups.
 func (s *Scheme) Table() *core.Table { return s.table }
 
-// pageCost converts pager flash-operation counts into an ftl.Cost.
+// pageCost converts pager flash-operation counts into an ftl.Cost,
+// carrying the translation-page identities through for die routing.
 func pageCost(pc core.PageCost) ftl.Cost {
-	return ftl.Cost{MetaReads: pc.MetaReads, MetaWrites: pc.MetaWrites}
+	return ftl.Cost{
+		MetaReads: pc.MetaReads, MetaWrites: pc.MetaWrites,
+		ReadIDs: pc.ReadIDs, WriteIDs: pc.WriteIDs,
+	}
+}
+
+// sweepCost builds the whole-table persistence cost: page i of the
+// packed sweep is page i every sweep, so ids are just the page index.
+func sweepCost(pages int) ftl.Cost {
+	c := ftl.Cost{MetaWrites: pages, WriteIDs: make([]uint64, pages)}
+	for i := range c.WriteIDs {
+		c.WriteIDs[i] = uint64(i)
+	}
+	return c
 }
 
 // commitPaged learns a sorted batch group-run by group-run through the
@@ -247,7 +261,7 @@ func (s *Scheme) Maintain(hostPageWrites uint64) ftl.Cost {
 	// rounding) and keep no images around.
 	s.table.Compact()
 	pages := (s.table.SizeBytes() + s.pageSize - 1) / s.pageSize
-	return ftl.Cost{MetaWrites: pages}
+	return sweepCost(pages)
 }
 
 // MaxGroupGamma implements ftl.AdaptiveGamma.

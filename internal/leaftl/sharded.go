@@ -232,7 +232,7 @@ func (s *Sharded) Maintain(hostPageWrites uint64) ftl.Cost {
 	// Budget never bound: whole-table persistence, as in Scheme.Maintain.
 	s.table.Compact()
 	pages := (s.table.SizeBytes() + s.pageSize - 1) / s.pageSize
-	return ftl.Cost{MetaWrites: pages}
+	return sweepCost(pages)
 }
 
 // MaxGroupGamma implements ftl.AdaptiveGamma.

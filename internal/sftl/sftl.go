@@ -75,7 +75,7 @@ func (s *SFTL) Translate(lpa addr.LPA) (ftl.Translation, bool) {
 		s.cache.Get(r) // touch recency
 		return tr, true
 	}
-	tr.Cost.MetaReads++
+	tr.Cost.AddRead(uint64(r))
 	tr.Cost.Add(s.install(r, false))
 	return tr, true
 }
@@ -84,7 +84,7 @@ func (s *SFTL) install(r Region, dirty bool) ftl.Cost {
 	var cost ftl.Cost
 	for _, ev := range s.cache.Put(r, struct{}{}, s.regionBytes(r), dirty) {
 		if ev.Dirty {
-			cost.MetaWrites++
+			cost.AddWrite(uint64(ev.Key))
 		}
 	}
 	return cost

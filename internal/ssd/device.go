@@ -62,7 +62,22 @@ type Device struct {
 	// and per-LPA update-recency stamps that classify relocated pages.
 	policy  GCPolicy
 	victims *VictimIndex
+	// streams holds the GC destination lanes, one per (stream, die):
+	// stream s's lane on die l is streams[s*dieLanes+l]. With one die
+	// this is exactly the old one-lane-per-stream layout.
 	streams []gcStream
+	// dieLanes is the die fan-out of the allocator (Flash.Dies()):
+	// flushes and GC relocation stripe pages round-robin over this many
+	// open destination blocks, one per die.
+	dieLanes int
+	// flushLanes are the flush destination lanes, one per die. They
+	// persist across flushes on a multi-die geometry (sealing when
+	// full); with one die every flush seals its blocks exactly as the
+	// old chunked writer did and the lanes are never left open.
+	flushLanes []gcStream
+	// metaSeq is the fallback rotation for translation-page operations
+	// whose producer did not name a page identity.
+	metaSeq uint64
 	lpaHeat []uint64 // per-LPA writeStamp at last host write
 
 	// Reliability state: bad marks blocks retired (or sealed awaiting
@@ -135,7 +150,9 @@ func New(cfg Config, scheme ftl.Scheme) (*Device, error) {
 		buffer:       make(map[addr.LPA]uint64, cfg.BufferPages),
 		policy:       policy,
 		victims:      newVictimIndex(cfg.Flash.Blocks(), cfg.Flash.PagesPerBlock),
-		streams:      make([]gcStream, streams),
+		streams:      make([]gcStream, streams*cfg.Flash.Dies()),
+		dieLanes:     cfg.Flash.Dies(),
+		flushLanes:   make([]gcStream, cfg.Flash.Dies()),
 		lpaHeat:      make([]uint64, cfg.LogicalPages()),
 		bad:          make([]bool, cfg.Flash.Blocks()),
 		lost:         make([]bool, cfg.LogicalPages()),
@@ -412,7 +429,12 @@ func (d *Device) readApprox(lpa addr.LPA, tr ftl.Translation, want addr.PPA, t t
 	if miss {
 		d.stats.Mispredictions++
 	}
-	first := tr.PPA
+	// The raw prediction can overshoot the device on striped layouts
+	// (lane-interleaved flush pages learn stride-Dies() segments whose
+	// extrapolation runs past the last page); the controller clamps the
+	// read target to the die it actually has.
+	pred := clampPPA(int64(tr.PPA), int64(d.cfg.Flash.TotalPages()))
+	first := pred
 	if tr.Hint != 0 {
 		first = clampPPA(int64(tr.PPA)+int64(tr.Hint), int64(d.cfg.Flash.TotalPages()))
 	}
@@ -439,13 +461,13 @@ func (d *Device) readApprox(lpa addr.LPA, tr ftl.Translation, want addr.PPA, t t
 	if werr == nil {
 		found = d.searchWindow(window, first, lpa)
 	}
-	if found == addr.InvalidPPA && first != tr.PPA {
+	if found == addr.InvalidPPA && first != pred {
 		// The speculative aim missed the true page's window; fall back to
 		// the window around the prediction itself (a second charged read).
-		window, t, werr = d.arr.OOBWindow(tr.PPA, d.gamma, t)
+		window, t, werr = d.arr.OOBWindow(pred, d.gamma, t)
 		sawOOBErr = sawOOBErr || werr != nil
 		if werr == nil {
-			found = d.searchWindow(window, tr.PPA, lpa)
+			found = d.searchWindow(window, pred, lpa)
 		}
 	}
 	if found == addr.InvalidPPA {
@@ -455,7 +477,7 @@ func (d *Device) readApprox(lpa addr.LPA, tr ftl.Translation, want addr.PPA, t t
 		// likelier neighbor is read first.
 		d.stats.OOBFallbacks++
 		var probeErr bool
-		found, t, probeErr = d.probeFallback(lpa, tr.PPA, first, tr.Hint, t)
+		found, t, probeErr = d.probeFallback(lpa, pred, first, tr.Hint, t)
 		sawOOBErr = sawOOBErr || probeErr
 	}
 	if miss {
@@ -655,14 +677,13 @@ func (d *Device) flushChunks(t time.Duration, includePartial bool) (time.Duratio
 		sort.Slice(lpas, func(i, j int) bool { return lpas[i] < lpas[j] })
 	}
 	ppb := d.cfg.Flash.PagesPerBlock
-	for len(lpas) >= ppb || (includePartial && len(lpas) > 0) {
-		n := ppb
-		if n > len(lpas) {
-			n = len(lpas)
-		}
-		chunk := lpas[:n]
-		lpas = lpas[n:]
-		done, err := d.writeChunk(chunk, t)
+	flushable := len(lpas)
+	if !includePartial {
+		// Block granularity: a sub-block remainder stays buffered.
+		flushable = (len(lpas) / ppb) * ppb
+	}
+	if flushable > 0 {
+		done, err := d.flushPages(lpas[:flushable], t, includePartial)
 		if err != nil {
 			d.compactBufOrder()
 			return stall, err
@@ -687,79 +708,119 @@ func (d *Device) flushChunks(t time.Duration, includePartial bool) (time.Duratio
 	return stall, d.retireSweep(t)
 }
 
-// writeChunk programs one block's worth of buffered pages (sorted order
-// means ascending LPAs land on consecutive PPAs — the monotone mapping
-// §3.3 exploits) and commits the new mappings to the scheme.
-//
-// A program failure burns its page and condemns the block: the pages
-// already programmed are committed, the block is sealed bad (retired by
-// the next retireSweep), and the chunk continues — retrying the failed
-// page first — on a fresh block. maxProgramAttempts consecutive
-// failures of one page are a hard device failure.
-func (d *Device) writeChunk(chunk []addr.LPA, t time.Duration) (time.Duration, error) {
-	commit := func(pairs []addr.Mapping) {
-		if len(pairs) == 0 {
-			return
-		}
-		// In-buffer ordering is by insertion when sorting is disabled;
-		// the scheme contract wants sorted pairs, so sort the *mappings*
-		// without changing the physical layout (the learned patterns
-		// degrade, which is exactly what the no-sort ablation measures).
-		if !d.cfg.SortBuffer {
-			sort.Slice(pairs, func(i, j int) bool { return pairs[i].LPA < pairs[j].LPA })
-		}
-		d.chargeMeta(d.scheme.Commit(pairs), t)
+// commitPairs installs freshly written mappings into the scheme,
+// charging the translation-metadata cost at t.
+func (d *Device) commitPairs(pairs []addr.Mapping, t time.Duration) {
+	if len(pairs) == 0 {
+		return
 	}
-	b, err := d.allocBlock(t)
-	if err != nil {
-		return 0, err
+	// In-buffer ordering is by insertion when sorting is disabled;
+	// the scheme contract wants sorted pairs, so sort the *mappings*
+	// without changing the physical layout (the learned patterns
+	// degrade, which is exactly what the no-sort ablation measures).
+	if !d.cfg.SortBuffer {
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i].LPA < pairs[j].LPA })
 	}
-	var (
-		done     time.Duration
-		pairs    []addr.Mapping
-		next     int // next page index in b
-		attempts int
-	)
-	for i := 0; i < len(chunk); {
-		l := chunk[i]
-		ppa := d.cfg.Flash.FirstPPA(b) + addr.PPA(next)
-		wdone, werr := d.arr.Write(ppa, l, d.buffer[l], t)
-		if wdone > done {
-			done = wdone
-		}
-		next++
-		if werr != nil {
-			attempts++
-			if attempts >= maxProgramAttempts {
-				return 0, fmt.Errorf("ssd: page for LPA %d failed to program on %d consecutive blocks: %w",
-					l, attempts, werr)
-			}
-			d.crashPoint("flush.progfail")
-			commit(pairs)
-			pairs = nil
-			d.abandonBadBlock(b)
-			if b, err = d.allocBlock(t); err != nil {
-				return 0, err
-			}
-			next = 0
-			continue // retry the same LPA on the fresh block
-		}
-		attempts = 0
-		d.invalidate(l)
-		d.truth[l] = ppa
-		d.valid[ppa] = true
-		d.bvc[b]++
-		pairs = append(pairs, addr.Mapping{LPA: l, PPA: ppa})
-		delete(d.buffer, l)
-		i++
-	}
+	d.chargeMeta(d.scheme.Commit(pairs), t)
+}
+
+// sealFlushLane closes lane's open destination block: commit its
+// pending mappings, count it flushed, and hand it to the GC victim
+// index (no further programs land in it).
+func (d *Device) sealFlushLane(lane int, pairs []addr.Mapping, t time.Duration) {
+	st := &d.flushLanes[lane]
 	d.crashPoint("flush.programmed")
-	commit(pairs)
+	d.commitPairs(pairs, t)
 	d.crashPoint("flush.committed")
 	d.stats.FlushedBlocks++
-	// The chunk's block is sealed — no further programs land in it — so
-	// it becomes a GC candidate at its current valid count.
-	d.victims.add(b, d.bvc[b], d.blockSeq[b], d.writeStamp)
+	d.victims.add(st.block, d.bvc[st.block], d.blockSeq[st.block], d.writeStamp)
+	*st = gcStream{}
+}
+
+// flushPages programs the flushable pages across the die-interleaved
+// flush lanes: page i of the sorted run goes to lane i % dieLanes, and
+// each lane fills one open block on its own die, so the flush's program
+// burst fans out over every die instead of serializing on one. Sorted
+// order still means ascending LPAs land on consecutive PPAs within each
+// lane (a stride-dieLanes run — the monotone mapping §3.3 exploits, with
+// slope 1/dieLanes). With one die the pass degenerates to the original
+// chunked writer: one lane sealing exactly every PagesPerBlock pages.
+//
+// A program failure burns its page and condemns the lane's block: the
+// pages already programmed are committed, the block is sealed bad
+// (retired by the next retireSweep), and the lane continues — retrying
+// the failed page first — on a fresh block from the same die.
+// maxProgramAttempts consecutive failures of one page are a hard device
+// failure.
+func (d *Device) flushPages(lpas []addr.LPA, t time.Duration, sealPartial bool) (time.Duration, error) {
+	ppb := d.cfg.Flash.PagesPerBlock
+	pairs := make([][]addr.Mapping, d.dieLanes)
+	attempts := make([]int, d.dieLanes)
+	var done time.Duration
+	for i, l := range lpas {
+		lane := i % d.dieLanes
+		for {
+			st := &d.flushLanes[lane]
+			if !st.open {
+				b, err := d.allocBlockOn(lane, t)
+				if err != nil {
+					return done, err
+				}
+				*st = gcStream{open: true, block: b}
+			}
+			ppa := d.cfg.Flash.FirstPPA(st.block) + addr.PPA(st.next)
+			wdone, werr := d.arr.Write(ppa, l, d.buffer[l], t)
+			if wdone > done {
+				done = wdone
+			}
+			st.next++
+			if werr != nil {
+				attempts[lane]++
+				if attempts[lane] >= maxProgramAttempts {
+					return done, fmt.Errorf("ssd: page for LPA %d failed to program on %d consecutive blocks: %w",
+						l, attempts[lane], werr)
+				}
+				d.crashPoint("flush.progfail")
+				d.commitPairs(pairs[lane], t)
+				pairs[lane] = nil
+				bad := st.block
+				*st = gcStream{}
+				d.abandonBadBlock(bad)
+				continue // retry the same LPA on a fresh block of this die
+			}
+			attempts[lane] = 0
+			d.invalidate(l)
+			d.truth[l] = ppa
+			d.valid[ppa] = true
+			d.bvc[st.block]++
+			pairs[lane] = append(pairs[lane], addr.Mapping{LPA: l, PPA: ppa})
+			delete(d.buffer, l)
+			if st.next >= ppb {
+				d.sealFlushLane(lane, pairs[lane], t)
+				pairs[lane] = nil
+			}
+			break
+		}
+	}
+	for lane := range d.flushLanes {
+		if !d.flushLanes[lane].open {
+			continue
+		}
+		if sealPartial {
+			// Full Flush: close out every open lane, partial or not.
+			d.sealFlushLane(lane, pairs[lane], t)
+			pairs[lane] = nil
+			continue
+		}
+		// The lane stays open across flushes; its mappings must land in
+		// the scheme now — reads consult the scheme, not the lane.
+		if len(pairs[lane]) > 0 {
+			d.crashPoint("flush.programmed")
+			d.commitPairs(pairs[lane], t)
+			d.crashPoint("flush.committed")
+			pairs[lane] = nil
+		}
+	}
 	return done, nil
 }
 
@@ -793,6 +854,14 @@ func (d *Device) invalidate(lpa addr.LPA) {
 // allocBlock takes a free block, garbage-collecting first if the pool is
 // empty.
 func (d *Device) allocBlock(t time.Duration) (flash.BlockID, error) {
+	return d.allocBlockOn(-1, t)
+}
+
+// allocBlockOn takes a free block living on the given die, scanning the
+// free LIFO from the top so a die-matched block is still the youngest
+// available. die < 0, a single-die geometry, or a die with no free
+// blocks falls back to the plain top-of-stack pop (the legacy order).
+func (d *Device) allocBlockOn(die int, t time.Duration) (flash.BlockID, error) {
 	if len(d.free) == 0 {
 		if err := d.runGC(t, 1, false); err != nil {
 			return 0, err
@@ -801,8 +870,17 @@ func (d *Device) allocBlock(t time.Duration) (flash.BlockID, error) {
 	if len(d.free) == 0 {
 		return 0, fmt.Errorf("ssd: out of flash blocks (logical space overcommitted)")
 	}
-	b := d.free[len(d.free)-1]
-	d.free = d.free[:len(d.free)-1]
+	idx := len(d.free) - 1
+	if die >= 0 && d.dieLanes > 1 {
+		for i := len(d.free) - 1; i >= 0; i-- {
+			if d.cfg.Flash.DieOfBlock(d.free[i]) == die {
+				idx = i
+				break
+			}
+		}
+	}
+	b := d.free[idx]
+	d.free = append(d.free[:idx], d.free[idx+1:]...)
 	d.isFree[b] = false
 	d.nextSeq++
 	d.blockSeq[b] = d.nextSeq
@@ -810,16 +888,40 @@ func (d *Device) allocBlock(t time.Duration) (flash.BlockID, error) {
 	return b, nil
 }
 
-// chargeMeta serializes translation-metadata flash operations.
+// metaID resolves the identity of the i-th charged meta operation: the
+// producer-supplied translation-page id when present, else a device-wide
+// sequence (legacy producers that cannot name a page).
+func (d *Device) metaID(ids []uint64, i int) uint64 {
+	if i < len(ids) {
+		return ids[i]
+	}
+	d.metaSeq++
+	return d.metaSeq
+}
+
+// chargeMeta charges translation-metadata flash operations, routing each
+// to the die derived from its translation page's identity. Reads
+// serialize into the request's timeline — their data gates progress.
+// Writes on a multi-die geometry are issued and left behind: they occupy
+// their die (and wear the flash) but the request does not wait for them,
+// and the wait it would have paid accrues in Stats.MetaOverlap — the
+// map-op/data-op pipelining a real controller gets from die parallelism.
+// With one die, writes serialize exactly as before.
 func (d *Device) chargeMeta(c ftl.Cost, t time.Duration) time.Duration {
 	for i := 0; i < c.MetaReads; i++ {
-		t = d.arr.MetaRead(t)
+		t = d.arr.MetaRead(d.metaID(c.ReadIDs, i), t)
 		d.stats.MetaReads++
 	}
+	pipelined := d.dieLanes > 1
 	for i := 0; i < c.MetaWrites; i++ {
 		d.crashPoint("meta.write")
-		t = d.arr.MetaWrite(t)
+		done := d.arr.MetaWrite(d.metaID(c.WriteIDs, i), t)
 		d.stats.MetaWrites++
+		if pipelined {
+			d.stats.MetaOverlap += done - t
+		} else {
+			t = done
+		}
 	}
 	return t
 }

@@ -65,5 +65,16 @@ func (d *Device) StateDigest() uint64 {
 		w64(uint64(st.block))
 		w64(uint64(st.next))
 	}
+	// Flush lanes exist only on a multi-die geometry (a single-die
+	// device seals every flush block immediately, so the lanes are
+	// always closed and hashing them would only perturb the legacy
+	// digest stream).
+	if d.dieLanes > 1 {
+		for _, st := range d.flushLanes {
+			wbool(st.open)
+			w64(uint64(st.block))
+			w64(uint64(st.next))
+		}
+	}
 	return h.Sum64()
 }

@@ -156,33 +156,38 @@ func (d *Device) reclaimBlock(victim flash.BlockID, t time.Duration, retire bool
 
 	writeT := readsDone
 	lastDone := readsDone
-	var pairs []addr.Mapping
-	flushPairs := func() {
-		if len(pairs) == 0 {
+	pairs := make([][]addr.Mapping, d.dieLanes)
+	flushPairs := func(lane int) {
+		if len(pairs[lane]) == 0 {
 			return
 		}
-		cost := d.scheme.Commit(pairs)
+		cost := d.scheme.Commit(pairs[lane])
 		d.chargeMeta(cost, writeT)
-		pairs = nil
+		pairs[lane] = nil
 	}
-	// One pass per stream keeps each stream's pages in LPA order, so
-	// every committed batch is an ascending LPA run onto ascending PPAs
-	// (the scheme contract) even when pages interleave across streams.
-	for s := range d.streams {
+	// One pass per stream keeps each stream's pages in LPA order, and
+	// within a stream the pages stripe round-robin over the stream's
+	// per-die lanes — so every committed batch is an ascending LPA run
+	// onto ascending PPAs of one lane block (the scheme contract) and the
+	// relocation program burst fans out over the dies.
+	for s := 0; s < d.nStreams(); s++ {
+		j := 0
 		for _, pg := range pages {
 			if pg.stream != s {
 				continue
 			}
+			lane := j % d.dieLanes
+			j++
 			attempts := 0
 			for {
-				ppa, fresh, err := d.gcDest(s)
+				ppa, fresh, err := d.gcDest(s, lane)
 				if err != nil {
 					return 0, err
 				}
 				if fresh {
 					// Destination block changed: PPAs would jump backwards or
 					// across blocks, so commit the accumulated ascending run.
-					flushPairs()
+					flushPairs(lane)
 				}
 				done, werr := d.arr.Write(ppa, pg.lpa, pg.tok, writeT)
 				if done > lastDone {
@@ -196,8 +201,8 @@ func (d *Device) reclaimBlock(victim flash.BlockID, t time.Duration, retire bool
 						return 0, fmt.Errorf("ssd: GC relocation of LPA %d failed to program on %d consecutive blocks: %w",
 							pg.lpa, attempts, werr)
 					}
-					flushPairs()
-					st := &d.streams[s]
+					flushPairs(lane)
+					st := d.stream(s, lane)
 					st.open = false
 					d.abandonBadBlock(st.block)
 					continue
@@ -208,13 +213,15 @@ func (d *Device) reclaimBlock(victim flash.BlockID, t time.Duration, retire bool
 				db := d.cfg.Flash.BlockOf(ppa)
 				d.bvc[db]++
 				d.victims.note(db, d.writeStamp)
-				pairs = append(pairs, addr.Mapping{LPA: pg.lpa, PPA: ppa})
+				pairs[lane] = append(pairs[lane], addr.Mapping{LPA: pg.lpa, PPA: ppa})
 				d.stats.GCPagesMoved++
-				d.sealIfFull(s)
+				d.sealIfFull(s, lane)
 				break
 			}
 		}
-		flushPairs()
+		for lane := range pairs {
+			flushPairs(lane)
+		}
 	}
 	d.crashPoint("gc.programmed")
 
@@ -261,7 +268,7 @@ func (d *Device) reclaimBlock(victim flash.BlockID, t time.Duration, retire bool
 // holds pages rewritten within the last logicalPages/4^(N−1) writes
 // (the hottest), stream N−1 everything at least logicalPages/4 old.
 func (d *Device) streamOf(lpa addr.LPA) int {
-	n := len(d.streams)
+	n := d.nStreams()
 	if n == 1 {
 		return 0
 	}
@@ -278,18 +285,37 @@ func (d *Device) streamOf(lpa addr.LPA) int {
 	return s
 }
 
+// nStreams returns the number of logical GC streams (the recency bands;
+// each holds one destination lane per die).
+func (d *Device) nStreams() int { return len(d.streams) / d.dieLanes }
+
+// stream returns the destination lane of logical stream s on die lane.
+func (d *Device) stream(s, lane int) *gcStream {
+	return &d.streams[s*d.dieLanes+lane]
+}
+
 // gcDest returns the next destination PPA for a GC move on the given
-// stream, opening a new block when the stream has none. fresh reports a
-// block switch.
-func (d *Device) gcDest(stream int) (addr.PPA, bool, error) {
-	st := &d.streams[stream]
+// stream lane, opening a new block when the lane has none — preferring
+// a free block on the lane's own die so relocation programs fan out.
+// fresh reports a block switch.
+func (d *Device) gcDest(stream, lane int) (addr.PPA, bool, error) {
+	st := d.stream(stream, lane)
 	fresh := false
 	if !st.open {
 		if len(d.free) == 0 {
 			return 0, false, fmt.Errorf("ssd: GC needs a destination block but none are free")
 		}
-		b := d.free[len(d.free)-1]
-		d.free = d.free[:len(d.free)-1]
+		idx := len(d.free) - 1
+		if d.dieLanes > 1 {
+			for i := len(d.free) - 1; i >= 0; i-- {
+				if d.cfg.Flash.DieOfBlock(d.free[i]) == lane {
+					idx = i
+					break
+				}
+			}
+		}
+		b := d.free[idx]
+		d.free = append(d.free[:idx], d.free[idx+1:]...)
 		d.isFree[b] = false
 		d.nextSeq++
 		d.blockSeq[b] = d.nextSeq
@@ -301,11 +327,11 @@ func (d *Device) gcDest(stream int) (addr.PPA, bool, error) {
 	return ppa, fresh, nil
 }
 
-// sealIfFull closes a destination stream whose block just filled,
+// sealIfFull closes a destination lane whose block just filled,
 // entering it into the victim index (it is from now on fair game for
 // reclaim, like any flushed block).
-func (d *Device) sealIfFull(stream int) {
-	st := &d.streams[stream]
+func (d *Device) sealIfFull(stream, lane int) {
+	st := d.stream(stream, lane)
 	if !st.open || st.next < d.cfg.Flash.PagesPerBlock {
 		return
 	}
@@ -313,10 +339,18 @@ func (d *Device) sealIfFull(stream int) {
 	st.open = false
 }
 
-// isStreamBlock reports whether b is an open GC destination.
-func (d *Device) isStreamBlock(b flash.BlockID) bool {
+// isOpenDest reports whether b is an open destination block — a GC
+// stream lane or a die-interleaved flush lane — still accepting
+// programs, so neither a victim candidate nor fair game for the
+// scrub/retire sweeps.
+func (d *Device) isOpenDest(b flash.BlockID) bool {
 	for i := range d.streams {
 		if d.streams[i].open && d.streams[i].block == b {
+			return true
+		}
+	}
+	for i := range d.flushLanes {
+		if d.flushLanes[i].open && d.flushLanes[i].block == b {
 			return true
 		}
 	}
@@ -350,7 +384,7 @@ func (d *Device) maybeWearLevel(t time.Duration) error {
 		}
 		// Cold candidate: allocated, healthy, holds data, low erase count.
 		if !d.isFree[b] && d.blockSeq[b] != 0 && d.bvc[b] > 0 &&
-			!d.bad[b] && !d.isStreamBlock(flash.BlockID(b)) {
+			!d.bad[b] && !d.isOpenDest(flash.BlockID(b)) {
 			if !haveCold || e < d.arr.EraseCount(coldest) {
 				coldest = flash.BlockID(b)
 				haveCold = true

@@ -147,7 +147,7 @@ func (d *Device) CheckInvariants() error {
 		switch {
 		case d.isFree[b]:
 			return fmt.Errorf("invariant: bad block %d is on the free list", b)
-		case d.isStreamBlock(id):
+		case d.isOpenDest(id):
 			return fmt.Errorf("invariant: bad block %d is an open GC stream destination", b)
 		case d.blockSeq[b] == 0 && d.bvc[b] != 0:
 			return fmt.Errorf("invariant: retired block %d still holds %d valid pages", b, d.bvc[b])
@@ -186,11 +186,32 @@ func (d *Device) CheckInvariants() error {
 		}
 	}
 
+	// Flush lanes: open destinations are allocated, mid-block, on their
+	// own die, and absent from the victim index until sealed.
+	for lane, st := range d.flushLanes {
+		if !st.open {
+			continue
+		}
+		switch {
+		case d.dieLanes == 1:
+			return fmt.Errorf("invariant: flush lane open on a single-die geometry (block %d)", st.block)
+		case d.isFree[st.block]:
+			return fmt.Errorf("invariant: flush lane %d block %d is on the free list", lane, st.block)
+		case d.blockSeq[st.block] == 0:
+			return fmt.Errorf("invariant: flush lane %d block %d has no allocation sequence", lane, st.block)
+		case st.next <= 0 || st.next >= cfg.PagesPerBlock:
+			return fmt.Errorf("invariant: flush lane %d block %d open at page %d of %d",
+				lane, st.block, st.next, cfg.PagesPerBlock)
+		case d.victims.Has(st.block):
+			return fmt.Errorf("invariant: open flush lane %d block %d already in the victim index", lane, st.block)
+		}
+	}
+
 	// Victim index ↔ device state: candidates are exactly the sealed
 	// allocated blocks, at their live valid counts.
 	for b := 0; b < cfg.Blocks(); b++ {
 		id := flash.BlockID(b)
-		sealed := !d.isFree[b] && d.blockSeq[b] != 0 && !d.isStreamBlock(id)
+		sealed := !d.isFree[b] && d.blockSeq[b] != 0 && !d.isOpenDest(id)
 		switch {
 		case sealed && !d.victims.Has(id):
 			return fmt.Errorf("invariant: sealed block %d missing from the victim index", b)

@@ -52,6 +52,7 @@ func mqTrace(rng *rand.Rand, logical, n int) []mqOp {
 func counters(s Stats) Stats {
 	s.GCTime = 0
 	s.GCStall = 0
+	s.MetaOverlap = 0
 	return s
 }
 
@@ -61,83 +62,95 @@ func counters(s Stats) Stats {
 // same ground truth, PVT/BVC, free-pool order, buffer, GC and
 // reliability bookkeeping (StateDigest), and the same transition
 // counters — because the submission-order ticket makes worker scheduling
-// invisible to state. Run it with -race: it is also the concurrency
-// smoke over the queue/epoch machinery.
+// invisible to state. The harness runs on every die geometry the sweep
+// benchmarks: die-interleaved flush lanes and pipelined meta writes must
+// stay as scheduling-invisible as the legacy single-die paths. Run it
+// with -race: it is also the concurrency smoke over the queue/epoch
+// machinery.
 func TestMultiQueueDeterministic(t *testing.T) {
-	cfg := testConfig()
-	rng := seededRand(t, 71)
-	mkScheme := func() *leaftl.Scheme {
-		return leaftl.New(4, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000))
-	}
-	var logical int
-	{
-		d := newTestDevice(t, cfg, mkScheme())
-		logical = d.LogicalPages()
-	}
-	ops := mqTrace(rng, logical, 20000)
+	for _, dies := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("dies%d", dies), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Flash.DiesPerChan = dies
+			rng := seededRand(t, 71)
+			mkScheme := func() *leaftl.Scheme {
+				return leaftl.New(4, cfg.Flash.PageSize, leaftl.WithCompactEvery(2000))
+			}
+			var logical int
+			{
+				d := newTestDevice(t, cfg, mkScheme())
+				logical = d.LogicalPages()
+			}
+			ops := mqTrace(rng, logical, 20000)
 
-	// Serial baseline: the plain closed-loop device.
-	serial := newTestDevice(t, cfg, mkScheme())
-	for i, op := range ops {
-		var err error
-		if op.write {
-			_, err = serial.Write(op.lpa, op.pages)
-		} else {
-			_, err = serial.Read(op.lpa, op.pages)
-		}
-		if err != nil {
-			t.Fatalf("serial op %d: %v", i, err)
-		}
-	}
-	if err := serial.CheckInvariants(); err != nil {
-		t.Fatalf("serial invariants: %v", err)
-	}
-	wantDigest := serial.StateDigest()
-	wantStats := counters(serial.Stats())
-	if wantStats.GCErases == 0 {
-		t.Fatal("trace did not exercise GC; determinism coverage too shallow")
-	}
-
-	for _, workers := range []int{1, 2, 4, 8} {
-		t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
-			d := newTestDevice(t, cfg, mkScheme())
-			mq := NewMultiQueue(d, MQConfig{Queues: workers, QueueDepth: 32, Batch: 8})
+			// Serial baseline: the plain closed-loop device.
+			serial := newTestDevice(t, cfg, mkScheme())
 			for i, op := range ops {
-				if err := mq.Submit(i%workers, op.write, op.lpa, op.pages, op.arrival); err != nil {
-					t.Fatalf("submit %d: %v", i, err)
+				var err error
+				if op.write {
+					_, err = serial.Write(op.lpa, op.pages)
+				} else {
+					_, err = serial.Read(op.lpa, op.pages)
+				}
+				if err != nil {
+					t.Fatalf("serial op %d: %v", i, err)
 				}
 			}
-			if err := mq.Drain(); err != nil {
-				t.Fatalf("drain: %v", err)
+			if err := serial.CheckInvariants(); err != nil {
+				t.Fatalf("serial invariants: %v", err)
 			}
-			if err := mq.FirstError(); err != nil {
-				t.Fatal(err)
+			wantDigest := serial.StateDigest()
+			wantStats := counters(serial.Stats())
+			if wantStats.GCErases == 0 {
+				t.Fatal("trace did not exercise GC; determinism coverage too shallow")
 			}
-			if err := d.CheckInvariants(); err != nil {
-				t.Fatalf("invariants: %v", err)
+
+			workerCounts := []int{1, 2, 4, 8}
+			if dies > 1 {
+				workerCounts = []int{1, 4} // bound runtime; dies=1 keeps the full ladder
 			}
-			if got := d.StateDigest(); got != wantDigest {
-				t.Errorf("state digest %#x != serial %#x: worker count changed device state", got, wantDigest)
-			}
-			if got := counters(d.Stats()); got != wantStats {
-				t.Errorf("counters diverged from serial:\n got %+v\nwant %+v", got, wantStats)
-			}
-			ms := mq.MQStats()
-			if ms.Completed != uint64(len(ops)) || ms.Submitted != uint64(len(ops)) {
-				t.Errorf("front end saw %d/%d of %d requests", ms.Completed, ms.Submitted, len(ops))
-			}
-			// Attribution: per-queue splits must sum to the device's host
-			// request counters ("same totals modulo attribution").
-			var reqs uint64
-			for _, qs := range ms.PerQueue {
-				reqs += qs.Requests
-			}
-			st := d.Stats()
-			if reqs != st.HostReadReqs+st.HostWriteReqs {
-				t.Errorf("per-queue requests sum %d != host requests %d", reqs, st.HostReadReqs+st.HostWriteReqs)
-			}
-			if ms.Frontier > ms.Horizon {
-				t.Errorf("epoch frontier %v ahead of horizon %v", ms.Frontier, ms.Horizon)
+			for _, workers := range workerCounts {
+				t.Run(fmt.Sprintf("workers%d", workers), func(t *testing.T) {
+					d := newTestDevice(t, cfg, mkScheme())
+					mq := NewMultiQueue(d, MQConfig{Queues: workers, QueueDepth: 32, Batch: 8})
+					for i, op := range ops {
+						if err := mq.Submit(i%workers, op.write, op.lpa, op.pages, op.arrival); err != nil {
+							t.Fatalf("submit %d: %v", i, err)
+						}
+					}
+					if err := mq.Drain(); err != nil {
+						t.Fatalf("drain: %v", err)
+					}
+					if err := mq.FirstError(); err != nil {
+						t.Fatal(err)
+					}
+					if err := d.CheckInvariants(); err != nil {
+						t.Fatalf("invariants: %v", err)
+					}
+					if got := d.StateDigest(); got != wantDigest {
+						t.Errorf("state digest %#x != serial %#x: worker count changed device state", got, wantDigest)
+					}
+					if got := counters(d.Stats()); got != wantStats {
+						t.Errorf("counters diverged from serial:\n got %+v\nwant %+v", got, wantStats)
+					}
+					ms := mq.MQStats()
+					if ms.Completed != uint64(len(ops)) || ms.Submitted != uint64(len(ops)) {
+						t.Errorf("front end saw %d/%d of %d requests", ms.Completed, ms.Submitted, len(ops))
+					}
+					// Attribution: per-queue splits must sum to the device's host
+					// request counters ("same totals modulo attribution").
+					var reqs uint64
+					for _, qs := range ms.PerQueue {
+						reqs += qs.Requests
+					}
+					st := d.Stats()
+					if reqs != st.HostReadReqs+st.HostWriteReqs {
+						t.Errorf("per-queue requests sum %d != host requests %d", reqs, st.HostReadReqs+st.HostWriteReqs)
+					}
+					if ms.Frontier > ms.Horizon {
+						t.Errorf("epoch frontier %v ahead of horizon %v", ms.Frontier, ms.Horizon)
+					}
+				})
 			}
 		})
 	}

@@ -83,6 +83,9 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 	for i := range d.streams {
 		d.streams[i] = gcStream{}
 	}
+	for i := range d.flushLanes {
+		d.flushLanes[i] = gcStream{}
+	}
 	for i := range d.scrubSet {
 		d.scrubSet[i] = false
 	}
@@ -107,10 +110,10 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 		}
 	}
 
-	// Channel-parallel OOB scan of every programmed block. Burned pages
+	// Die-parallel OOB scan of every programmed block. Burned pages
 	// (failed programs) carry a nulled OOB and are skipped; unreadable
 	// OOBs retry through the sibling window at one extra read.
-	chanBusy := make([]time.Duration, cfg.Channels)
+	chanBusy := make([]time.Duration, cfg.Units())
 	type copyRef struct {
 		ppa addr.PPA
 		seq uint64
@@ -126,7 +129,7 @@ func (d *Device) Recover(fresh ftl.Scheme) (RecoveryReport, error) {
 		}
 		rep.BlocksScanned++
 		first := cfg.FirstPPA(id)
-		ch := cfg.ChannelOf(first)
+		ch := cfg.UnitOf(first)
 		for i := 0; i < programmed; i++ {
 			ppa := first + addr.PPA(i)
 			rep.PagesScanned++

@@ -145,7 +145,7 @@ func (d *Device) noteDisturb(ppa addr.PPA) {
 // sealed, healthy, allocated block (anything else is either already
 // being handled or has nothing to refresh).
 func (d *Device) queueScrub(b flash.BlockID) {
-	if d.scrubSet[b] || d.isFree[b] || d.bad[b] || d.blockSeq[b] == 0 || d.isStreamBlock(b) {
+	if d.scrubSet[b] || d.isFree[b] || d.bad[b] || d.blockSeq[b] == 0 || d.isOpenDest(b) {
 		return
 	}
 	d.scrubSet[b] = true
@@ -181,7 +181,7 @@ func (d *Device) drainScrub(t time.Duration) error {
 	}
 	n := 0
 	for _, b := range d.scrubPend {
-		if d.isFree[b] || d.bad[b] || d.blockSeq[b] == 0 || d.isStreamBlock(b) {
+		if d.isFree[b] || d.bad[b] || d.blockSeq[b] == 0 || d.isOpenDest(b) {
 			d.scrubSet[b] = false
 			continue
 		}
@@ -225,7 +225,7 @@ func (d *Device) abandonBadBlock(b flash.BlockID) {
 func (d *Device) retireSweep(t time.Duration) error {
 	for b := 0; b < d.cfg.Flash.Blocks(); b++ {
 		id := flash.BlockID(b)
-		if !d.bad[b] || d.blockSeq[b] == 0 || d.isStreamBlock(id) {
+		if !d.bad[b] || d.blockSeq[b] == 0 || d.isOpenDest(id) {
 			continue
 		}
 		if len(d.free) == 0 {
