@@ -19,8 +19,10 @@ type gammaTuneJSON struct {
 	Speedup   float64         `json:"speedup"`
 	Target    float64         `json:"gamma_target"`
 	AutoGamma int             `json:"auto_gamma"`
+	Bitmap    bool            `json:"bitmap"`
 	Runs      []gammaRunJSON  `json:"runs"`
 	Dominance []dominanceJSON `json:"dominance"`
+	Gate      *bitmapGateJSON `json:"bitmap_gate,omitempty"`
 }
 
 // gammaRunJSON is one workload × γ-policy cell.
@@ -31,8 +33,13 @@ type gammaRunJSON struct {
 	AutoTune      bool        `json:"autotune"`
 	TableBytes    int         `json:"table_bytes"`
 	ResidentBytes int         `json:"resident_bytes"`
+	Bitmap        bool        `json:"bitmap"`
 	MissPerOp     float64     `json:"miss_per_op"`
 	DoubleReadOp  float64     `json:"double_read_per_op"`
+	DoubleReads   uint64      `json:"double_reads"`
+	ExactBitHits  uint64      `json:"exact_bit_hits"`
+	ExactHitRatio float64     `json:"exact_hit_ratio"`
+	Relearns      uint64      `json:"relearns"`
 	Mispredicts   uint64      `json:"mispredictions"`
 	HintResolved  uint64      `json:"miss_hint_resolved"`
 	Fallbacks     uint64      `json:"miss_fallbacks"`
@@ -56,10 +63,68 @@ type dominanceJSON struct {
 	Dominated []int  `json:"dominated_static_gammas"`
 }
 
+// bitmapGateJSON is the PR 9 acceptance gate, scored on the first sweep
+// workload carrying a bitmap cell (zipf-hot in the benched config): the
+// autotune+bitmap run must push double reads per op within 1.15× of the
+// exact γ=0 baseline — plus a 0.001/op absolute floor, since γ=0 pays
+// exactly zero double reads and a pure multiplicative bound on zero is
+// unsatisfiable — while keeping the learned table no larger than the
+// biggest static γ's, and GC relearning must have actually fired.
+type bitmapGateJSON struct {
+	Workload         string  `json:"workload"`
+	BitmapDblPerOp   float64 `json:"bitmap_double_reads_per_op"`
+	Gamma0DblPerOp   float64 `json:"gamma0_double_reads_per_op"`
+	DblBound         float64 `json:"double_read_bound"`
+	BitmapTableBytes int     `json:"bitmap_table_bytes"`
+	StaticGamma      int     `json:"static_gamma"`
+	StaticTableBytes int     `json:"static_table_bytes"`
+	Relearns         uint64  `json:"relearns"`
+	Pass             bool    `json:"pass"`
+}
+
+// bitmapGate scores the gate for one workload's cells; nil when the
+// sweep lacks the γ=0 baseline, the max-γ static cell, or a bitmap cell.
+func bitmapGate(runs []experiments.GammaTuneRun, wl string) *bitmapGateJSON {
+	var g0, gmax, bm *experiments.GammaTuneRun
+	for i := range runs {
+		r := &runs[i]
+		if r.Workload != wl {
+			continue
+		}
+		switch {
+		case r.Bitmap:
+			bm = r
+		case r.AutoTune:
+		case r.Gamma == 0:
+			g0 = r
+		case gmax == nil || r.Gamma > gmax.Gamma:
+			gmax = r
+		}
+	}
+	if g0 == nil || gmax == nil || bm == nil {
+		return nil
+	}
+	const dblFloor = 0.001
+	gate := &bitmapGateJSON{
+		Workload:         wl,
+		BitmapDblPerOp:   bm.DoubleReadPerOp,
+		Gamma0DblPerOp:   g0.DoubleReadPerOp,
+		DblBound:         1.15*g0.DoubleReadPerOp + dblFloor,
+		BitmapTableBytes: bm.TableBytes,
+		StaticGamma:      gmax.Gamma,
+		StaticTableBytes: gmax.TableBytes,
+		Relearns:         bm.Stats.Relearns,
+	}
+	gate.Pass = gate.BitmapDblPerOp <= gate.DblBound &&
+		gate.BitmapTableBytes <= gate.StaticTableBytes &&
+		gate.Relearns > 0
+	return gate
+}
+
 // runGammaTune is the leaftl-bench adaptive-γ sweep mode: a static-γ
 // grid against the per-group autotune controller, per workload.
 func runGammaTune(scale experiments.Scale, gammas string, autoGamma int, target float64,
-	workloads, tracePath string, qd int, speedup float64, seed int64, markdown bool, jsonPath string) error {
+	workloads, tracePath string, bitmap bool, qd int, speedup float64, seed int64, markdown bool, jsonPath string) error {
 	grid, err := parseIntList(gammas)
 	if err != nil {
 		return err
@@ -69,6 +134,7 @@ func runGammaTune(scale experiments.Scale, gammas string, autoGamma int, target 
 		AutoGamma: autoGamma,
 		Target:    target,
 		Workloads: parseList(workloads),
+		Bitmap:    bitmap,
 		Queues:    qd,
 		Speedup:   speedup,
 	}
@@ -101,7 +167,7 @@ func runGammaTune(scale experiments.Scale, gammas string, autoGamma int, target 
 	out := gammaTuneJSON{
 		Mode: "gammatune", Scale: scale.Name,
 		Queues: spec.Queues, Speedup: spec.Speedup,
-		Target: resolvedTarget, AutoGamma: spec.AutoGamma,
+		Target: resolvedTarget, AutoGamma: spec.AutoGamma, Bitmap: spec.Bitmap,
 	}
 	byWorkload := map[string]*experiments.GammaTuneRun{}
 	var wlOrder []string
@@ -113,8 +179,12 @@ func runGammaTune(scale experiments.Scale, gammas string, autoGamma int, target 
 		sum := r.Result.Latency.Summary()
 		out.Runs = append(out.Runs, gammaRunJSON{
 			Workload: r.Workload, Policy: r.Label, Gamma: r.Gamma, AutoTune: r.AutoTune,
+			Bitmap:     r.Bitmap,
 			TableBytes: r.TableBytes, ResidentBytes: r.ResidentBytes,
 			MissPerOp: r.MissPerOp, DoubleReadOp: r.DoubleReadPerOp,
+			DoubleReads:  r.Stats.DoubleReads,
+			ExactBitHits: r.Stats.ExactBitHits, ExactHitRatio: r.ExactHitRatio,
+			Relearns:     r.Stats.Relearns,
 			Mispredicts:  r.Stats.Mispredictions,
 			HintResolved: r.Stats.MissHintResolved, Fallbacks: r.Stats.MissFallbacks,
 			ApproxReads: r.Stats.ApproxReads,
@@ -123,7 +193,7 @@ func runGammaTune(scale experiments.Scale, gammas string, autoGamma int, target 
 			P50us:     usF(sum.P50), P99us: usF(sum.P99), P999us: usF(sum.P999),
 			MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(), WAF: r.WAF,
 		})
-		if r.AutoTune {
+		if r.AutoTune && !r.Bitmap {
 			byWorkload[r.Workload] = r
 		}
 	}
@@ -143,6 +213,16 @@ func runGammaTune(scale experiments.Scale, gammas string, autoGamma int, target 
 			}
 		}
 		out.Dominance = append(out.Dominance, dom)
+	}
+	if spec.Bitmap {
+		// Score the gate on the first workload with all three cells
+		// present (zipf-hot first in the benched configuration).
+		for _, wl := range wlOrder {
+			if gate := bitmapGate(runs, wl); gate != nil {
+				out.Gate = gate
+				break
+			}
+		}
 	}
 	enc, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

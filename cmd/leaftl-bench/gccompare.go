@@ -29,6 +29,8 @@ type gcRunJSON struct {
 	WAF          float64 `json:"waf"`
 	MetaReads    uint64  `json:"meta_reads"`
 	MetaWrites   uint64  `json:"meta_writes"`
+	DoubleReads  uint64  `json:"double_reads"`
+	DoubleReadOp float64 `json:"double_read_per_op"`
 	GCRuns       uint64  `json:"gc_runs"`
 	GCErases     uint64  `json:"gc_erases"`
 	GCPagesMoved uint64  `json:"gc_pages_moved"`
@@ -114,6 +116,8 @@ func runGCCompare(scale experiments.Scale, policies, streams, workloads string, 
 			WAF:          r.WAF,
 			MetaReads:    r.Stats.MetaReads,
 			MetaWrites:   r.Stats.MetaWrites,
+			DoubleReads:  r.Stats.DoubleReads,
+			DoubleReadOp: r.Stats.DoubleReadRatio(),
 			GCRuns:       r.Stats.GCRuns,
 			GCErases:     r.Stats.GCErases,
 			GCPagesMoved: r.Stats.GCPagesMoved,

@@ -56,6 +56,7 @@ func main() {
 	micro := flag.Bool("micro", false, "run at micro (fastest, CI smoke) scale")
 	gammaTune := flag.Bool("gammatune", false, "adaptive-γ sweep mode: static γ grid (-gammas) vs the per-group autotune controller (skips figures)")
 	gammas := flag.String("gammas", "0,2,4,8,16", "-gammatune mode: comma-separated static γ grid")
+	bitmap := flag.Bool("bitmap", true, "-gammatune mode: add an autotune+bitmap cell per workload (predicted-exact bitmaps + GC-time relearning) and score the PR 9 gate")
 	autotune := flag.Bool("autotune", false, "open-loop replay mode: run LeaFTL with the adaptive per-group γ controller")
 	gammaTarget := flag.Float64("gamma-target", 0, "autotune controller's tolerated miss-per-read ratio (0 = default 0.02)")
 	tuneWorkloads := flag.String("tune-workloads", "", "-gammatune mode: comma-separated workloads (zipf-hot, strided, msr-replay; default: zipf-hot,strided)")
@@ -137,7 +138,7 @@ func main() {
 		return
 	}
 	if *gammaTune {
-		if err := runGammaTune(scaleOf(), *gammas, *gamma, *gammaTarget, *tuneWorkloads, *tracePath, *qd, *speedup, *seed, *markdown, *jsonOut); err != nil {
+		if err := runGammaTune(scaleOf(), *gammas, *gamma, *gammaTarget, *tuneWorkloads, *tracePath, *bitmap, *qd, *speedup, *seed, *markdown, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "leaftl-bench: gammatune: %v\n", err)
 			os.Exit(1)
 		}

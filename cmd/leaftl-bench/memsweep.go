@@ -30,6 +30,8 @@ type memRunJSON struct {
 	MetaReads     uint64  `json:"meta_reads"`
 	MetaWrites    uint64  `json:"meta_writes"`
 	MissPerOp     float64 `json:"miss_per_op"`
+	DoubleReads   uint64  `json:"double_reads"`
+	DoubleReadOp  float64 `json:"double_read_per_op"`
 	MetaWAF       float64 `json:"meta_waf"`
 	WAF           float64 `json:"waf"`
 	Faults        uint64  `json:"group_faults"`
@@ -100,7 +102,9 @@ func runMemSweep(scale experiments.Scale, budgets, schemes, workloads string, qd
 			Workload: r.Workload, Scheme: r.Scheme,
 			BudgetBytes: r.BudgetBytes, ResidentBytes: r.ResidentBytes, FullBytes: r.FullBytes,
 			MetaReads: r.Stats.MetaReads, MetaWrites: r.Stats.MetaWrites,
-			MissPerOp: r.Stats.MetaReadRatio(), MetaWAF: r.Stats.MetaWAF(), WAF: r.WAF,
+			MissPerOp:   r.Stats.MetaReadRatio(),
+			DoubleReads: r.Stats.DoubleReads, DoubleReadOp: r.Stats.DoubleReadRatio(),
+			MetaWAF: r.Stats.MetaWAF(), WAF: r.WAF,
 			Faults: r.Faults, Evictions: r.Evictions,
 			P50us: usF(sum.P50), P99us: usF(sum.P99), P999us: usF(sum.P999),
 			MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(),

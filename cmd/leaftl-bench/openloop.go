@@ -39,6 +39,8 @@ type schemeJSON struct {
 	MetaReads     uint64  `json:"meta_reads"`
 	MetaWrites    uint64  `json:"meta_writes"`
 	MissPerOp     float64 `json:"miss_per_op"`
+	DoubleReads   uint64  `json:"double_reads"`
+	DoubleReadOp  float64 `json:"double_read_per_op"`
 	MetaWAF       float64 `json:"meta_waf"`
 }
 
@@ -119,7 +121,9 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 				MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(),
 				MapBytes: r.MapBytes, ResidentBytes: r.ResidentBytes,
 				MetaReads: r.Stats.MetaReads, MetaWrites: r.Stats.MetaWrites,
-				MissPerOp: r.Stats.MetaReadRatio(), MetaWAF: r.Stats.MetaWAF(),
+				MissPerOp:   r.Stats.MetaReadRatio(),
+				DoubleReads: r.Stats.DoubleReads, DoubleReadOp: r.Stats.DoubleReadRatio(),
+				MetaWAF: r.Stats.MetaWAF(),
 			})
 		}
 		enc, err := json.MarshalIndent(out, "", "  ")

@@ -36,6 +36,27 @@ func fuzzSeeds(t interface{ Helper() }) (snapshots [][]byte, groups [][]byte) {
 		img, _ := tab.MarshalGroup(gid)
 		groups = append(groups, img)
 	}
+
+	// A bitmap-enabled table: the same commits re-verified through
+	// refreshExactBits, so the v3 records carry set exact bits.
+	bt := NewTable(4)
+	bt.EnableExactBitmap()
+	commitB := func(lpas []addr.LPA, base addr.PPA) {
+		pairs := make([]addr.Mapping, len(lpas))
+		for i, l := range lpas {
+			pairs[i] = addr.Mapping{LPA: l, PPA: base + addr.PPA(i)}
+		}
+		bt.Update(pairs)
+	}
+	commitB(seq, 100)
+	commitB([]addr.LPA{10, 13, 17, 20, 29}, 50000)
+	commitB([]addr.LPA{300, 302, 305, 309}, 51000)
+	bm, _ := bt.MarshalBinary()
+	snapshots = append(snapshots, bm)
+	for _, gid := range bt.ResidentGroups() {
+		img, _ := bt.MarshalGroup(gid)
+		groups = append(groups, img)
+	}
 	return snapshots, groups
 }
 
@@ -54,7 +75,7 @@ func FuzzPersist(f *testing.F) {
 	for _, g := range groups {
 		f.Add(g)
 	}
-	f.Add([]byte("LFTL\x02\x04\x00\x00\x00\x00"))
+	f.Add([]byte("LFTL\x03\x04\x00\x00\x00\x00"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {

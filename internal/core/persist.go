@@ -18,6 +18,7 @@ import (
 //	groups:  count u32, then per group (ascending group id):
 //	         gid u32
 //	         tune: gamma u8 | hint i8 | streak u8 | reads u32 | misses u32 | costly u32
+//	         exact bitmap: 32 bytes (one bit per LPA slot)
 //	         levels u16
 //	         per level: segments u16, then 8-byte encoded segments
 //	         crb entries u16, then per entry: len u8, offsets…
@@ -30,7 +31,11 @@ import (
 // a group to flash and back — or restoring it from its translation-page
 // image during recovery — round-trips the adaptive-γ state exactly. A
 // group's tuned γ must not exceed the table's global bound; records that
-// claim otherwise are rejected.
+// claim otherwise are rejected. Version 3 appended the 32-byte
+// predicted-exact bitmap to the tune block — always present on the wire
+// (all-zero while the feature is disabled) so the record has one shape,
+// and round-tripped bit-identically through page-out, snapshot, and
+// recovery.
 //
 // The per-group record (everything after the snapshot header and count)
 // is also the unit the demand-paging machinery moves to and from flash
@@ -40,7 +45,7 @@ import (
 
 const (
 	persistMagic   = "LFTL"
-	persistVersion = 2
+	persistVersion = 3
 )
 
 // appendGroupRecord serializes one group in the snapshot's per-group
@@ -51,6 +56,7 @@ func appendGroupRecord(buf []byte, id addr.GroupID, g *group) ([]byte, error) {
 	buf = binary.LittleEndian.AppendUint32(buf, g.tune.reads)
 	buf = binary.LittleEndian.AppendUint32(buf, g.tune.misses)
 	buf = binary.LittleEndian.AppendUint32(buf, g.tune.costly)
+	buf = append(buf, g.tune.exact[:]...)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(g.levels)))
 	for li := range g.levels {
 		segs := g.levels[li].segs
@@ -99,6 +105,11 @@ func readGroupRecord(r *reader) (addr.GroupID, *group, error) {
 	if tune.costly, err = r.u32(); err != nil {
 		return 0, nil, err
 	}
+	bm, err := r.bytes(exactBitmapBytes)
+	if err != nil {
+		return 0, nil, err
+	}
+	copy(tune.exact[:], bm)
 	nLevels, err := r.u16()
 	if err != nil {
 		return 0, nil, err

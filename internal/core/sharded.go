@@ -22,8 +22,9 @@ import (
 // LFTL (arXiv:1302.5502) argues an FTL needs to exploit parallel-IO
 // flash hardware, applied to LeaFTL's learned core.
 type ShardedTable struct {
-	gamma  int
-	shards []*tableShard
+	gamma    int
+	bitmapOn bool
+	shards   []*tableShard
 }
 
 type tableShard struct {
@@ -52,6 +53,22 @@ func NewShardedTable(gamma, shards int) *ShardedTable {
 
 // Gamma returns the table's error bound.
 func (s *ShardedTable) Gamma() int { return s.gamma }
+
+// EnableExactBitmap turns on predicted-exact bitmap maintenance in every
+// shard (see Table.EnableExactBitmap). Decisions are per group, so the
+// bitmaps are bit-identical to a plain table fed the same traffic.
+func (s *ShardedTable) EnableExactBitmap() {
+	s.bitmapOn = true
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.tab.EnableExactBitmap()
+		sh.mu.Unlock()
+	}
+}
+
+// ExactBitmapEnabled reports whether the shards maintain predicted-exact
+// bitmaps.
+func (s *ShardedTable) ExactBitmapEnabled() bool { return s.bitmapOn }
 
 // Shards returns the shard count.
 func (s *ShardedTable) Shards() int { return len(s.shards) }
@@ -90,6 +107,26 @@ func (s *ShardedTable) Update(pairs []addr.Mapping) int {
 		i = j
 	}
 	return n
+}
+
+// Relearn re-fits groups from a GC relocation batch (see Table.Relearn).
+// pairs are split into maximal same-shard runs; group runs never cross
+// shard boundaries, so the refits are identical to the unsharded path.
+func (s *ShardedTable) Relearn(pairs []addr.Mapping) (segs, groups int) {
+	for i := 0; i < len(pairs); {
+		sh := s.shardFor(addr.Group(pairs[i].LPA))
+		j := i + 1
+		for j < len(pairs) && s.shardFor(addr.Group(pairs[j].LPA)) == sh {
+			j++
+		}
+		sh.mu.Lock()
+		sg, gr := sh.tab.Relearn(pairs[i:j])
+		sh.mu.Unlock()
+		segs += sg
+		groups += gr
+		i = j
+	}
+	return segs, groups
 }
 
 // Insert places one learned segment (see Table.Insert).
@@ -209,6 +246,29 @@ func (s *ShardedTable) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx
 	sh.mu.Lock()
 	sh.tab.NoteRead(lpa, predicted, actual, approx, hintResolved)
 	sh.mu.Unlock()
+}
+
+// NoteExactRead records a bitmap-trusted read for lpa's group (see
+// Table.NoteExactRead).
+func (s *ShardedTable) NoteExactRead(lpa addr.LPA) {
+	sh := s.shardFor(addr.Group(lpa))
+	sh.mu.Lock()
+	sh.tab.NoteExactRead(lpa)
+	sh.mu.Unlock()
+}
+
+// AuditExactBits verifies every shard's set predicted-exact bits against
+// the ground-truth oracle (see Table.AuditExactBits).
+func (s *ShardedTable) AuditExactBits(truth func(addr.LPA) (addr.PPA, bool)) error {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		err := sh.tab.AuditExactBits(truth)
+		sh.mu.RUnlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RetuneGamma runs one feedback round over every shard (see
@@ -393,6 +453,9 @@ func (s *ShardedTable) UnmarshalBinary(data []byte) error {
 	s.gamma = tmp.Gamma()
 	for _, sh := range s.shards {
 		sh.tab = NewTable(s.gamma)
+		if s.bitmapOn {
+			sh.tab.EnableExactBitmap()
+		}
 	}
 	tmp.eachGroup(func(id addr.GroupID, g *group) {
 		tab := s.shardFor(id).tab

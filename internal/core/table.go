@@ -26,6 +26,13 @@ type Table struct {
 	groups  []*group // indexed by GroupID; nil = group never written
 	nGroups int
 
+	// bitmapOn enables predicted-exact bitmap maintenance (tune.go):
+	// mutations verify each written LPA's post-insert prediction and
+	// record exactness, and Lookup reports set bits instead of arming
+	// hints. Off (the default), the bitmap stays all-zero and every code
+	// path is byte-identical to a table without the feature.
+	bitmapOn bool
+
 	// Statistics are maintained incrementally at every point a segment
 	// enters or leaves a level, a level is added or removed, or a CRB
 	// mutates — Stats() and SizeBytes() are O(1) in the table size
@@ -48,6 +55,12 @@ type Table struct {
 	victims []Segment
 	edits   []boundaryEdit
 	learner learnBuf
+
+	// refitter is a second learn buffer for the bitmap path's γ=0
+	// refits, which run while results of t.learner are still pending
+	// insertion (a learnBuf's output is only valid until its next learn
+	// call, so the nested fits need their own scratch).
+	refitter learnBuf
 }
 
 // group is the per-256-LPA-group state: the level stack, the group's
@@ -159,6 +172,13 @@ type LookupResult struct {
 	// approximate answers carry one; the device aims its first flash read
 	// at PPA+Hint so a repeating miss resolves in a single read.
 	Hint int
+	// Exact is true when the answering segment is approximate but the
+	// group's predicted-exact bitmap proves the returned PPA lands on the
+	// live page: the device may issue one flash read with no OOB
+	// verification probe budget. Exact answers never carry a Hint — the
+	// bitmap supersedes direction guessing. Always false while the
+	// bitmap is disabled.
+	Exact bool
 }
 
 // NewTable returns an empty mapping table with the given error bound
@@ -175,6 +195,16 @@ func NewTable(gamma int) *Table {
 
 // Gamma returns the table's error bound.
 func (t *Table) Gamma() int { return t.gamma }
+
+// EnableExactBitmap turns on predicted-exact bitmap maintenance for the
+// life of the table (there is no way back: disabling would leave stale
+// set bits). Bits already present — e.g. restored from a v3 snapshot
+// taken by a bitmap-enabled table — become live immediately.
+func (t *Table) EnableExactBitmap() { t.bitmapOn = true }
+
+// ExactBitmapEnabled reports whether the table maintains predicted-exact
+// bitmaps.
+func (t *Table) ExactBitmapEnabled() bool { return t.bitmapOn }
 
 // Update learns segments for a batch of new LPA→PPA mappings and inserts
 // them at the top level (paper §3.7 "Creation" + "Insert/Update"). pairs
@@ -195,20 +225,215 @@ func (t *Table) Update(pairs []addr.Mapping) int {
 			j++
 		}
 		learned := t.learner.learn(pairs[i:j], t.GroupGamma(gid))
-		for k := range learned {
-			t.insertLearned(learned[k])
-		}
-		n += len(learned)
+		n += t.insertRun(learned, pairs[i:j])
+		t.refreshExactBits(pairs[i:j])
 		i = j
 	}
 	return n
 }
 
+// Relearn re-fits groups from a GC relocation batch: the device moved
+// the surviving pages of a victim block in ascending-LPA order, so
+// pairs is a freshly sequential layout the learner can fit tightly at
+// each group's tuned γ. Unlike Update, every touched group is compacted
+// immediately — the new segments merge down and displace the stale
+// scattered claims relocation just rewrote, so GC churn *tightens* the
+// model instead of stacking levels — and the relocated slots' exactness
+// is re-verified into the bitmap (relocated runs usually learn at γ=0
+// strides, so relearned groups come out with their moved span fully
+// set). pairs must be sorted by LPA with unique LPAs, like Update. It
+// returns the segments created and the number of groups re-fitted.
+func (t *Table) Relearn(pairs []addr.Mapping) (segs, groups int) {
+	for i := 0; i < len(pairs); {
+		gid := addr.Group(pairs[i].LPA)
+		j := i + 1
+		for j < len(pairs) && addr.Group(pairs[j].LPA) == gid {
+			j++
+		}
+		learned := t.learner.learn(pairs[i:j], t.GroupGamma(gid))
+		segs += t.insertRun(learned, pairs[i:j])
+		if g := t.lookupGroup(gid); g != nil {
+			t.compactGroup(g)
+		}
+		t.refreshExactBits(pairs[i:j])
+		groups++
+		i = j
+	}
+	return segs, groups
+}
+
+// insertRun inserts a freshly fitted run, returning the number of
+// segments placed. With the bitmap off it is a plain insert loop. With
+// the bitmap on, each approximate segment is triaged before it reaches
+// the table (exactify): segments whose predictions match every
+// committed pair are kept as-is (the γ slack went unused, the
+// compression is free); mispredicting ones are kept only when keeping
+// them is cheaper than replacing them with a γ=0 refit of their pairs.
+// The byte costs compared are keep = segment + CRB claims + the
+// accurate patches refreshExactBits will stack over the failures,
+// versus replace = one accurate segment per stride-clean run of the
+// whole point set. Without the triage, verify-at-learn would pay for
+// both encodings on every badly fitted segment (the 17%-over-γ=16
+// table the first bench run measured); with only the all-or-nothing
+// version, near-miss fits lose their approximate compression entirely.
+func (t *Table) insertRun(learned []Learned, run []addr.Mapping) int {
+	if !t.bitmapOn {
+		for k := range learned {
+			t.insertLearned(learned[k])
+		}
+		return len(learned)
+	}
+	n := 0
+	for k := range learned {
+		ls := learned[k]
+		if ls.Seg.Accurate() {
+			t.insertLearned(ls)
+			n++
+			continue
+		}
+		sub := pairsFor(run, ls.LPAs)
+		var failed []addr.Mapping
+		for _, m := range sub {
+			if ls.Seg.Predict(m.LPA) != m.PPA {
+				failed = append(failed, m)
+			}
+		}
+		costKeep := SegmentBytes + len(sub) + SegmentBytes*strideRuns(failed)
+		costReplace := SegmentBytes * strideRuns(sub)
+		if len(failed) == 0 || costKeep <= costReplace {
+			t.insertLearned(ls)
+			n++
+			continue
+		}
+		// The refit runs on the spare buffer: learned still aliases
+		// t.learner's scratch, and each refit is inserted before the
+		// next one reuses the buffer.
+		refit := t.refitter.learn(sub, 0)
+		for r := range refit {
+			t.insertLearned(refit[r])
+		}
+		n += len(refit)
+	}
+	return n
+}
+
+// strideRuns counts the maximal stride-clean runs of an LPA-sorted pair
+// set — arithmetic LPA progressions mapped to consecutive PPAs — which
+// is the number of accurate segments a γ=0 fit of those pairs produces.
+func strideRuns(pairs []addr.Mapping) int {
+	runs := 0
+	for i := 0; i < len(pairs); {
+		j := i + 1
+		if j < len(pairs) && pairs[j].PPA == pairs[i].PPA+1 {
+			st := pairs[j].LPA - pairs[i].LPA
+			for j < len(pairs) && pairs[j].LPA-pairs[j-1].LPA == st && pairs[j].PPA == pairs[j-1].PPA+1 {
+				j++
+			}
+		}
+		runs++
+		i = j
+	}
+	return runs
+}
+
+// pairsFor gathers the mappings of run whose LPAs appear in lpas
+// (both LPA-sorted).
+func pairsFor(run []addr.Mapping, lpas []addr.LPA) []addr.Mapping {
+	sub := make([]addr.Mapping, 0, len(lpas))
+	i := 0
+	for _, l := range lpas {
+		for i < len(run) && run[i].LPA < l {
+			i++
+		}
+		if i < len(run) && run[i].LPA == l {
+			sub = append(sub, run[i])
+		}
+	}
+	return sub
+}
+
+// refreshExactBits verifies the predicted-exact bit of every written
+// slot after a mutation, repairing what it cannot verify
+// (verify-at-learn): the committed PPAs are ground truth here, so the
+// slots whose post-insert predictions disagree are collected and
+// re-fitted at γ=0 — exact segments that shadow the mispredicting
+// approximate ones for exactly those LPAs. Without the refit each such
+// slot's first read would pay the §3.5 double read before the miss
+// path repaired the very same mapping one point at a time; fitting the
+// failures as a batch costs one accurate segment per linear run
+// instead of one pin per slot, and skips the wasted flash read
+// entirely. Every written slot therefore leaves with its bit set.
+// Verifying through Lookup (rather than trusting the fitted segment)
+// makes the check robust to CRB ownership, shadowing by older levels,
+// and quantization: whatever answers the next read is what gets
+// verified. Slots not in pairs keep their bits — their predictions did
+// not change (newer segments only answer LPAs they were learned from,
+// and trims never move a surviving prediction). No-op while the bitmap
+// is off.
+func (t *Table) refreshExactBits(pairs []addr.Mapping) {
+	if !t.bitmapOn {
+		return
+	}
+	g := t.lookupGroup(addr.Group(pairs[0].LPA))
+	if g == nil {
+		return
+	}
+	var failed []addr.Mapping
+	for i := range pairs {
+		ppa, _, ok := t.Lookup(pairs[i].LPA)
+		if ok && ppa == pairs[i].PPA {
+			g.tune.exact.set(addr.Offset(pairs[i].LPA))
+		} else {
+			failed = append(failed, pairs[i])
+		}
+	}
+	if len(failed) == 0 {
+		return
+	}
+	learned := t.learner.learn(failed, 0)
+	for k := range learned {
+		t.insertLearned(learned[k])
+	}
+	for i := range failed {
+		// Re-verify through the table: float32 intercepts quantize above
+		// 2^24, and a refit that does not answer exactly must not arm
+		// the bit (the read path would trust it blindly).
+		if got, _, ok := t.Lookup(failed[i].LPA); ok && got == failed[i].PPA {
+			g.tune.exact.set(addr.Offset(failed[i].LPA))
+		} else {
+			g.tune.exact.clear(addr.Offset(failed[i].LPA))
+		}
+	}
+}
+
 // Insert places one learned segment at the top level of its group,
 // merging and displacing overlapped victims (Algorithm 1, seg_update).
+// With the bitmap enabled, accurate segments set their covered slots'
+// predicted-exact bits (an accurate segment's predictions are its
+// learned mappings — the repair path relies on this to arm the slot it
+// just verified); approximate ones clear them (unverified).
 func (t *Table) Insert(ls Learned) {
 	ls.Seg.prime() // tolerate hand-built segments; resident ones are always primed
 	t.insertLearned(ls)
+	if !t.bitmapOn {
+		return
+	}
+	g := t.lookupGroup(ls.Seg.Group())
+	if g == nil {
+		return
+	}
+	for _, l := range ls.LPAs {
+		off := addr.Offset(l)
+		if !ls.Seg.Accurate() {
+			g.tune.exact.clear(off)
+			continue
+		}
+		if ppa, _, ok := t.Lookup(l); ok && ppa == ls.Seg.Predict(l) {
+			g.tune.exact.set(off)
+		} else {
+			g.tune.exact.clear(off)
+		}
+	}
 }
 
 func (t *Table) insertLearned(ls Learned) {
@@ -586,7 +811,11 @@ func (t *Table) Lookup(lpa addr.LPA) (addr.PPA, LookupResult, bool) {
 			continue
 		}
 		res.Approx = true
-		res.Hint = g.tune.armedHint()
+		if t.bitmapOn && g.tune.exact.test(off) {
+			res.Exact = true
+		} else {
+			res.Hint = g.tune.armedHint()
+		}
 		return seg.predictApprox(off), res, true
 	}
 	return addr.InvalidPPA, res, false

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"leaftl/internal/addr"
 )
 
@@ -37,6 +39,26 @@ import (
 // would lose more on correct predictions than they save on misses.
 const hintArmStreak = 2
 
+// exactBitmapBytes is the size of one group's predicted-exact bitmap:
+// one bit per LPA slot in the 256-LPA group.
+const exactBitmapBytes = addr.GroupSize / 8
+
+// exactBits is a group's predicted-exact bitmap (LearnedFTL's accuracy
+// bitmap, arXiv:2303.13226 §3.2). Bit i set means the table's *current*
+// prediction for LPA groupBase+i is known to land exactly on the live
+// page: it was verified against the true PPA the last time the slot was
+// learned, repaired, relearned, or OOB-checked on a read. A set bit lets
+// the device issue one trusted flash read with no OOB verification probe
+// budget; a clear bit routes through the hint/probe machinery. Bits are
+// maintained only while the table's bitmap is enabled, but the field
+// always travels in the group wire record (zeroed when the feature is
+// off) so the v3 format has one shape.
+type exactBits [exactBitmapBytes]byte
+
+func (b *exactBits) set(off uint8)       { b[off>>3] |= 1 << (off & 7) }
+func (b *exactBits) clear(off uint8)     { b[off>>3] &^= 1 << (off & 7) }
+func (b *exactBits) test(off uint8) bool { return b[off>>3]&(1<<(off&7)) != 0 }
+
 // groupTune is one group's adaptive-γ state. See the package comment
 // above for field semantics.
 type groupTune struct {
@@ -46,6 +68,7 @@ type groupTune struct {
 	reads  uint32 // scheme-translated flash reads this decision window
 	misses uint32 // mispredicted approximate reads this decision window
 	costly uint32 // misses that paid the double read (hint did not resolve)
+	exact  exactBits
 }
 
 // armedHint returns the hint when the miss streak has armed it, else 0.
@@ -127,7 +150,15 @@ func (t *Table) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintR
 	}
 	if actual == predicted {
 		tu.streak = 0
+		if t.bitmapOn {
+			// OOB-verified exact prediction: the next read of this slot
+			// skips the verification probe budget entirely.
+			tu.exact.set(addr.Offset(lpa))
+		}
 		return
+	}
+	if t.bitmapOn {
+		tu.exact.clear(addr.Offset(lpa))
 	}
 	if tu.misses < ^uint32(0) {
 		tu.misses++
@@ -150,6 +181,62 @@ func (t *Table) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintR
 		tu.hint = int8(delta)
 		tu.streak = 1
 	}
+}
+
+// NoteExactRead records a bitmap-trusted read for lpa's group: the
+// device consulted the predicted-exact bit, issued one flash read with
+// no verification budget, and the bit held. Only the decision window's
+// read counter advances — the slot produced neither a miss nor new
+// direction evidence, but the group was observed, so RetuneGamma's
+// miss-ratio denominator must include it. A no-op for non-resident
+// groups.
+func (t *Table) NoteExactRead(lpa addr.LPA) {
+	g := t.lookupGroup(addr.Group(lpa))
+	if g == nil {
+		return
+	}
+	if g.tune.reads < ^uint32(0) {
+		g.tune.reads++
+	}
+}
+
+// AuditExactBits verifies every set predicted-exact bit of every
+// resident group against a ground-truth oracle: truth returns the live
+// PPA of an LPA, or ok=false when the LPA is unmapped or its page was
+// lost (such slots are skipped — the bitmap promises nothing about
+// them). A set bit whose prediction is missing or disagrees with the
+// oracle is a hard failure: the device would have trusted a wrong PPA
+// without OOB verification. The walk is side-effect free and touches
+// only resident groups (auditing must not fault pages in).
+func (t *Table) AuditExactBits(truth func(addr.LPA) (addr.PPA, bool)) error {
+	var err error
+	t.eachGroup(func(id addr.GroupID, g *group) {
+		if err != nil {
+			return
+		}
+		base := addr.GroupBase(id)
+		for off := 0; off < addr.GroupSize; off++ {
+			if !g.tune.exact.test(uint8(off)) {
+				continue
+			}
+			lpa := base + addr.LPA(off)
+			want, ok := truth(lpa)
+			if !ok {
+				continue
+			}
+			got, _, found := t.Lookup(lpa)
+			if !found {
+				err = fmt.Errorf("group %d: exact bit set for LPA %d but the table has no mapping", id, lpa)
+				return
+			}
+			if got != want {
+				err = fmt.Errorf("group %d: exact bit set for LPA %d but prediction %d != true PPA %d",
+					id, lpa, got, want)
+				return
+			}
+		}
+	})
+	return err
 }
 
 // TuneConfig parameterizes the per-group γ feedback controller.
@@ -232,6 +319,7 @@ type GroupTune struct {
 	Reads  uint32
 	Misses uint32
 	Costly uint32
+	Exact  [exactBitmapBytes]byte // predicted-exact bitmap, one bit per LPA slot
 }
 
 // GroupTunes returns every resident group's adaptive-γ state in
@@ -248,6 +336,7 @@ func (t *Table) GroupTunes() []GroupTune {
 			Reads:  g.tune.reads,
 			Misses: g.tune.misses,
 			Costly: g.tune.costly,
+			Exact:  g.tune.exact,
 		})
 	})
 	return out

@@ -10,20 +10,21 @@ func TestGammaTuneSweepMicro(t *testing.T) {
 	spec := GammaTuneSpec{
 		Gammas:    []int{0, 8},
 		Workloads: []string{"zipf-hot"},
+		Bitmap:    true,
 		Queues:    2,
 	}
 	runs, table, err := s.GammaTuneSweep(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Two static cells plus the autotuned one.
-	if len(runs) != 3 {
-		t.Fatalf("got %d runs, want 3", len(runs))
+	// Two static cells, the autotuned one, and autotune+bitmap.
+	if len(runs) != 4 {
+		t.Fatalf("got %d runs, want 4", len(runs))
 	}
-	if len(table.Rows) != 3 {
-		t.Fatalf("table has %d rows, want 3", len(table.Rows))
+	if len(table.Rows) != 4 {
+		t.Fatalf("table has %d rows, want 4", len(table.Rows))
 	}
-	var auto *GammaTuneRun
+	var auto, bitmap *GammaTuneRun
 	for i := range runs {
 		r := &runs[i]
 		if r.TableBytes <= 0 {
@@ -36,8 +37,15 @@ func TestGammaTuneSweepMicro(t *testing.T) {
 			t.Errorf("%s/%s: resolution split %d+%d != %d", r.Workload, r.Label,
 				r.Stats.MissHintResolved, r.Stats.MissFallbacks, r.Stats.Mispredictions)
 		}
-		if r.AutoTune {
+		switch {
+		case r.Bitmap:
+			bitmap = r
+		case r.AutoTune:
 			auto = r
+		}
+		if !r.Bitmap && (r.Stats.ExactBitHits != 0 || r.Stats.Relearns != 0 || r.ExactHitRatio != 0) {
+			t.Errorf("%s/%s: bitmap counters without -bitmap: hits=%d relearns=%d ratio=%v",
+				r.Workload, r.Label, r.Stats.ExactBitHits, r.Stats.Relearns, r.ExactHitRatio)
 		}
 		if !r.AutoTune && len(r.GammaHist) > 1 {
 			t.Errorf("static run %s has a spread γ histogram: %v", r.Label, r.GammaHist)
@@ -45,6 +53,25 @@ func TestGammaTuneSweepMicro(t *testing.T) {
 	}
 	if auto == nil {
 		t.Fatal("no autotuned run")
+	}
+	if bitmap == nil {
+		t.Fatal("no autotune+bitmap run")
+	}
+	if !strings.Contains(bitmap.Label, "bitmap") {
+		t.Errorf("bitmap label %q", bitmap.Label)
+	}
+	// At micro scale few approximate segments survive the exactify
+	// triage, so demand every approximate read that does happen to be
+	// served through a set bit rather than a fixed hit count.
+	if bitmap.Stats.ApproxReads > 0 && bitmap.Stats.ExactBitHits == 0 {
+		t.Error("bitmap run translated approximately but served no reads through exact bits")
+	}
+	if bitmap.Stats.DoubleReads > 0 && bitmap.Stats.DoubleReads > bitmap.Stats.MissFallbacks {
+		t.Errorf("bitmap run paid %d double reads but only %d fallback-resolved misses",
+			bitmap.Stats.DoubleReads, bitmap.Stats.MissFallbacks)
+	}
+	if bitmap.ExactHitRatio < 0 || bitmap.ExactHitRatio > 1 {
+		t.Errorf("exact-hit ratio %v outside [0,1]", bitmap.ExactHitRatio)
 	}
 	if auto.Gamma != 8 {
 		t.Errorf("autotune ceiling %d, want the grid max 8", auto.Gamma)

@@ -66,6 +66,13 @@ type Translation struct {
 	// first flash read at PPA+Hint — resolving a repeating miss in one
 	// read instead of two (adaptive-γ LeaFTL only; always 0 otherwise).
 	Hint int
+	// Exact marks an approximate translation whose PPA the scheme's
+	// predicted-exact bitmap proves to land on the live page: the device
+	// issues one flash read with no OOB verification probe budget, and a
+	// wrong PPA here is an invariant violation, not a misprediction.
+	// Exact translations never carry a Hint (bitmap-enabled LeaFTL only;
+	// always false otherwise).
+	Exact bool
 }
 
 // Scheme is an address-translation scheme under test.
@@ -150,6 +157,36 @@ type MissReporter interface {
 	// and hintResolved whether a misprediction was absorbed by the
 	// hint-aimed first read (costing no extra flash traffic).
 	NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintResolved bool) Cost
+
+	// NoteExact reports one bitmap-trusted read: the scheme translated
+	// lpa with Translation.Exact set, the device issued a single flash
+	// read with no verification budget, and the page was the right one.
+	// The scheme advances its observation window for lpa's group so
+	// bitmap-served reads still count toward feedback-controller
+	// denominators.
+	NoteExact(lpa addr.LPA) Cost
+}
+
+// GCRelearner is implemented by schemes that re-fit their mapping model
+// from GC relocation batches. The device's block reclaim commits each
+// per-stream relocation run (sorted ascending by LPA, like a flush)
+// through CommitGC instead of Commit; the scheme may relearn the
+// affected groups from the freshly sequential layout and reports how
+// many it re-fitted (0 when relearning is disabled — CommitGC then
+// behaves exactly like Commit).
+type GCRelearner interface {
+	CommitGC(pairs []addr.Mapping) (Cost, int)
+}
+
+// ExactAuditor is implemented by schemes that maintain predicted-exact
+// bitmaps. The device's CheckInvariants hands it a ground-truth oracle
+// (live PPA per LPA; ok=false for unmapped or lost pages) and the scheme
+// verifies every set bit's prediction against it — a set bit pointing
+// at the wrong page would make the device return wrong data without an
+// OOB check, so any disagreement is a hard invariant failure. The audit
+// must be side-effect free and must not fault paged-out groups in.
+type ExactAuditor interface {
+	AuditExact(truth func(addr.LPA) (addr.PPA, bool)) error
 }
 
 // AdaptiveGamma is implemented by schemes that tune a per-group error

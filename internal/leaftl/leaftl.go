@@ -57,6 +57,19 @@ func WithAutoTune(targetMissRatio float64) Option {
 	}
 }
 
+// WithExactBitmap enables predicted-exact bitmaps and GC-time
+// relearning (LearnedFTL, arXiv:2303.13226): the table verifies every
+// committed slot's prediction and records exactness per LPA, Translate
+// reports proven-exact approximate answers so the device reads them
+// with no OOB verification budget, costly mispredictions are repaired
+// with exact single-point segments regardless of the group's γ, and GC
+// relocation batches re-fit their groups from the freshly sequential
+// layout (CommitGC). Composes with WithAutoTune; without it the tune
+// counters still advance but γ stays fixed.
+func WithExactBitmap() Option {
+	return func(s *Scheme) { s.bitmap = true }
+}
+
 // Scheme is LeaFTL as an ftl.Scheme.
 type Scheme struct {
 	name         string
@@ -69,6 +82,9 @@ type Scheme struct {
 	// Adaptive-γ controller state (WithAutoTune).
 	autotune bool
 	tune     core.TuneConfig
+
+	// Predicted-exact bitmap + GC relearning (WithExactBitmap).
+	bitmap bool
 
 	// Stats accumulated for the evaluation figures.
 	lookups    uint64
@@ -92,6 +108,12 @@ func New(gamma, pageSize int, opts ...Option) *Scheme {
 	}
 	for _, o := range opts {
 		o(s)
+	}
+	if s.bitmap {
+		// Applied after all options so the suffix lands whatever the
+		// option order (WithAutoTune overwrites the base name).
+		s.table.EnableExactBitmap()
+		s.name += "+bitmap"
 	}
 	return s
 }
@@ -167,14 +189,14 @@ func (s *Scheme) Translate(lpa addr.LPA) (ftl.Translation, bool) {
 			return ftl.Translation{Cost: cost}, false
 		}
 		s.noteLookup(res)
-		return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
+		return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint, Exact: res.Exact}, true
 	}
 	ppa, res, ok := s.table.Lookup(lpa)
 	if !ok {
 		return ftl.Translation{}, false
 	}
 	s.noteLookup(res)
-	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
+	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint, Exact: res.Exact}, true
 }
 
 func (s *Scheme) noteLookup(res core.LookupResult) {
@@ -268,9 +290,14 @@ func (s *Scheme) Maintain(hostPageWrites uint64) ftl.Cost {
 func (s *Scheme) MaxGroupGamma() int { return s.table.MaxGroupGamma() }
 
 // FeedbackEnabled reports whether the scheme wants the device's
-// OOB-verified read feedback: only with the adaptive controller on —
-// otherwise NoteRead would be a per-read no-op call.
-func (s *Scheme) FeedbackEnabled() bool { return s.autotune }
+// OOB-verified read feedback: with the adaptive controller or the
+// exactness bitmap on — otherwise NoteRead would be a per-read no-op
+// call.
+func (s *Scheme) FeedbackEnabled() bool { return s.autotune || s.bitmap }
+
+// ExactBitmapEnabled reports whether predicted-exact bitmaps and GC
+// relearning are on.
+func (s *Scheme) ExactBitmapEnabled() bool { return s.bitmap }
 
 // NoteRead implements ftl.MissReporter: OOB-verified read feedback from
 // the device. Without autotune it is a no-op, keeping the scheme
@@ -290,13 +317,20 @@ func (s *Scheme) FeedbackEnabled() bool { return s.autotune }
 // use; pinning every stray miss elsewhere would spend DRAM on pages
 // never read again. Under a budget the repair dirties and re-caps the
 // group like any commit.
+//
+// With the exactness bitmap on, the feedback additionally maintains the
+// per-slot bits (a verified hit sets, a miss clears), and the repair
+// policy widens to *every* costly miss whatever the group's γ: a repair
+// both pins the mapping and arms the slot's exact bit, so the same page
+// can never pay the double read twice — which is the whole point of the
+// bitmap.
 func (s *Scheme) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintResolved bool) ftl.Cost {
-	if !s.autotune {
+	if !s.autotune && !s.bitmap {
 		return ftl.Cost{}
 	}
 	s.table.NoteRead(lpa, predicted, actual, approx, hintResolved)
 	if !approx || actual == predicted || hintResolved ||
-		s.table.GroupGamma(addr.Group(lpa)) > 0 {
+		(!s.bitmap && s.table.GroupGamma(addr.Group(lpa)) > 0) {
 		return ftl.Cost{}
 	}
 	ls := repairPoint(lpa, actual)
@@ -308,6 +342,52 @@ func (s *Scheme) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hint
 	}
 	s.table.Insert(ls)
 	return ftl.Cost{}
+}
+
+// NoteExact implements ftl.MissReporter: the device consulted the
+// predicted-exact bit, read once with no verification budget, and the
+// bit held. Only the group's observation window advances.
+func (s *Scheme) NoteExact(lpa addr.LPA) ftl.Cost {
+	if s.bitmap {
+		s.table.NoteExactRead(lpa)
+	}
+	return ftl.Cost{}
+}
+
+// CommitGC implements ftl.GCRelearner: GC relocation batches re-fit
+// their groups from the freshly sequential layout (Table.Relearn) —
+// each touched group is compacted on the spot and its moved slots'
+// exactness re-verified, so GC churn tightens the model instead of
+// stacking levels. With the bitmap off it is exactly Commit: no
+// relearning, no behavioral difference from a scheme without the
+// feature.
+func (s *Scheme) CommitGC(pairs []addr.Mapping) (ftl.Cost, int) {
+	if !s.bitmap {
+		return s.Commit(pairs), 0
+	}
+	groups := 0
+	relearn := func(run []addr.Mapping) int {
+		sg, gr := s.table.Relearn(run)
+		groups += gr
+		return sg
+	}
+	if s.pager.Active() {
+		n, pc := commitPaged(s.pager, relearn, pairs)
+		s.segLearned += uint64(n)
+		s.batchCount++
+		return pageCost(pc), groups
+	}
+	n := relearn(pairs)
+	s.segLearned += uint64(n)
+	s.batchCount++
+	return ftl.Cost{}, groups
+}
+
+// AuditExact implements ftl.ExactAuditor: verify every resident set bit
+// against the device's ground truth (CheckInvariants). Trivially clean
+// while the bitmap is off.
+func (s *Scheme) AuditExact(truth func(addr.LPA) (addr.PPA, bool)) error {
+	return s.table.AuditExactBits(truth)
 }
 
 // repairPoint builds the exact single-point segment that pins a
@@ -387,4 +467,6 @@ var (
 	_ ftl.GroupPaged    = (*Scheme)(nil)
 	_ ftl.MissReporter  = (*Scheme)(nil)
 	_ ftl.AdaptiveGamma = (*Scheme)(nil)
+	_ ftl.GCRelearner   = (*Scheme)(nil)
+	_ ftl.ExactAuditor  = (*Scheme)(nil)
 )

@@ -42,6 +42,9 @@ type Sharded struct {
 	autotune bool
 	tune     core.TuneConfig
 
+	// Predicted-exact bitmap + GC relearning (WithExactBitmap).
+	bitmap bool
+
 	lookups    atomic.Uint64
 	levelsSum  atomic.Uint64
 	levelsHist [maxLevelBuckets]atomic.Uint64
@@ -64,14 +67,20 @@ func NewSharded(gamma, pageSize, shards int, opts ...Option) *Sharded {
 		o(cfg)
 	}
 	table := core.NewShardedTable(gamma, shards)
+	name := cfg.name
+	if cfg.bitmap {
+		table.EnableExactBitmap()
+		name += "+bitmap"
+	}
 	return &Sharded{
-		name:         cfg.name + "-sharded",
+		name:         name + "-sharded",
 		table:        table,
 		pager:        core.NewPager(table, pageSize),
 		pageSize:     pageSize,
 		compactEvery: cfg.compactEvery,
 		autotune:     cfg.autotune,
 		tune:         cfg.tune,
+		bitmap:       cfg.bitmap,
 	}
 }
 
@@ -108,7 +117,7 @@ func (s *Sharded) Translate(lpa addr.LPA) (ftl.Translation, bool) {
 		return s.translatePaged(lpa)
 	}
 	s.noteLookup(res)
-	return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
+	return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint, Exact: res.Exact}, true
 }
 
 // translatePaged is the slow lookup: with no paging pressure it settles
@@ -125,7 +134,7 @@ func (s *Sharded) translatePaged(lpa addr.LPA) (ftl.Translation, bool) {
 			return ftl.Translation{}, false
 		}
 		s.noteLookup(res)
-		return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
+		return ftl.Translation{PPA: ppa, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint, Exact: res.Exact}, true
 	}
 	s.pmu.RUnlock()
 	s.pmu.Lock()
@@ -148,7 +157,7 @@ func (s *Sharded) translatePaged(lpa addr.LPA) (ftl.Translation, bool) {
 		return ftl.Translation{Cost: cost}, false
 	}
 	s.noteLookup(res)
-	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint}, true
+	return ftl.Translation{PPA: ppa, Cost: cost, Levels: res.Levels, Approx: res.Approx, Hint: res.Hint, Exact: res.Exact}, true
 }
 
 func (s *Sharded) noteLookup(res core.LookupResult) {
@@ -239,19 +248,24 @@ func (s *Sharded) Maintain(hostPageWrites uint64) ftl.Cost {
 func (s *Sharded) MaxGroupGamma() int { return s.table.MaxGroupGamma() }
 
 // FeedbackEnabled reports whether the scheme wants the device's
-// OOB-verified read feedback (adaptive controller on).
-func (s *Sharded) FeedbackEnabled() bool { return s.autotune }
+// OOB-verified read feedback (adaptive controller or exactness bitmap
+// on).
+func (s *Sharded) FeedbackEnabled() bool { return s.autotune || s.bitmap }
+
+// ExactBitmapEnabled reports whether predicted-exact bitmaps and GC
+// relearning are on.
+func (s *Sharded) ExactBitmapEnabled() bool { return s.bitmap }
 
 // NoteRead implements ftl.MissReporter (see Scheme.NoteRead). The device
 // serializes calls; the shard write lock inside core keeps the counters
 // safe against concurrent Translates, and repairs take pmu like commits.
 func (s *Sharded) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hintResolved bool) ftl.Cost {
-	if !s.autotune {
+	if !s.autotune && !s.bitmap {
 		return ftl.Cost{}
 	}
 	s.table.NoteRead(lpa, predicted, actual, approx, hintResolved)
 	if !approx || actual == predicted || hintResolved ||
-		s.table.GroupGamma(addr.Group(lpa)) > 0 {
+		(!s.bitmap && s.table.GroupGamma(addr.Group(lpa)) > 0) {
 		return ftl.Cost{}
 	}
 	ls := repairPoint(lpa, actual)
@@ -267,6 +281,47 @@ func (s *Sharded) NoteRead(lpa addr.LPA, predicted, actual addr.PPA, approx, hin
 	s.pmu.Unlock()
 	s.table.Insert(ls)
 	return ftl.Cost{}
+}
+
+// NoteExact implements ftl.MissReporter (see Scheme.NoteExact).
+func (s *Sharded) NoteExact(lpa addr.LPA) ftl.Cost {
+	if s.bitmap {
+		s.table.NoteExactRead(lpa)
+	}
+	return ftl.Cost{}
+}
+
+// CommitGC implements ftl.GCRelearner (see Scheme.CommitGC); serialized
+// by the device like Commit.
+func (s *Sharded) CommitGC(pairs []addr.Mapping) (ftl.Cost, int) {
+	if !s.bitmap {
+		return s.Commit(pairs), 0
+	}
+	groups := 0
+	relearn := func(run []addr.Mapping) int {
+		sg, gr := s.table.Relearn(run)
+		groups += gr
+		return sg
+	}
+	s.pmu.Lock()
+	if !s.pager.Active() {
+		s.pmu.Unlock()
+		n := relearn(pairs)
+		s.segLearned.Add(uint64(n))
+		s.batchCount.Add(1)
+		return ftl.Cost{}, groups
+	}
+	n, pc := commitPaged(s.pager, relearn, pairs)
+	s.syncPaging()
+	s.pmu.Unlock()
+	s.segLearned.Add(uint64(n))
+	s.batchCount.Add(1)
+	return pageCost(pc), groups
+}
+
+// AuditExact implements ftl.ExactAuditor (see Scheme.AuditExact).
+func (s *Sharded) AuditExact(truth func(addr.LPA) (addr.PPA, bool)) error {
+	return s.table.AuditExactBits(truth)
 }
 
 // TranslationPages implements ftl.GroupPaged.
@@ -365,4 +420,6 @@ var (
 	_ ftl.GroupPaged    = (*Sharded)(nil)
 	_ ftl.MissReporter  = (*Sharded)(nil)
 	_ ftl.AdaptiveGamma = (*Sharded)(nil)
+	_ ftl.GCRelearner   = (*Sharded)(nil)
+	_ ftl.ExactAuditor  = (*Sharded)(nil)
 )

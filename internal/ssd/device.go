@@ -376,7 +376,25 @@ func (d *Device) readPage(lpa addr.LPA, t time.Duration) (time.Duration, error) 
 
 	var tok uint64
 	hintResolved := false
+	exactHit := false
 	switch {
+	case tr.Approx && tr.Exact:
+		// The scheme's predicted-exact bitmap proved this approximate
+		// prediction lands on the live page: one trusted flash read with
+		// no OOB verification probe budget reserved. The bit is a hard
+		// promise — a wrong PPA here would have returned wrong data, so
+		// it is an invariant failure, not a misprediction.
+		if tr.PPA != want {
+			return 0, fmt.Errorf("ssd: predicted-exact bit lied for LPA %d: scheme %s predicted PPA %d, true page %d",
+				lpa, d.scheme.Name(), tr.PPA, want)
+		}
+		d.stats.ExactBitHits++
+		exactHit = true
+		var err error
+		tok, t, err = d.verifiedRead(want, lpa, true, t)
+		if err != nil {
+			return 0, err
+		}
 	case tr.PPA == want && tr.Hint == 0:
 		// Correct prediction, no speculation: one flash read.
 		var err error
@@ -399,9 +417,15 @@ func (d *Device) readPage(lpa addr.LPA, t time.Duration) (time.Duration, error) 
 	// the scheme predicted against what the reverse mapping proved (a
 	// real drive learns the same facts from the reads it just performed).
 	// A reacting scheme may pin the corrected mapping, charged as
-	// translation-metadata traffic.
+	// translation-metadata traffic. Bitmap-trusted reads report through
+	// the cheaper NoteExact path: there was no verification, only the
+	// group's observation window advances.
 	if d.reporter != nil {
-		t = d.chargeMeta(d.reporter.NoteRead(lpa, tr.PPA, want, tr.Approx, hintResolved), t)
+		if exactHit {
+			t = d.chargeMeta(d.reporter.NoteExact(lpa), t)
+		} else {
+			t = d.chargeMeta(d.reporter.NoteRead(lpa, tr.PPA, want, tr.Approx, hintResolved), t)
+		}
 	}
 
 	if tok != d.token[lpa] {
@@ -450,6 +474,11 @@ func (d *Device) readApprox(lpa addr.LPA, tr ftl.Translation, want addr.PPA, t t
 		}
 		return tok, miss, t, nil
 	}
+
+	// The first flash data read is about to land on the wrong page: this
+	// host read pays the §3.5 double read, whatever recovery path finds
+	// the true page afterwards.
+	d.stats.DoubleReads++
 
 	// The first read landed on the wrong page; its OOB holds the reverse
 	// mappings of its ±gamma in-block neighborhood (one charged read).

@@ -8,6 +8,7 @@ import (
 
 	"leaftl/internal/addr"
 	"leaftl/internal/flash"
+	"leaftl/internal/ftl"
 )
 
 // gcStream is one open GC destination block. The device keeps
@@ -157,12 +158,23 @@ func (d *Device) reclaimBlock(victim flash.BlockID, t time.Duration, retire bool
 	writeT := readsDone
 	lastDone := readsDone
 	pairs := make([][]addr.Mapping, d.dieLanes)
+	// GC relocation is the one moment the drive holds an LPA-sorted run
+	// of a group's pages next to a sequential destination — a relearning
+	// scheme re-fits the affected groups from it (LearnedFTL-style
+	// GC-time retraining); for everyone else CommitGC is plain Commit.
+	relearner, _ := d.scheme.(ftl.GCRelearner)
 	flushPairs := func(lane int) {
 		if len(pairs[lane]) == 0 {
 			return
 		}
-		cost := d.scheme.Commit(pairs[lane])
-		d.chargeMeta(cost, writeT)
+		if relearner != nil {
+			cost, n := relearner.CommitGC(pairs[lane])
+			d.stats.Relearns += uint64(n)
+			d.chargeMeta(cost, writeT)
+		} else {
+			cost := d.scheme.Commit(pairs[lane])
+			d.chargeMeta(cost, writeT)
+		}
 		pairs[lane] = nil
 	}
 	// One pass per stream keeps each stream's pages in LPA order, and

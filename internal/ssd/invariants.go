@@ -37,6 +37,9 @@ import (
 //     translation-block footprint fits the over-provisioned capacity.
 //   - Adaptive γ: no group's effective error bound exceeds the global
 //     bound the OOB reverse-mapping window was sized for.
+//   - Predicted-exact bitmaps: every set bit's prediction lands on the
+//     LPA's live page — the read path trusts set bits without OOB
+//     verification, so a stale bit means silent wrong data.
 func (d *Device) CheckInvariants() error {
 	cfg := d.cfg.Flash
 
@@ -45,6 +48,27 @@ func (d *Device) CheckInvariants() error {
 		// bound; a group tuned past it could mispredict beyond recovery.
 		if mg := ag.MaxGroupGamma(); mg > d.gamma {
 			return fmt.Errorf("invariant: per-group gamma %d exceeds the global bound %d", mg, d.gamma)
+		}
+	}
+
+	if ea, ok := d.scheme.(ftl.ExactAuditor); ok {
+		// Every set predicted-exact bit must point at the live page: the
+		// read path trusts it with no OOB verification, so a stale bit
+		// would silently return wrong data. Unmapped and lost LPAs have no
+		// live page — the oracle reports them absent and the audit skips
+		// their bits (the next read of such an LPA fails before flash).
+		truth := func(lpa addr.LPA) (addr.PPA, bool) {
+			if int(lpa) >= d.logicalPages {
+				return addr.InvalidPPA, false
+			}
+			ppa := d.truth[lpa]
+			if ppa == addr.InvalidPPA || d.lost[lpa] {
+				return addr.InvalidPPA, false
+			}
+			return ppa, true
+		}
+		if err := ea.AuditExact(truth); err != nil {
+			return fmt.Errorf("invariant: %w", err)
 		}
 	}
 

@@ -32,6 +32,22 @@ type Stats struct {
 	MissHintResolved uint64
 	MissFallbacks    uint64
 
+	// DoubleReads is the first-class count of §3.5 double reads: host
+	// page reads whose *first* flash data read landed on the wrong page,
+	// forcing at least one more flash read to fetch the right one. A
+	// hint-resolved miss is not a double read (the speculative first read
+	// was right); a hint that aimed the first read *away* from a correct
+	// prediction is. DoubleReads ≤ Mispredictions + hint-misaimed hits.
+	DoubleReads uint64
+
+	// Predicted-exact bitmap read path (LearnedFTL-style). ExactBitHits
+	// counts approximate translations served through a set exact bit —
+	// one trusted flash read, no OOB verification probe budget reserved.
+	// Relearns counts segment groups re-fitted by GC-time relearning
+	// (Table.Relearn) from LPA-sorted relocation batches.
+	ExactBitHits uint64
+	Relearns     uint64
+
 	// Background machinery.
 	FlushedBlocks uint64
 	GCRuns        uint64
@@ -96,6 +112,24 @@ func (s Stats) MispredictionRatio() float64 {
 		return 0
 	}
 	return float64(s.Mispredictions) / float64(s.HostPagesRead)
+}
+
+// DoubleReadRatio returns double reads per host page read — the §3.5
+// wasted-flash-read rate the exactness bitmap attacks.
+func (s Stats) DoubleReadRatio() float64 {
+	if s.HostPagesRead == 0 {
+		return 0
+	}
+	return float64(s.DoubleReads) / float64(s.HostPagesRead)
+}
+
+// ExactBitHitRatio returns the fraction of approximate reads served
+// through a set predicted-exact bit (no verification budget).
+func (s Stats) ExactBitHitRatio() float64 {
+	if s.ApproxReads == 0 {
+		return 0
+	}
+	return float64(s.ExactBitHits) / float64(s.ApproxReads)
 }
 
 // HintResolvedRatio returns the fraction of mispredictions the

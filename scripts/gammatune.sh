@@ -4,11 +4,15 @@
 # double-reads-per-op (the misprediction tax), the hint-resolved split
 # and tail latency per cell. The emitted JSON includes a per-workload
 # "dominance" record listing the static-γ points the autotuned run
-# strictly beats (lower double-read-per-op at equal-or-smaller table).
+# strictly beats (lower double-read-per-op at equal-or-smaller table),
+# and — with the bitmap cell enabled (default) — a "bitmap_gate" record
+# scoring the predicted-exact-bitmap run: double-reads/op within 1.15×
+# of the γ=0 baseline (+0.001/op floor), table no larger than the
+# biggest static γ's, and GC relearn events > 0.
 #
 # Usage: scripts/gammatune.sh [PR-number] [qd] [speedup]
-#   scripts/gammatune.sh 5        → writes BENCH_PR5.json (and prints the table)
-#   scripts/gammatune.sh 5 8 2    → 8 host queues, 2x replay speed
+#   scripts/gammatune.sh 9        → writes BENCH_PR9.json (and prints the table)
+#   scripts/gammatune.sh 9 8 2    → 8 host queues, 2x replay speed
 #
 # Env knobs:
 #   GAMMAS      comma list of static γ grid points   (default 0,2,4,8,16)
@@ -16,26 +20,43 @@
 #   WORKLOADS   comma list (zipf-hot, strided, msr-replay)
 #               msr-replay replays $TRACE             (default zipf-hot,strided)
 #   TRACE       trace file for msr-replay             (default traces/msr-sample.csv)
+#   BITMAP      true/false: add the autotune+bitmap cell and score the
+#               gate (default true)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PR="${1:-5}"
+PR="${1:-9}"
 QD="${2:-4}"
 SPEEDUP="${3:-1}"
 GAMMAS="${GAMMAS:-0,2,4,8,16}"
 TARGET="${TARGET:-0}"
 WORKLOADS="${WORKLOADS:-zipf-hot,strided}"
 TRACE="${TRACE:-traces/msr-sample.csv}"
+BITMAP="${BITMAP:-true}"
 
 echo "building..." >&2
 go build ./cmd/leaftl-bench
 
 out="BENCH_PR${PR}.json"
-echo "== adaptive-γ sweep (gammas=$GAMMAS workloads=$WORKLOADS qd=$QD speedup=$SPEEDUP target=$TARGET) ==" >&2
+echo "== adaptive-γ sweep (gammas=$GAMMAS workloads=$WORKLOADS qd=$QD speedup=$SPEEDUP target=$TARGET bitmap=$BITMAP) ==" >&2
 ./leaftl-bench -gammatune \
   -gammas "$GAMMAS" -gamma-target "$TARGET" -tune-workloads "$WORKLOADS" \
-  -trace "$TRACE" -qd "$QD" -speedup "$SPEEDUP" \
+  -trace "$TRACE" -bitmap="$BITMAP" -qd "$QD" -speedup "$SPEEDUP" \
   -json "$out"
 rm -f leaftl-bench
+
+if [ "$BITMAP" = "true" ] && command -v python3 >/dev/null; then
+  python3 - "$out" <<'EOF'
+import json, sys
+gate = json.load(open(sys.argv[1])).get("bitmap_gate")
+if gate is None:
+    sys.exit("no bitmap_gate record in " + sys.argv[1])
+print("bitmap gate on %s: dbl/op %.4f (bound %.4f), table %dB (static γ=%d: %dB), relearns %d → %s"
+      % (gate["workload"], gate["bitmap_double_reads_per_op"], gate["double_read_bound"],
+         gate["bitmap_table_bytes"], gate["static_gamma"], gate["static_table_bytes"],
+         gate["relearns"], "PASS" if gate["pass"] else "FAIL"))
+sys.exit(0 if gate["pass"] else 1)
+EOF
+fi
 
 echo "wrote $out" >&2
