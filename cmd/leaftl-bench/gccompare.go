@@ -41,6 +41,10 @@ type gcRunJSON struct {
 	P999us       float64 `json:"p999_us"`
 	MeanUs       float64 `json:"mean_us"`
 	IOPS         float64 `json:"iops"`
+	Journal      bool    `json:"journal"`
+	JournalApps  uint64  `json:"journal_appends"`
+	JournalFolds uint64  `json:"journal_folds"`
+	ChainLen     int     `json:"chain_len"`
 }
 
 // parseList splits a comma-separated flag value.
@@ -70,7 +74,7 @@ func parseIntList(v string) ([]int, error) {
 // runGCCompare is the leaftl-bench GC comparison mode: sweep victim
 // policies × hot/cold stream counts over GC-heavy timed workloads and
 // report WAF, reclaim counters and tail latency per cell.
-func runGCCompare(scale experiments.Scale, policies, streams, workloads string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath string) error {
+func runGCCompare(scale experiments.Scale, policies, streams, workloads string, qd int, speedup float64, gamma int, seed int64, journal, markdown bool, jsonPath string) error {
 	streamCounts, err := parseIntList(streams)
 	if err != nil {
 		return err
@@ -90,6 +94,7 @@ func runGCCompare(scale experiments.Scale, policies, streams, workloads string, 
 		Queues:    qd,
 		Speedup:   speedup,
 		Gamma:     gamma,
+		Journal:   journal,
 	}
 	s := experiments.NewSuite(scale, seed)
 	runs, table, err := s.GCCompare(spec)
@@ -125,6 +130,9 @@ func runGCCompare(scale experiments.Scale, policies, streams, workloads string, 
 			GCStallUs:    usF(r.Stats.GCStall),
 			P50us:        usF(sum.P50), P99us: usF(sum.P99), P999us: usF(sum.P999),
 			MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(),
+			Journal:     r.Journal,
+			JournalApps: r.JournalStats.Appends, JournalFolds: r.JournalStats.Folds,
+			ChainLen: r.JournalStats.MaxChain,
 		})
 	}
 	enc, err := json.MarshalIndent(out, "", "  ")

@@ -41,6 +41,10 @@ type memRunJSON struct {
 	P999us        float64 `json:"p999_us"`
 	MeanUs        float64 `json:"mean_us"`
 	IOPS          float64 `json:"iops"`
+	Journal       bool    `json:"journal"`
+	JournalApps   uint64  `json:"journal_appends"`
+	JournalFolds  uint64  `json:"journal_folds"`
+	ChainLen      int     `json:"chain_len"`
 }
 
 // parseFloatList splits a comma-separated list of floats.
@@ -59,7 +63,7 @@ func parseFloatList(v string) ([]float64, error) {
 // runMemSweep is the leaftl-bench memory-sweep mode: cap each scheme's
 // mapping DRAM at a sweep of budgets and report how throughput, tail
 // latency, mapping-miss traffic and meta-WAF respond.
-func runMemSweep(scale experiments.Scale, budgets, schemes, workloads string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath string) error {
+func runMemSweep(scale experiments.Scale, budgets, schemes, workloads string, qd int, speedup float64, gamma int, seed int64, journal, markdown bool, jsonPath string) error {
 	budgetList, err := parseFloatList(budgets)
 	if err != nil {
 		return err
@@ -77,6 +81,7 @@ func runMemSweep(scale experiments.Scale, budgets, schemes, workloads string, qd
 		Queues:    qd,
 		Speedup:   speedup,
 		Gamma:     gamma,
+		Journal:   journal,
 	}
 	s := experiments.NewSuite(scale, seed)
 	runs, table, err := s.MemorySweep(spec)
@@ -108,6 +113,9 @@ func runMemSweep(scale experiments.Scale, budgets, schemes, workloads string, qd
 			Faults: r.Faults, Evictions: r.Evictions,
 			P50us: usF(sum.P50), P99us: usF(sum.P99), P999us: usF(sum.P999),
 			MeanUs: usF(sum.Mean), IOPS: r.Result.IOPS(),
+			Journal:     r.Journal,
+			JournalApps: r.JournalStats.Appends, JournalFolds: r.JournalStats.Folds,
+			ChainLen: r.JournalStats.MaxChain,
 		})
 	}
 	enc, err := json.MarshalIndent(out, "", "  ")

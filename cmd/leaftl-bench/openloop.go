@@ -42,6 +42,10 @@ type schemeJSON struct {
 	DoubleReads   uint64  `json:"double_reads"`
 	DoubleReadOp  float64 `json:"double_read_per_op"`
 	MetaWAF       float64 `json:"meta_waf"`
+	Journal       bool    `json:"journal"`
+	JournalApps   uint64  `json:"journal_appends"`
+	JournalFolds  uint64  `json:"journal_folds"`
+	ChainLen      int     `json:"chain_len"`
 }
 
 // runOpenLoop is the leaftl-bench open-loop replay mode: ingest a trace
@@ -50,7 +54,7 @@ type schemeJSON struct {
 // gcPolicy and gcStreams configure every device's garbage collector
 // (single values here; the -gccompare mode sweeps lists). workers > 0
 // swaps the simulated host queues for that many real multi-queue pairs.
-func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath, gcPolicy, gcStreams string, autotune bool, gammaTarget float64, workers int) error {
+func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, seed int64, markdown bool, jsonPath, gcPolicy, gcStreams string, autotune bool, gammaTarget float64, workers int, journal bool) error {
 	streams := 0
 	if gcStreams != "" {
 		var err error
@@ -89,7 +93,7 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 		Queues: qd, Speedup: speedup, Gamma: gamma,
 		GCPolicy: gcPolicy, GCStreams: streams,
 		AutoTune: autotune, GammaTarget: gammaTarget,
-		Workers: workers,
+		Workers: workers, Journal: journal,
 	}
 	if !trace.Timed(reqs) {
 		// Untimed traces replay at a uniform 50k IOPS arrival rate.
@@ -123,7 +127,10 @@ func runOpenLoop(path, formatName string, qd int, speedup float64, gamma int, se
 				MetaReads: r.Stats.MetaReads, MetaWrites: r.Stats.MetaWrites,
 				MissPerOp:   r.Stats.MetaReadRatio(),
 				DoubleReads: r.Stats.DoubleReads, DoubleReadOp: r.Stats.DoubleReadRatio(),
-				MetaWAF: r.Stats.MetaWAF(),
+				MetaWAF:     r.Stats.MetaWAF(),
+				Journal:     r.Journal,
+				JournalApps: r.JournalStats.Appends, JournalFolds: r.JournalStats.Folds,
+				ChainLen: r.JournalStats.MaxChain,
 			})
 		}
 		enc, err := json.MarshalIndent(out, "", "  ")

@@ -109,6 +109,51 @@ type Pager struct {
 	nextPPA      uint32
 	fast         bool // cached FastPath value, refreshed on mutation
 	stats        PagerStats
+
+	// journal, when non-nil, replaces the full-image writeback path with
+	// the mapping-delta log (journal.go): dirty evictions append deltas,
+	// demand loads replay base+chain, and gmdEntry.image stays nil — the
+	// journal owns the durable bytes. Nil keeps the image path
+	// bit-identical to its pre-journal behavior.
+	journal *journal
+}
+
+// EnableJournal switches metadata persistence to the mapping-delta
+// journal. Call before any paging activity; enabling an already-active
+// pager would orphan existing images.
+func (p *Pager) EnableJournal() {
+	if p.journal == nil {
+		p.journal = newJournal(p.pageSize)
+	}
+}
+
+// JournalEnabled reports whether the mapping-delta journal is on.
+func (p *Pager) JournalEnabled() bool { return p.journal != nil }
+
+// ConfigureJournal sets the journal's translation-block geometry and
+// footprint cap (device wiring calls this once flash geometry and the
+// metadata share of over-provisioning are known). No-op when the
+// journal is off.
+func (p *Pager) ConfigureJournal(pagesPerBlock, maxPages int) {
+	if p.journal != nil {
+		p.journal.configure(pagesPerBlock, maxPages)
+	}
+}
+
+// JournalStats snapshots the journal counters (zero when disabled).
+func (p *Pager) JournalStats() JournalStats {
+	if p.journal == nil {
+		return JournalStats{}
+	}
+	return p.journal.Stats()
+}
+
+// SetJournalHook installs the crash-injection hook fired before journal
+// GC ("journal.gc") and each chain fold ("journal.fold").
+func (p *Pager) SetJournalHook(fn func(string)) {
+	if p.journal != nil {
+		p.journal.hook = fn
+	}
 }
 
 // NewPager returns an inactive pager (no budget, empty GMD) over store.
@@ -238,9 +283,15 @@ func (p *Pager) EnsureWrite(gid addr.GroupID) PageCost {
 	return cost
 }
 
-// load demand-loads an evicted group's image back into the store.
+// load demand-loads an evicted group back into the store: from its GMD
+// image, or — under the journal — by replaying its base image plus
+// delta chain, charging every distinct flash page the chain touches.
 func (p *Pager) load(gid addr.GroupID, e *gmdEntry) PageCost {
-	if _, err := p.store.installGroup(e.image); err != nil {
+	img, cost := e.image, PageCost{}
+	if p.journal != nil {
+		img, cost = p.journal.load(gid)
+	}
+	if _, err := p.store.installGroup(img); err != nil {
 		panic(fmt.Sprintf("core: GMD image for group %d does not install: %v", gid, err))
 	}
 	e.resident = true
@@ -251,6 +302,9 @@ func (p *Pager) load(gid addr.GroupID, e *gmdEntry) PageCost {
 	p.evictedBytes -= e.dramBytes
 	p.stats.Faults++
 	p.fast = false // a fault implies pressure; Enforce will re-evaluate
+	if p.journal != nil {
+		return cost
+	}
 	n := p.imagePages(len(e.image))
 	return PageCost{MetaReads: n, ReadIDs: pageIDs(e.ppa, n)}
 }
@@ -299,7 +353,11 @@ func (p *Pager) evict(gid addr.GroupID, e *gmdEntry) PageCost {
 		p.unring(gid)
 		return cost
 	}
-	if e.dirty || e.image == nil {
+	persisted := e.image != nil
+	if p.journal != nil {
+		persisted = p.journal.has(gid)
+	}
+	if e.dirty || !persisted {
 		cost.Add(p.writeback(gid, e))
 	}
 	freed, _ := p.store.dropGroup(gid)
@@ -315,10 +373,19 @@ func (p *Pager) evict(gid addr.GroupID, e *gmdEntry) PageCost {
 
 // writeback serializes the group's current state into a fresh
 // translation-page image (log-structured: a new virtual PPA each write).
+// Under the journal, the full rewrite becomes a delta append: only the
+// sections that changed since the group's base image travel to flash.
 func (p *Pager) writeback(gid addr.GroupID, e *gmdEntry) PageCost {
 	img, err := p.store.marshalGroup(gid)
 	if err != nil {
 		panic(fmt.Sprintf("core: group %d does not marshal: %v", gid, err))
+	}
+	if p.journal != nil {
+		cost := p.journal.writeback(gid, img)
+		p.flashPages = p.journal.pages()
+		e.dirty = false
+		p.stats.DirtyWritebacks++
+		return cost
 	}
 	if e.image != nil {
 		p.flashPages -= p.imagePages(len(e.image))
@@ -378,7 +445,11 @@ func (p *Pager) EvictedImages() map[addr.GroupID][]byte {
 	out := make(map[addr.GroupID][]byte, p.evicted)
 	for gid, e := range p.gmd {
 		if !e.resident {
-			out[gid] = e.image
+			if p.journal != nil {
+				out[gid] = p.journal.image(gid)
+			} else {
+				out[gid] = e.image
+			}
 		}
 	}
 	return out
@@ -392,6 +463,12 @@ func (p *Pager) Reset() {
 	p.ring = p.ring[:0]
 	p.hand = 0
 	p.evicted, p.evictedBytes, p.flashPages = 0, 0, 0
+	if p.journal != nil {
+		fresh := newJournal(p.pageSize)
+		fresh.configure(p.journal.ppb, p.journal.maxPages)
+		fresh.hook = p.journal.hook
+		p.journal = fresh
+	}
 	if p.Active() {
 		p.adoptResident()
 	}
@@ -404,6 +481,16 @@ func (p *Pager) Reset() {
 // absent — their latest state exists only in DRAM. The returned slices
 // are the live images; callers must not mutate them.
 func (p *Pager) PersistedGroups() map[addr.GroupID][]byte {
+	if p.journal != nil {
+		// Recovery's journal-tail replay: every journaled group folds its
+		// base image plus delta chain. Dirty residents are excluded —
+		// their journal state predates the DRAM-only updates, matching
+		// the image path's staleness rule.
+		return p.journal.images(func(gid addr.GroupID) bool {
+			e := p.gmd[gid]
+			return e != nil && e.resident && e.dirty
+		})
+	}
 	out := make(map[addr.GroupID][]byte)
 	for gid, e := range p.gmd {
 		if e.image != nil && !e.dirty {
@@ -435,9 +522,21 @@ func (p *Pager) RestoreGroups(images map[addr.GroupID][]byte) error {
 			return fmt.Errorf("core: group %d already resident; restore wants an empty table", gid)
 		}
 		p.nextPPA++
-		p.gmd[gid] = &gmdEntry{ppa: p.nextPPA, image: img}
+		if p.journal != nil {
+			// Seed the journal base uncharged: the image's pages already
+			// exist on flash, recovery only rebuilds the RAM directory.
+			if err := p.journal.seed(gid, img); err != nil {
+				return err
+			}
+			p.gmd[gid] = &gmdEntry{ppa: p.nextPPA}
+		} else {
+			p.gmd[gid] = &gmdEntry{ppa: p.nextPPA, image: img}
+			p.flashPages += p.imagePages(len(img))
+		}
 		p.evicted++
-		p.flashPages += p.imagePages(len(img))
+	}
+	if p.journal != nil {
+		p.flashPages = p.journal.pages()
 	}
 	p.refresh()
 	return nil
@@ -462,6 +561,13 @@ func (p *Pager) Check() error {
 		if e.image != nil {
 			flashPages += p.imagePages(len(e.image))
 		}
+		persisted := e.image != nil
+		if p.journal != nil {
+			if e.image != nil {
+				return fmt.Errorf("gmd: group %d holds a full image with the journal on", gid)
+			}
+			persisted = p.journal.has(gid)
+		}
 		switch {
 		case e.resident && !onRing[gid]:
 			return fmt.Errorf("gmd: resident group %d missing from the CLOCK ring", gid)
@@ -471,7 +577,7 @@ func (p *Pager) Check() error {
 			return fmt.Errorf("gmd: group %d marked resident but absent from the table", gid)
 		case !e.resident && p.store.hasGroup(gid):
 			return fmt.Errorf("gmd: group %d marked evicted but present in the table", gid)
-		case !e.resident && e.image == nil:
+		case !e.resident && !persisted:
 			return fmt.Errorf("gmd: evicted group %d has no translation-page image", gid)
 		case !e.resident && e.dirty:
 			return fmt.Errorf("gmd: evicted group %d is dirty (evictions write back)", gid)
@@ -486,6 +592,9 @@ func (p *Pager) Check() error {
 			return fmt.Errorf("gmd: table group %d has no GMD entry", gid)
 		}
 	}
+	if p.journal != nil {
+		flashPages = p.journal.pages()
+	}
 	switch {
 	case evicted != p.evicted:
 		return fmt.Errorf("gmd: %d evicted entries, counter says %d", evicted, p.evicted)
@@ -493,6 +602,11 @@ func (p *Pager) Check() error {
 		return fmt.Errorf("gmd: %d evicted bytes, counter says %d", evictedBytes, p.evictedBytes)
 	case flashPages != p.flashPages:
 		return fmt.Errorf("gmd: %d image pages, counter says %d", flashPages, p.flashPages)
+	}
+	if p.journal != nil {
+		if err := p.journal.check(); err != nil {
+			return err
+		}
 	}
 	if p.budget > 0 && p.store.residentBytes() > p.budget {
 		return fmt.Errorf("gmd: resident set %dB exceeds budget %dB", p.store.residentBytes(), p.budget)

@@ -48,6 +48,32 @@ const (
 	persistVersion = 3
 )
 
+// appendRecordHeader writes the shared versioned-record framing — the
+// "LFTL" magic plus a version byte — that prefixes both full snapshots
+// (v3) and journal delta records (v4).
+func appendRecordHeader(buf []byte, version uint8) []byte {
+	buf = append(buf, persistMagic...)
+	return append(buf, version)
+}
+
+// readRecordHeader consumes the shared versioned-record framing and
+// returns the version byte, rejecting anything outside [minVer, maxVer].
+// kind names the record family for error messages ("snapshot", "journal
+// record"). Every versioned reader — the v1–v3 snapshot lineage and the
+// v4 journal records — funnels through here so magic and version
+// validation exist exactly once.
+func readRecordHeader(r *reader, kind string, minVer, maxVer uint8) (uint8, error) {
+	magic, err := r.bytes(len(persistMagic))
+	if err != nil || string(magic) != persistMagic {
+		return 0, fmt.Errorf("core: bad %s magic", kind)
+	}
+	ver, err := r.u8()
+	if err != nil || ver < minVer || ver > maxVer {
+		return 0, fmt.Errorf("core: unsupported %s version %d", kind, ver)
+	}
+	return ver, nil
+}
+
 // appendGroupRecord serializes one group in the snapshot's per-group
 // record format.
 func appendGroupRecord(buf []byte, id addr.GroupID, g *group) ([]byte, error) {
@@ -186,8 +212,8 @@ func (t *Table) SnapshotWith(images map[addr.GroupID][]byte) ([]byte, error) {
 	sort.Slice(gids, func(i, j int) bool { return gids[i] < gids[j] })
 
 	buf := make([]byte, 0, 64+t.SizeBytes())
-	buf = append(buf, persistMagic...)
-	buf = append(buf, persistVersion, uint8(t.gamma))
+	buf = appendRecordHeader(buf, persistVersion)
+	buf = append(buf, uint8(t.gamma))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(t.nGroups+len(images)))
 
 	var ferr error
@@ -215,13 +241,8 @@ func (t *Table) SnapshotWith(images map[addr.GroupID][]byte) ([]byte, error) {
 // state. The receiver's gamma is overwritten by the stored value.
 func (t *Table) UnmarshalBinary(data []byte) error {
 	r := reader{buf: data}
-	magic, err := r.bytes(4)
-	if err != nil || string(magic) != persistMagic {
-		return fmt.Errorf("core: bad snapshot magic")
-	}
-	ver, err := r.u8()
-	if err != nil || ver != persistVersion {
-		return fmt.Errorf("core: unsupported snapshot version %d", ver)
+	if _, err := readRecordHeader(&r, "snapshot", persistVersion, persistVersion); err != nil {
+		return err
 	}
 	gamma, err := r.u8()
 	if err != nil {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"time"
 
+	"leaftl/internal/ftl"
+	"leaftl/internal/leaftl"
 	"leaftl/internal/ssd"
 	"leaftl/internal/trace"
 	"leaftl/internal/workload"
@@ -25,6 +27,9 @@ type GCCompareSpec struct {
 	Queues  int
 	Speedup float64
 	Gamma   int
+	// Journal runs LeaFTL with the mapping-delta journal, so GC pressure
+	// and metadata persistence compete for over-provisioned capacity.
+	Journal bool
 }
 
 func (s GCCompareSpec) withDefaults() GCCompareSpec {
@@ -62,6 +67,10 @@ type GCRun struct {
 	// Result is the open-loop latency outcome (p99/p999 include
 	// GC-induced stalls).
 	Result *trace.OpenLoopResult
+	// Journal marks a run with the mapping-delta journal on;
+	// JournalStats holds its counters (zero-valued otherwise).
+	Journal      bool
+	JournalStats ftl.JournalStats
 }
 
 // GCCompare sweeps GC victim policies × hot/cold stream counts over
@@ -99,7 +108,11 @@ func (s *Suite) GCCompare(spec GCCompareSpec) ([]GCRun, Table, error) {
 		for _, policy := range spec.Policies {
 			for _, streams := range spec.Streams {
 				cfg := gcConfig(policy, streams)
-				sch := s.newScheme("LeaFTL", spec.Gamma, cfg)
+				var opts []leaftl.Option
+				if spec.Journal {
+					opts = append(opts, leaftl.WithJournal())
+				}
+				sch := s.newScheme("LeaFTL", spec.Gamma, cfg, opts...)
 				dev, err := ssd.New(cfg, sch)
 				if err != nil {
 					return nil, Table{}, fmt.Errorf("gccompare %s/%s/%d: %w", wl, policy, streams, err)
@@ -123,10 +136,12 @@ func (s *Suite) GCCompare(spec GCCompareSpec) ([]GCRun, Table, error) {
 				if err := dev.Flush(); err != nil {
 					return nil, Table{}, fmt.Errorf("gccompare %s/%s/%d: flush: %w", wl, policy, streams, err)
 				}
-				runs = append(runs, GCRun{
+				run := GCRun{
 					Workload: wl, Policy: policy, Streams: streams,
 					WAF: dev.WAF(), Stats: dev.Stats(), Result: res,
-				})
+				}
+				run.Journal, run.JournalStats = journalStatsOf(sch)
+				runs = append(runs, run)
 			}
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"leaftl/internal/core"
+	"leaftl/internal/ftl"
+	"leaftl/internal/leaftl"
 	"leaftl/internal/metrics"
 	"leaftl/internal/ssd"
 	"leaftl/internal/trace"
@@ -30,6 +32,10 @@ type MemorySweepSpec struct {
 	Queues  int
 	Speedup float64
 	Gamma   int
+	// Journal runs LeaFTL with the mapping-delta journal: dirty evictions
+	// append deltas into translation blocks instead of rewriting full
+	// group images (no effect on the baselines).
+	Journal bool
 }
 
 func (s MemorySweepSpec) withDefaults() MemorySweepSpec {
@@ -77,6 +83,10 @@ type MemoryRun struct {
 	// Result is the open-loop latency outcome (misses charged in
 	// service time).
 	Result *trace.OpenLoopResult
+	// Journal marks a run with the mapping-delta journal on;
+	// JournalStats holds its counters (zero-valued otherwise).
+	Journal      bool
+	JournalStats ftl.JournalStats
 }
 
 // MemorySweep sweeps mapping-DRAM budgets × schemes × workloads — the
@@ -133,7 +143,11 @@ func (s *Suite) MemorySweep(spec MemorySweepSpec) ([]MemoryRun, Table, error) {
 // memoryCell runs one sweep cell.
 func (s *Suite) memoryCell(wl, scheme string, budget float64, reqs []trace.Request, spec MemorySweepSpec) (*MemoryRun, error) {
 	cfg := s.simConfig("sim")
-	sch := s.newScheme(scheme, spec.Gamma, cfg)
+	var opts []leaftl.Option
+	if spec.Journal {
+		opts = append(opts, leaftl.WithJournal())
+	}
+	sch := s.newScheme(scheme, spec.Gamma, cfg, opts...)
 	dev, err := ssd.New(cfg, sch)
 	if err != nil {
 		return nil, err
@@ -180,6 +194,7 @@ func (s *Suite) memoryCell(wl, scheme string, budget float64, reqs []trace.Reque
 		st := ps.PagingStats()
 		run.Faults, run.Evictions = st.Faults, st.Evictions
 	}
+	run.Journal, run.JournalStats = journalStatsOf(sch)
 	return run, nil
 }
 

@@ -5,11 +5,21 @@ import (
 	"time"
 
 	"leaftl/internal/addr"
+	"leaftl/internal/ftl"
 	"leaftl/internal/leaftl"
 	"leaftl/internal/metrics"
 	"leaftl/internal/ssd"
 	"leaftl/internal/trace"
 )
+
+// journalStatsOf snapshots a scheme's mapping-delta journal counters,
+// reporting whether the journal is actually on.
+func journalStatsOf(sch ftl.Scheme) (bool, ftl.JournalStats) {
+	if j, ok := sch.(ftl.Journaled); ok && j.JournalEnabled() {
+		return true, j.JournalStats()
+	}
+	return false, ftl.JournalStats{}
+}
 
 // OpenLoopSpec parameterizes an open-loop trace replay comparison.
 type OpenLoopSpec struct {
@@ -38,6 +48,9 @@ type OpenLoopSpec struct {
 	// queue pairs instead of ReplayOpenLoop's simulated queues; Queues is
 	// ignored in that case.
 	Workers int
+	// Journal runs LeaFTL with the mapping-delta journal (no effect on
+	// the baselines).
+	Journal bool
 }
 
 // OpenLoopRun is one scheme's open-loop replay outcome.
@@ -54,6 +67,10 @@ type OpenLoopRun struct {
 	// (mapping-miss loads) and MetaWrites (dirty evictions/persistence)
 	// that make miss-ratio curves plottable.
 	Stats ssd.Stats
+	// Journal marks a run with the mapping-delta journal on;
+	// JournalStats holds its counters (zero-valued otherwise).
+	Journal      bool
+	JournalStats ftl.JournalStats
 }
 
 // OpenLoopCompare replays one trace open-loop against three identical
@@ -96,6 +113,9 @@ func (s *Suite) OpenLoopCompare(reqs []trace.Request, spec OpenLoopSpec) ([]Open
 		if scheme == "LeaFTL" && spec.AutoTune {
 			opts = append(opts, leaftl.WithAutoTune(spec.GammaTarget))
 		}
+		if scheme == "LeaFTL" && spec.Journal {
+			opts = append(opts, leaftl.WithJournal())
+		}
 		sch := s.newScheme(scheme, spec.Gamma, cfg, opts...)
 		dev, err := ssd.New(cfg, sch)
 		if err != nil {
@@ -116,11 +136,13 @@ func (s *Suite) OpenLoopCompare(reqs []trace.Request, spec OpenLoopSpec) ([]Open
 		if err != nil {
 			return nil, Table{}, fmt.Errorf("openloop %s: %w", scheme, err)
 		}
-		runs = append(runs, OpenLoopRun{
+		run := OpenLoopRun{
 			Scheme: sch.Name(), Result: res,
 			MapBytes: sch.FullSizeBytes(), ResidentBytes: sch.MemoryBytes(),
 			Stats: dev.Stats(),
-		})
+		}
+		run.Journal, run.JournalStats = journalStatsOf(sch)
+		runs = append(runs, run)
 	}
 
 	queueDesc := fmt.Sprintf("%d queue(s)", spec.Queues)

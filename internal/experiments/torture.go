@@ -34,6 +34,15 @@ type TortureSpec struct {
 	Gamma int
 	// Target is the autotune controller's tolerated miss-per-read ratio.
 	Target float64
+	// Journal routes metadata persistence through the mapping-delta
+	// journal, so crashes land between delta appends, mid-fold and
+	// mid-journal-GC, and recovery must replay each group's delta chain
+	// onto its base image.
+	Journal bool
+	// JournalPages caps the journal flash footprint (0 = half the
+	// over-provisioned capacity). Torture cells shrink it so journal GC
+	// actually cycles within a slice.
+	JournalPages int
 	// Workers, when > 1, replays every slice through a real multi-queue
 	// front end with that many worker-backed queue pairs, so crashes
 	// land mid-batch with other workers in flight: the crashing worker
@@ -87,6 +96,9 @@ type TortureCell struct {
 	// MappingsRebuilt and MappingsRestored sum the recovery reports.
 	MappingsRebuilt  int
 	MappingsRestored int
+	// JournalReplays sums the delta records recovery replayed onto GMD
+	// base images (journal cells only).
+	JournalReplays uint64
 	// VerifiedLPAs counts post-recovery truth entries differentially
 	// checked against the at-crash snapshot.
 	VerifiedLPAs int
@@ -160,11 +172,15 @@ func (s *Suite) tortureCell(spec TortureSpec, gen workload.Generator, policy str
 	// just above the trigger, so crashes land mid-GC too.
 	cfg.GCLowWater = 0.15
 	cfg.GCHighWater = 0.25
+	cfg.JournalPages = spec.JournalPages
 
 	newScheme := func() *leaftl.Scheme {
 		opts := []leaftl.Option{leaftl.WithCompactEvery(uint64(max(s.Scale.Requests/16, 1_000)))}
 		if autotune {
 			opts = append(opts, leaftl.WithAutoTune(spec.Target))
+		}
+		if spec.Journal {
+			opts = append(opts, leaftl.WithJournal())
 		}
 		return leaftl.New(spec.Gamma, cfg.Flash.PageSize, opts...)
 	}
@@ -228,6 +244,7 @@ func (s *Suite) tortureCell(spec TortureSpec, gen workload.Generator, policy str
 		}
 		cell.MappingsRebuilt += rep.MappingsRebuilt
 		cell.MappingsRestored += rep.MappingsRestored
+		cell.JournalReplays += rep.JournalDeltasReplayed
 		if err := dev.CheckInvariants(); err != nil {
 			return nil, fmt.Errorf("crash %d at %q: %w", k, point, err)
 		}

@@ -92,6 +92,37 @@ func TestTortureMultiQueue(t *testing.T) {
 	}
 }
 
+// TestTortureJournal crash-tortures the mapping-delta journal path: a
+// budgeted cell with the journal on and its footprint squeezed to one
+// translation block, so slices crash between delta appends, mid-fold and
+// mid-journal-GC, and every recovery must replay delta chains onto GMD
+// base images before the differential verification.
+func TestTortureJournal(t *testing.T) {
+	const seed = 29
+	s := NewSuite(MicroScale(), seed)
+	cells, table, err := s.Torture(TortureSpec{
+		Policies:     []string{"greedy"},
+		Budgets:      []float64{0.25},
+		Autotune:     []bool{false},
+		Journal:      true,
+		JournalPages: 256,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	t.Logf("seed %d:\n%s", seed, table)
+	c := cells[0]
+	if c.Crashes == 0 {
+		t.Errorf("seed %d: no crashes injected", seed)
+	}
+	if c.VerifiedLPAs == 0 {
+		t.Errorf("seed %d: verified nothing", seed)
+	}
+	if c.JournalReplays == 0 {
+		t.Errorf("seed %d: recoveries never replayed a journal delta", seed)
+	}
+}
+
 // TestFaultSweep checks the aged-device reliability sweep end to end at
 // two RBER points: a healthy drive corrects nothing and loses nothing; a
 // dying one shows ECC/scrub/retirement activity without ever returning

@@ -143,6 +143,48 @@ type GroupPaged interface {
 	CheckMapping() error
 }
 
+// Journaled is implemented by schemes whose pager persists metadata
+// through a mapping-delta journal: dirty evictions append delta records
+// into dedicated translation blocks instead of rewriting full group
+// images, demand loads replay base image plus chain, and the journal
+// reclaims its own blocks by folding chains into fresh images. The
+// device uses it to size the journal from flash geometry and
+// over-provisioning and to surface journal counters in benchmarks.
+type Journaled interface {
+	GroupPaged
+
+	// JournalEnabled reports whether the mapping-delta journal is on
+	// (off, the scheme is bit-identical to full-image writeback).
+	JournalEnabled() bool
+
+	// ConfigureJournal sets the journal's translation-block geometry
+	// (pages per block) and its flash-footprint cap in pages, the
+	// threshold that drives journal GC.
+	ConfigureJournal(pagesPerBlock, maxPages int)
+
+	// JournalStats snapshots the journal counters.
+	JournalStats() JournalStats
+}
+
+// JournalStats mirrors core.JournalStats at the ftl layer (core cannot
+// import ftl): mapping-delta journal activity and occupancy.
+type JournalStats struct {
+	// Appends counts delta records appended; Bases full-image records.
+	Appends uint64
+	Bases   uint64
+	// Folds counts chains collapsed into fresh images; GCRuns journal
+	// block reclaims; Replays delta records replayed onto bases.
+	Folds   uint64
+	GCRuns  uint64
+	Replays uint64
+	// Pages/Blocks are current translation-footprint occupancy; Groups
+	// the journaled group count; MaxChain the longest live chain.
+	Pages    int
+	Blocks   int
+	Groups   int
+	MaxChain int
+}
+
 // MissReporter is implemented by schemes that want translation feedback
 // from the device's OOB-verified read path. After every scheme-translated
 // flash read the device reports what the scheme predicted and what the

@@ -57,6 +57,17 @@ func WithAutoTune(targetMissRatio float64) Option {
 	}
 }
 
+// WithJournal switches metadata persistence to the mapping-delta
+// journal: dirty evictions append v4 delta records (only the tune,
+// level and CRB sections that changed since the group's base image)
+// packed into dedicated translation blocks, demand loads replay base
+// plus chain, and chains fold into fresh full images on length/byte
+// thresholds or journal GC. Off, the scheme is bit-identical to the
+// full-image writeback path.
+func WithJournal() Option {
+	return func(s *Scheme) { s.journal = true }
+}
+
 // WithExactBitmap enables predicted-exact bitmaps and GC-time
 // relearning (LearnedFTL, arXiv:2303.13226): the table verifies every
 // committed slot's prediction and records exactness per LPA, Translate
@@ -86,6 +97,9 @@ type Scheme struct {
 	// Predicted-exact bitmap + GC relearning (WithExactBitmap).
 	bitmap bool
 
+	// Mapping-delta journal persistence (WithJournal).
+	journal bool
+
 	// Stats accumulated for the evaluation figures.
 	lookups    uint64
 	levelsSum  uint64
@@ -114,6 +128,9 @@ func New(gamma, pageSize int, opts ...Option) *Scheme {
 		// option order (WithAutoTune overwrites the base name).
 		s.table.EnableExactBitmap()
 		s.name += "+bitmap"
+	}
+	if s.journal {
+		s.pager.EnableJournal()
 	}
 	return s
 }
@@ -399,6 +416,38 @@ func repairPoint(lpa addr.LPA, ppa addr.PPA) core.Learned {
 	}
 }
 
+// JournalEnabled implements ftl.Journaled.
+func (s *Scheme) JournalEnabled() bool { return s.journal }
+
+// ConfigureJournal implements ftl.Journaled: the device hands over its
+// flash geometry and the translation-footprint cap carved out of
+// over-provisioning.
+func (s *Scheme) ConfigureJournal(pagesPerBlock, maxPages int) {
+	s.pager.ConfigureJournal(pagesPerBlock, maxPages)
+}
+
+// JournalStats implements ftl.Journaled.
+func (s *Scheme) JournalStats() ftl.JournalStats {
+	return journalStats(s.pager.JournalStats())
+}
+
+// SetJournalCrashHook installs the crash-injection hook fired at the
+// journal's GC and fold points (reliability torture wiring).
+func (s *Scheme) SetJournalCrashHook(fn func(string)) {
+	s.pager.SetJournalHook(fn)
+}
+
+// journalStats converts the pager's journal counters into the ftl-layer
+// mirror (core cannot import ftl — the PageCost→Cost precedent).
+func journalStats(js core.JournalStats) ftl.JournalStats {
+	return ftl.JournalStats{
+		Appends: js.Appends, Bases: js.Bases, Folds: js.Folds,
+		GCRuns: js.GCRuns, Replays: js.Replays,
+		Pages: js.Pages, Blocks: js.Blocks,
+		Groups: js.Groups, MaxChain: js.MaxChain,
+	}
+}
+
 // TranslationPages implements ftl.GroupPaged.
 func (s *Scheme) TranslationPages() int { return s.pager.TranslationPages() }
 
@@ -469,4 +518,5 @@ var (
 	_ ftl.AdaptiveGamma = (*Scheme)(nil)
 	_ ftl.GCRelearner   = (*Scheme)(nil)
 	_ ftl.ExactAuditor  = (*Scheme)(nil)
+	_ ftl.Journaled     = (*Scheme)(nil)
 )

@@ -45,6 +45,10 @@ type Sharded struct {
 	// Predicted-exact bitmap + GC relearning (WithExactBitmap).
 	bitmap bool
 
+	// Mapping-delta journal persistence (WithJournal); lives in the
+	// shared pager, so plain and sharded journal bit-identically.
+	journal bool
+
 	lookups    atomic.Uint64
 	levelsSum  atomic.Uint64
 	levelsHist [maxLevelBuckets]atomic.Uint64
@@ -72,15 +76,20 @@ func NewSharded(gamma, pageSize, shards int, opts ...Option) *Sharded {
 		table.EnableExactBitmap()
 		name += "+bitmap"
 	}
+	pager := core.NewPager(table, pageSize)
+	if cfg.journal {
+		pager.EnableJournal()
+	}
 	return &Sharded{
 		name:         name + "-sharded",
 		table:        table,
-		pager:        core.NewPager(table, pageSize),
+		pager:        pager,
 		pageSize:     pageSize,
 		compactEvery: cfg.compactEvery,
 		autotune:     cfg.autotune,
 		tune:         cfg.tune,
 		bitmap:       cfg.bitmap,
+		journal:      cfg.journal,
 	}
 }
 
@@ -354,6 +363,31 @@ func (s *Sharded) CheckMapping() error {
 	return s.pager.Check()
 }
 
+// JournalEnabled implements ftl.Journaled.
+func (s *Sharded) JournalEnabled() bool { return s.journal }
+
+// ConfigureJournal implements ftl.Journaled.
+func (s *Sharded) ConfigureJournal(pagesPerBlock, maxPages int) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	s.pager.ConfigureJournal(pagesPerBlock, maxPages)
+}
+
+// JournalStats implements ftl.Journaled.
+func (s *Sharded) JournalStats() ftl.JournalStats {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return journalStats(s.pager.JournalStats())
+}
+
+// SetJournalCrashHook forwards the pager's journal crash hook (see
+// Scheme.SetJournalCrashHook).
+func (s *Sharded) SetJournalCrashHook(hook func(point string)) {
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	s.pager.SetJournalHook(hook)
+}
+
 // PagingStats exposes the pager's fault/eviction counters.
 func (s *Sharded) PagingStats() core.PagerStats {
 	s.pmu.Lock()
@@ -422,4 +456,5 @@ var (
 	_ ftl.AdaptiveGamma = (*Sharded)(nil)
 	_ ftl.GCRelearner   = (*Sharded)(nil)
 	_ ftl.ExactAuditor  = (*Sharded)(nil)
+	_ ftl.Journaled     = (*Sharded)(nil)
 )

@@ -95,6 +95,14 @@ type Config struct {
 	// retention-driven scrubbing.
 	ScrubRetentionAge time.Duration
 
+	// JournalPages caps the mapping-delta journal's flash footprint, in
+	// pages, when the scheme journals metadata (ftl.Journaled with the
+	// journal enabled). Crossing the cap triggers journal GC: the lowest-
+	// live-record translation block is reclaimed by folding its live
+	// chains into fresh base images. 0 sizes the journal to half the
+	// over-provisioned capacity.
+	JournalPages int
+
 	// Shards selects how many ways the translation scheme's mapping core
 	// is partitioned for concurrent translation (0 or 1 = unsharded).
 	// The closed-loop device serializes requests either way — sharding
@@ -156,6 +164,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("ssd: GCStreams = %d out of range [0, 16]", c.GCStreams)
 	case c.ScrubRetentionAge < 0:
 		return fmt.Errorf("ssd: ScrubRetentionAge = %v must not be negative", c.ScrubRetentionAge)
+	case c.JournalPages < 0:
+		return fmt.Errorf("ssd: JournalPages = %d must not be negative", c.JournalPages)
 	}
 	if _, err := GCPolicyByName(c.GCPolicy); err != nil {
 		return err

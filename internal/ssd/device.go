@@ -190,9 +190,30 @@ func New(cfg Config, scheme ftl.Scheme) (*Device, error) {
 		d.mapBudget = avail
 	}
 	scheme.SetBudget(d.mapBudget)
+	d.wireJournal(scheme)
 	d.cache = ftl.NewByteLRU[addr.LPA, uint64](0)
 	d.resizeCache()
 	return d, nil
+}
+
+// wireJournal sizes a journaling scheme's mapping-delta journal from the
+// flash geometry — the footprint cap defaults to half the over-provisioned
+// capacity, matching where full-image translation pages live — and routes
+// its crash hooks through the device's crash-point machinery so torture
+// tests can kill the device mid-journal-GC.
+func (d *Device) wireJournal(scheme ftl.Scheme) {
+	j, ok := scheme.(ftl.Journaled)
+	if !ok || !j.JournalEnabled() {
+		return
+	}
+	maxPages := d.cfg.JournalPages
+	if maxPages <= 0 {
+		maxPages = (d.cfg.Flash.TotalPages() - d.logicalPages) / 2
+	}
+	j.ConfigureJournal(d.cfg.Flash.PagesPerBlock, maxPages)
+	if h, ok := scheme.(interface{ SetJournalCrashHook(func(string)) }); ok {
+		h.SetJournalCrashHook(func(point string) { d.crashPoint(point) })
+	}
 }
 
 // Scheme returns the device's translation scheme.

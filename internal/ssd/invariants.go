@@ -84,6 +84,31 @@ func (d *Device) CheckInvariants() error {
 			return fmt.Errorf("invariant: mapping state %dB exceeds its %dB budget",
 				d.scheme.MemoryBytes(), d.mapBudget)
 		}
+		if j, ok := d.scheme.(ftl.Journaled); ok && j.JournalEnabled() {
+			// Chain consistency and per-block record liveness are audited
+			// inside CheckMapping (the journal replays every chain and
+			// recounts live records); here the journal's occupancy is held
+			// against the device's flash accounting. One block of slack
+			// covers the open tail block the cap check intentionally
+			// excludes.
+			js := j.JournalStats()
+			if js.Pages != gp.TranslationPages() {
+				return fmt.Errorf("invariant: journal reports %d pages, translation footprint %d",
+					js.Pages, gp.TranslationPages())
+			}
+			maxPages := d.cfg.JournalPages
+			if maxPages <= 0 {
+				maxPages = op / 2
+			}
+			if js.Pages > maxPages+cfg.PagesPerBlock {
+				return fmt.Errorf("invariant: journal footprint %d pages exceeds its %d-page cap (+1 open block)",
+					js.Pages, maxPages)
+			}
+			if js.Blocks*cfg.PagesPerBlock != js.Pages {
+				return fmt.Errorf("invariant: journal holds %d blocks of %d pages but reports %d pages",
+					js.Blocks, cfg.PagesPerBlock, js.Pages)
+			}
+		}
 	}
 
 	// PVT ↔ ground truth.

@@ -1,0 +1,251 @@
+package ssd
+
+import (
+	"testing"
+
+	"leaftl/internal/addr"
+	"leaftl/internal/ftl"
+	"leaftl/internal/leaftl"
+)
+
+// journalChurn ages a device into steady-state demand paging: warm half
+// the logical space, clamp the mapping budget to a quarter of the
+// learned table, then churn a hot region so dirty evictions — the
+// metadata-persistence path the journal replaces — run throughout. The
+// op mix mirrors churnBitIdentity's but with the budget applied, so
+// MetaWrites are dominated by writebacks rather than maintenance sweeps.
+func journalChurn(t *testing.T, d *Device) {
+	t.Helper()
+	rng := seededRand(t, 9021)
+	logical := d.LogicalPages()
+	for lpa := 0; lpa < logical/2; lpa += 8 {
+		if _, err := d.Write(addr.LPA(lpa), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d.SetMappingBudget(d.Scheme().FullSizeBytes() / 4)
+
+	hot := logical / 5
+	for op := 0; op < 6000; op++ {
+		switch {
+		case op%5 < 2:
+			lpa := rng.Intn(logical / 2)
+			n := 1 + rng.Intn(3)
+			if lpa+n > logical {
+				n = logical - lpa
+			}
+			if _, err := d.Write(addr.LPA(lpa), n); err != nil {
+				t.Fatal(err)
+			}
+		case op%5 == 2:
+			for i := 0; i < 4; i++ {
+				if _, err := d.Write(addr.LPA(rng.Intn(hot)), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+		default:
+			lpa := rng.Intn(logical / 4)
+			n := 1 + rng.Intn(4)
+			if lpa+n > logical {
+				n = logical - lpa
+			}
+			if _, err := d.Read(addr.LPA(lpa), n); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// journalChurnDevice builds the budgeted churn device for the journal
+// bit-identity tests: γ=8 LeaFTL, compaction every 400 commits, plus
+// any caller options (the journal toggle under test).
+func journalChurnDevice(t *testing.T, opts ...leaftl.Option) *Device {
+	t.Helper()
+	cfg := testConfig()
+	base := []leaftl.Option{leaftl.WithCompactEvery(400)}
+	sch := leaftl.New(8, cfg.Flash.PageSize, append(base, opts...)...)
+	return newTestDevice(t, cfg, sch)
+}
+
+// TestJournalOffBitIdentity pins the journal-off metadata path to the
+// exact pre-journal behavior: with the option absent, the refactored
+// pager must reproduce the image-mode device state digest and counters
+// bit for bit. Goldens captured at the commit introducing the journal,
+// on the unmodified predecessor tree.
+func TestJournalOffBitIdentity(t *testing.T) {
+	d := journalChurnDevice(t)
+	journalChurn(t, d)
+
+	const wantDigest = uint64(0xc2e8bbaea03b5c49)
+	gotDigest := d.StateDigest()
+	st := d.Stats()
+	golden := []struct {
+		name string
+		got  uint64
+		want uint64
+	}{
+		{"HostPagesRead", st.HostPagesRead, 5971},
+		{"HostPagesWrite", st.HostPagesWrite, 11136},
+		{"GCRuns", st.GCRuns, 16},
+		{"GCPagesMoved", st.GCPagesMoved, 1312},
+		{"GCErases", st.GCErases, 133},
+		{"MetaReads", st.MetaReads, 4602},
+		{"MetaWrites", st.MetaWrites, 1367},
+		{"CacheHits", st.CacheHits, 2546},
+		{"CacheMisses", st.CacheMisses, 3270},
+	}
+	if gotDigest != wantDigest {
+		t.Errorf("state digest %#x, want %#x", gotDigest, wantDigest)
+	}
+	for _, g := range golden {
+		if g.got != g.want {
+			t.Errorf("%s = %d, want %d", g.name, g.got, g.want)
+		}
+	}
+	var _ ftl.Scheme = d.Scheme()
+}
+
+// TestJournalDigestEquality runs the budgeted churn with the journal on
+// and off and demands identical device state digests: journaling changes
+// how metadata persistence is charged (delta appends instead of full
+// image rewrites), never what any mapping resolves to. The journaled run
+// must also actually journal — nonzero appends, bases and folds — and a
+// sharded journaled scheme must land on the same digest as the plain one.
+func TestJournalDigestEquality(t *testing.T) {
+	off := journalChurnDevice(t)
+	journalChurn(t, off)
+	on := journalChurnDevice(t, leaftl.WithJournal())
+	journalChurn(t, on)
+
+	if got, want := on.StateDigest(), off.StateDigest(); got != want {
+		t.Errorf("journal-on digest %#x != journal-off digest %#x", got, want)
+	}
+
+	j, ok := on.Scheme().(ftl.Journaled)
+	if !ok || !j.JournalEnabled() {
+		t.Fatal("journal option did not enable the journal")
+	}
+	js := j.JournalStats()
+	if js.Appends == 0 {
+		t.Error("journaled churn appended no delta records")
+	}
+	if js.Bases == 0 {
+		t.Error("journaled churn wrote no base images")
+	}
+	if js.Folds == 0 {
+		t.Error("journaled churn never folded a chain")
+	}
+	if js.Pages == 0 || js.Blocks == 0 {
+		t.Errorf("journal reports empty footprint (%d pages, %d blocks) after churn", js.Pages, js.Blocks)
+	}
+	if js.MaxChain > 8 {
+		t.Errorf("live chain of %d records exceeds the fold threshold", js.MaxChain)
+	}
+
+	cfg := testConfig()
+	sharded := newTestDevice(t, cfg, leaftl.NewSharded(8, cfg.Flash.PageSize, 8,
+		leaftl.WithCompactEvery(400), leaftl.WithJournal()))
+	journalChurn(t, sharded)
+	if got, want := sharded.StateDigest(), on.StateDigest(); got != want {
+		t.Errorf("sharded journaled digest %#x != plain journaled digest %#x", got, want)
+	}
+	if sj := sharded.Scheme().(ftl.Journaled).JournalStats(); sj.Appends == 0 {
+		t.Error("sharded journaled churn appended no delta records")
+	}
+}
+
+// TestJournalGCCrashRecovery kills the device at the instant journal GC
+// elects its first victim block — the hook fires before any fold or
+// erase mutates the journal — then recovers into a fresh journaled
+// scheme and differentially verifies every surviving mapping. The
+// journal cap is squeezed to a single translation block so spilling into
+// a second block forces GC quickly.
+func TestJournalGCCrashRecovery(t *testing.T) {
+	cfg := testConfig()
+	cfg.JournalPages = cfg.Flash.PagesPerBlock
+	newScheme := func() ftl.Scheme {
+		return leaftl.New(8, cfg.Flash.PageSize, leaftl.WithCompactEvery(400), leaftl.WithJournal())
+	}
+	d := newTestDevice(t, cfg, newScheme())
+	rng := seededRand(t, 4477)
+	logical := d.LogicalPages()
+
+	for lpa := 0; lpa < logical/2; lpa += 8 {
+		if _, err := d.Write(addr.LPA(lpa), 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	d.SetMappingBudget(d.Scheme().FullSizeBytes() / 4)
+
+	// Crash at a journal GC with at least one live delta chain (the very
+	// first GC can fire while the journal is all base images — recovery
+	// would have no tail to replay and the assertion below no teeth).
+	type crashMark struct{ point string }
+	j := d.Scheme().(ftl.Journaled)
+	armed := true
+	d.SetCrashHook(func(point string) {
+		if armed && point == "journal.gc" && j.JournalStats().MaxChain > 0 {
+			armed = false
+			panic(crashMark{point})
+		}
+	})
+	crashed := ""
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				m, ok := r.(crashMark)
+				if !ok {
+					panic(r)
+				}
+				crashed = m.point
+			}
+		}()
+		for i := 0; i < 60000; i++ {
+			if _, err := d.Write(addr.LPA(rng.Intn(logical/2)), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Fatal("workload finished without triggering journal GC")
+	}()
+	d.SetCrashHook(nil)
+	if crashed != "journal.gc" {
+		t.Fatalf("crashed at %q, want journal.gc", crashed)
+	}
+
+	rep, err := d.Recover(newScheme())
+	if err != nil {
+		t.Fatalf("recover after mid-journal-GC crash: %v", err)
+	}
+	if rep.GroupsRestored == 0 {
+		t.Error("recovery restored no journaled groups")
+	}
+	if rep.JournalDeltasReplayed == 0 {
+		t.Error("recovery replayed no journal deltas")
+	}
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatalf("after mid-journal-GC crash recovery: %v", err)
+	}
+	tokens, _ := d.TruthSnapshot()
+	for l, tok := range tokens {
+		if tok == 0 {
+			continue
+		}
+		if _, err := d.Read(addr.LPA(l), 1); err != nil {
+			t.Fatalf("post-recovery read of LPA %d: %v", l, err)
+		}
+	}
+	t.Logf("crashed at %q, restored %d groups, replayed %d deltas, re-learned %d mappings",
+		crashed, rep.GroupsRestored, rep.JournalDeltasReplayed, rep.MappingsRebuilt)
+}

@@ -33,6 +33,10 @@ for path in sorted(glob.glob("BENCH_PR*.json"),
     d = json.load(open(path))
     mode = d.get("mode", "micro")
     headline, gate = "-", "-"
+    # meta-WAF / meta-writes trajectory: every mode that charges
+    # translation-page traffic reports them for its headline LeaFTL cell,
+    # so metadata-persistence cost is comparable across PRs.
+    meta_cell = None
 
     if mode == "micro" or "micro" in d:
         micro = d.get("micro", [])
@@ -51,12 +55,19 @@ for path in sorted(glob.glob("BENCH_PR*.json"),
             headline = "best WAF %.2f (%s/%s×%d)" % (
                 best.get("waf", 0), best.get("workload", "?"),
                 best.get("policy", "?"), best.get("streams", 0))
+            meta_cell = best
     elif mode == "memsweep":
         runs = [r for r in d.get("runs", []) if r.get("scheme") == "LeaFTL"]
         if runs:
             tight = min(runs, key=lambda r: r.get("budget_bytes", 9e9))
             headline = "LeaFTL @%s budget: %.3f meta-reads/op" % (
                 fmt_bytes(tight.get("budget_bytes", 0)), tight.get("miss_per_op", 0))
+            meta_cell = tight
+    elif mode == "openloop-replay":
+        lea = [s for s in d.get("schemes", []) if "LeaFTL" in s.get("scheme", "")]
+        if lea:
+            headline = "LeaFTL p999 %.0fus" % lea[0].get("p999_us", 0)
+            meta_cell = lea[0]
     elif mode == "gammatune":
         runs = d.get("runs", [])
         auto = [r for r in runs if r.get("autotune") and not r.get("bitmap")]
@@ -95,10 +106,17 @@ for path in sorted(glob.glob("BENCH_PR*.json"),
         gate = "monotone=%s overlap=%s" % (
             d.get("monotone_kiops_to_4_dies"), d.get("meta_overlap_positive"))
 
-    rows.append((pr, mode, headline, gate))
+    if meta_cell is not None and "meta_waf" in meta_cell:
+        metawaf = "%.4f" % meta_cell.get("meta_waf", 0)
+        metawrites = str(meta_cell.get("meta_writes", 0))
+        if meta_cell.get("journal"):
+            metawrites += "+J"
+    else:
+        metawaf, metawrites = "-", "-"
+    rows.append((pr, mode, headline, metawaf, metawrites, gate))
 
-header = ("PR", "mode", "headline", "gates")
-widths = [max(len(str(r[i])) for r in rows + [header]) for i in range(4)]
+header = ("PR", "mode", "headline", "metaWAF", "metaW", "gates")
+widths = [max(len(str(r[i])) for r in rows + [header]) for i in range(len(header))]
 if markdown:
     print("| " + " | ".join(header) + " |")
     print("|" + "|".join("---" for _ in header) + "|")

@@ -14,6 +14,8 @@
 #              size, larger = absolute bytes       (default 0.125,0.25,0.5,1)
 #   SCHEMES    comma list of schemes               (default LeaFTL,DFTL,SFTL)
 #   WORKLOADS  comma list of timed workloads       (default zipf-hot,mixed-rw)
+#   JOURNAL    1 = mapping-delta journal on, 0 = full-image writeback
+#              (default 1)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,15 +26,18 @@ GAMMA="${GAMMA:-4}"
 BUDGETS="${BUDGETS:-0.125,0.25,0.5,1}"
 SCHEMES="${SCHEMES:-LeaFTL,DFTL,SFTL}"
 WORKLOADS="${WORKLOADS:-zipf-hot,mixed-rw}"
+JOURNAL="${JOURNAL:-1}"
+JFLAG=true
+[ "$JOURNAL" = "0" ] && JFLAG=false
 
 echo "building..." >&2
 go build ./cmd/leaftl-bench
 
 out="BENCH_PR${PR}.json"
-echo "== memory sweep (budgets=$BUDGETS schemes=$SCHEMES workloads=$WORKLOADS qd=$QD speedup=$SPEEDUP gamma=$GAMMA) ==" >&2
+echo "== memory sweep (budgets=$BUDGETS schemes=$SCHEMES workloads=$WORKLOADS qd=$QD speedup=$SPEEDUP gamma=$GAMMA journal=$JFLAG) ==" >&2
 ./leaftl-bench -memsweep \
   -mapping-budget "$BUDGETS" -mem-schemes "$SCHEMES" -mem-workloads "$WORKLOADS" \
-  -qd "$QD" -speedup "$SPEEDUP" -gamma "$GAMMA" \
+  -qd "$QD" -speedup "$SPEEDUP" -gamma "$GAMMA" -journal="$JFLAG" \
   -json "$out"
 rm -f leaftl-bench
 
